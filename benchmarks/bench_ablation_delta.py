@@ -1,0 +1,49 @@
+"""A2 — ablation of delta-matrix write buffering.
+
+RedisGraph buffers matrix updates and flushes in bulk.  ``max_pending=1``
+forces a CSR rebuild per edge (the naive arm); the default buffers the
+whole burst.  The benchmark inserts an edge storm then runs one read
+(which forces the flush), so both arms pay end-to-end cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.delta_matrix import DeltaMatrix
+
+N = 2048
+EDGES = 4000
+
+
+@pytest.fixture(scope="module")
+def edge_storm():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, N, size=(EDGES, 2))
+
+
+@pytest.mark.parametrize("max_pending", [1, 100, 100_000], ids=["flush-every", "flush-100", "buffer-all"])
+def test_edge_insert_storm(benchmark, edge_storm, max_pending):
+    def storm():
+        m = DeltaMatrix(N, max_pending=max_pending)
+        for i, j in edge_storm:
+            m.add(int(i), int(j))
+        return m.synced().nvals  # the read forces the final flush
+
+    benchmark.extra_info["max_pending"] = max_pending
+    nnz = benchmark(storm)
+    assert nnz > 0
+
+
+def test_interleaved_read_write(benchmark, edge_storm):
+    """Mixed workload: a read every 50 writes (forces periodic syncs)."""
+
+    def mixed():
+        m = DeltaMatrix(N, max_pending=100_000)
+        total = 0
+        for idx, (i, j) in enumerate(edge_storm):
+            m.add(int(i), int(j))
+            if idx % 50 == 49:
+                total += m.nvals()
+        return total
+
+    benchmark(mixed)

@@ -1,0 +1,69 @@
+"""A3 — GraphChallenge/LDBC-class kernels (paper §IV future work):
+triangle counting, k-truss, BFS, PageRank, connected components on RMAT."""
+
+import pytest
+
+from repro.algorithms import (
+    bfs_levels,
+    clustering_coefficient,
+    connected_components,
+    core_numbers,
+    kcore,
+    ktruss,
+    pagerank,
+    triangle_count,
+)
+from repro.datasets.loader import edges_to_matrix
+
+
+@pytest.fixture(scope="module")
+def rmat_matrix(graph500):
+    src, dst, n = graph500
+    return edges_to_matrix(src, dst, n)
+
+
+def test_triangle_count(benchmark, rmat_matrix):
+    triangles = benchmark(triangle_count, rmat_matrix)
+    assert triangles > 0
+
+
+def test_ktruss_k3(benchmark, rmat_matrix):
+    truss = benchmark(ktruss, rmat_matrix, 3)
+    assert truss.nvals >= 0
+
+
+def test_bfs_levels(benchmark, rmat_matrix, seeds_graph500):
+    seed = int(seeds_graph500[0])
+    levels = benchmark(bfs_levels, rmat_matrix, seed)
+    assert levels.nvals > 0
+
+
+def test_bfs_direction_optimized(benchmark, rmat_matrix, seeds_graph500):
+    seed = int(seeds_graph500[0])
+    levels = benchmark(lambda: bfs_levels(rmat_matrix, seed, direction_optimized=True))
+    assert levels.nvals > 0
+
+
+def test_pagerank(benchmark, rmat_matrix):
+    ranks = benchmark(pagerank, rmat_matrix, tol=1e-6)
+    assert abs(float(ranks.values.sum()) - 1.0) < 1e-6
+
+
+def test_connected_components(benchmark, rmat_matrix):
+    labels = benchmark(connected_components, rmat_matrix)
+    assert labels.nvals == rmat_matrix.nrows
+
+
+def test_kcore_k4(benchmark, rmat_matrix):
+    core = benchmark(kcore, rmat_matrix, 4)
+    assert core.nvals >= 0
+
+
+def test_core_numbers(benchmark, rmat_matrix):
+    cores = benchmark(core_numbers, rmat_matrix)
+    assert cores.nvals == rmat_matrix.nrows
+
+
+def test_clustering_coefficient(benchmark, rmat_matrix):
+    coeff = benchmark(clustering_coefficient, rmat_matrix)
+    assert float(coeff.values.max()) <= 1.0

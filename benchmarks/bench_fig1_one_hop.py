@@ -1,0 +1,30 @@
+"""E1 / Fig. 1 — average 1-hop response time per engine on both datasets.
+
+The paper's figure compares RedisGraph against five engines on 1-hop
+neighborhood counts over Graph500 and Twitter.  One benchmark round =
+the sequential seed sweep; per-seed time = round / #seeds.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_seeds
+
+ENGINES = ["matrix", "redisgraph", "csr-baseline", "pointer-chasing"]
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig1_graph500_one_hop(benchmark, engines_graph500, seeds_graph500, engine_name):
+    engine = engines_graph500[engine_name]
+    benchmark.extra_info["dataset"] = "graph500"
+    benchmark.extra_info["seeds"] = len(seeds_graph500)
+    result = benchmark(run_seeds, engine, seeds_graph500, 1)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig1_twitter_one_hop(benchmark, engines_twitter, seeds_twitter, engine_name):
+    engine = engines_twitter[engine_name]
+    benchmark.extra_info["dataset"] = "twitter"
+    benchmark.extra_info["seeds"] = len(seeds_twitter)
+    result = benchmark(run_seeds, engine, seeds_twitter, 1)
+    assert result >= 0

@@ -1,0 +1,26 @@
+"""E2 (Graph500 side) — k-hop response time, k = 1, 2, 3, 6 (paper §III).
+
+All engines must agree on the counts (asserted), reproducing the paper's
+"no timeouts, no OOM" claim at our scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_seeds
+
+ENGINES = ["matrix", "redisgraph", "csr-baseline", "pointer-chasing"]
+HOPS = [1, 2, 3, 6]
+
+
+@pytest.mark.parametrize("k", HOPS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_khop_graph500(benchmark, engines_graph500, seeds_graph500, engine_name, k):
+    engine = engines_graph500[engine_name]
+    # 3/6-hop use fewer seeds, as in the paper (300 vs 10)
+    seeds = seeds_graph500 if k <= 2 else seeds_graph500[:3]
+    benchmark.extra_info["dataset"] = "graph500"
+    benchmark.extra_info["k"] = k
+    total = benchmark(run_seeds, engine, seeds, k)
+    # counts agree with the reference engine
+    reference = engines_graph500["matrix"]
+    assert total == run_seeds(reference, seeds, k)

@@ -1,0 +1,20 @@
+"""E2 (Twitter side) — k-hop response time on the power-law follower graph."""
+
+import pytest
+
+from benchmarks.conftest import run_seeds
+
+ENGINES = ["matrix", "redisgraph", "csr-baseline", "pointer-chasing"]
+HOPS = [1, 2, 3, 6]
+
+
+@pytest.mark.parametrize("k", HOPS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_khop_twitter(benchmark, engines_twitter, seeds_twitter, engine_name, k):
+    engine = engines_twitter[engine_name]
+    seeds = seeds_twitter if k <= 2 else seeds_twitter[:3]
+    benchmark.extra_info["dataset"] = "twitter"
+    benchmark.extra_info["k"] = k
+    total = benchmark(run_seeds, engine, seeds, k)
+    reference = engines_twitter["matrix"]
+    assert total == run_seeds(reference, seeds, k)

@@ -1,0 +1,64 @@
+"""Kernel calibration — the ESC SpGEMM and masked BFS primitives against
+scipy.sparse (a compiled CSR implementation).  Not a paper experiment; it
+bounds how much of the engine gap is our Python kernels vs the algorithm.
+"""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from repro.datasets import graph500_edges
+from repro.grblas import Matrix, Vector, semiring, Mask
+from repro.grblas.descriptor import Descriptor
+
+
+@pytest.fixture(scope="module")
+def pair():
+    src, dst, n = graph500_edges(11, 8, seed=4)
+    A = Matrix.from_edges(src, dst, nrows=n)
+    S = scipy_sparse.csr_matrix(
+        (np.ones(len(src)), (src, dst)), shape=(n, n), dtype=np.float64
+    )
+    S.sum_duplicates()
+    return A, S
+
+
+def test_esc_spgemm_plus_times(benchmark, pair):
+    A, _ = pair
+    Af = A.cast("FP64")
+    C = benchmark(lambda: Af.mxm(Af, semiring.plus_times))
+    assert C.nvals > 0
+
+
+def test_scipy_csr_matmul(benchmark, pair):
+    _, S = pair
+    C = benchmark(lambda: S @ S)
+    assert C.nnz > 0
+
+
+def test_structural_any_pair(benchmark, pair):
+    """The traversal semiring: structural kernels skip value arithmetic."""
+    A, _ = pair
+    C = benchmark(lambda: A.mxm(A, semiring.any_pair))
+    assert C.nvals > 0
+
+
+def test_masked_bfs_layer(benchmark, pair):
+    """One BFS layer: vxm with complemented structural mask (pushdown path)."""
+    A, _ = pair
+    frontier = Vector.from_coo([0], None, size=A.nrows)
+    visited = frontier.dup()
+    desc = Descriptor(replace=True)
+
+    def layer():
+        return frontier.vxm(A, semiring.any_pair, mask=Mask(visited, complement=True, structure=True), desc=desc)
+
+    out = benchmark(layer)
+    assert out.nvals >= 0
+
+
+def test_transpose(benchmark, pair):
+    A, _ = pair
+    T = benchmark(A.transpose)
+    assert T.nvals == A.nvals

@@ -1,0 +1,40 @@
+"""E4 — read throughput vs thread-pool size (paper §II architecture claim).
+
+One benchmark round = 40 one-hop queries pushed through the module pool.
+EXPERIMENTS.md discusses the GIL ceiling on absolute scaling.
+"""
+
+import pytest
+
+from repro.bench.khop import pick_seeds
+from repro.bench.throughput import run_throughput
+from repro.datasets.loader import build_graphdb
+from repro.rediskv.threadpool import ThreadPool
+
+
+@pytest.fixture(scope="module")
+def db_and_seeds(graph500):
+    src, dst, n = graph500
+    db = build_graphdb(src, dst, n)
+    db.graph.flush_all()
+    seeds = pick_seeds(src, n, 40, seed=9)
+    return db, seeds
+
+
+QUERY = "MATCH (s:V)-[:E*1..1]->(m) WHERE id(s) = $seed RETURN count(DISTINCT m)"
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_throughput_by_pool_size(benchmark, db_and_seeds, threads):
+    db, seeds = db_and_seeds
+
+    def burst():
+        pool = ThreadPool(threads)
+        jobs = [pool.submit(db.query, QUERY, {"seed": int(s)}) for s in seeds]
+        for job in jobs:
+            job.result(timeout=300)
+        pool.shutdown()
+        return len(jobs)
+
+    benchmark.extra_info["threads"] = threads
+    assert benchmark(burst) == len(seeds)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""A miniature run of the paper's benchmark (Fig. 1 + k-hop table).
+
+Generates small Graph500 and Twitter-like graphs, runs the four engines
+over k = 1, 2, 3, 6 and prints the table, the log-scale chart and the
+paper-claim verdicts.  For larger runs use the CLI:
+
+    python -m repro.bench all --scale 15 --twitter-n 32768
+
+Run:  python examples/khop_benchmark.py
+"""
+
+from repro.bench import BenchmarkSuite, DatasetSpec, make_engines
+from repro.bench.paper import check_claims
+from repro.bench.report import format_fig1_chart, format_table
+
+
+def main() -> None:
+    datasets = [
+        DatasetSpec.graph500(scale=12, edge_factor=16, seed=1),
+        DatasetSpec.twitter(n=1 << 13, edge_factor=20, seed=2),
+    ]
+    suite = BenchmarkSuite(datasets, make_engines(), hops=[1, 2, 3, 6], seed_fraction=0.05)
+    measurements = suite.run()
+
+    print()
+    print(format_table(measurements, title="k-hop single-request response time (scaled-down)"))
+    print(format_fig1_chart(measurements))
+    print("paper-claim verdicts:")
+    for check in check_claims(measurements):
+        print("  " + check.line())
+    print(
+        "\nnote: the mechanism gap (C1) grows with graph size; this example uses"
+        "\ntiny graphs for speed. Run `python -m repro.bench claims` for the"
+        "\nfull-scale (about 1M-edge) measurement used in EXPERIMENTS.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

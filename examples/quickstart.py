@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: the embedded graph database in five minutes.
+
+Creates a small property graph with Cypher, traverses it (the traversals
+run as sparse matrix products underneath), inspects the execution plan,
+and shows updates, aggregation and indexes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GraphDB
+
+
+def main() -> None:
+    db = GraphDB("quickstart")
+
+    # -- create a small social graph -----------------------------------
+    db.query(
+        """
+        CREATE (ann:Person {name: 'Ann', age: 30}),
+               (bo:Person  {name: 'Bo',  age: 25}),
+               (cy:Person  {name: 'Cy',  age: 35}),
+               (di:Person  {name: 'Di',  age: 28}),
+               (ann)-[:KNOWS {since: 2019}]->(bo),
+               (ann)-[:KNOWS {since: 2020}]->(cy),
+               (bo)-[:KNOWS  {since: 2021}]->(cy),
+               (cy)-[:KNOWS  {since: 2018}]->(di)
+        """
+    )
+    print(f"graph: {db.graph.node_count} nodes, {db.graph.edge_count} edges")
+
+    # -- traverse -------------------------------------------------------
+    result = db.query(
+        "MATCH (a:Person {name: 'Ann'})-[:KNOWS]->(friend) "
+        "RETURN friend.name AS name, friend.age AS age ORDER BY age"
+    )
+    print("\nAnn's friends:")
+    for name, age in result:
+        print(f"  {name} ({age})")
+
+    # -- the plan: traversal is linear algebra --------------------------
+    print("\nexecution plan for a 2-hop query:")
+    print(db.explain("MATCH (a:Person {name:'Ann'})-[:KNOWS*1..2]->(x) RETURN count(DISTINCT x)"))
+
+    two_hop = db.query(
+        "MATCH (a:Person {name:'Ann'})-[:KNOWS*1..2]->(x) RETURN count(DISTINCT x)"
+    ).scalar()
+    print(f"\npeople within 2 hops of Ann: {two_hop}")
+
+    # -- aggregate ------------------------------------------------------
+    rows = db.query(
+        "MATCH (p:Person)-[:KNOWS]->(f) RETURN p.name AS who, count(f) AS friends "
+        "ORDER BY friends DESC, who"
+    )
+    print("\nout-degree table:")
+    for who, friends in rows:
+        print(f"  {who}: {friends}")
+
+    # -- update + index ---------------------------------------------------
+    db.query("CREATE INDEX ON :Person(name)")
+    db.query("MATCH (p:Person {name: 'Bo'}) SET p.age = 26")
+    print("\nafter SET (via index scan):",
+          db.query("MATCH (p:Person {name: 'Bo'}) RETURN p.age").scalar())
+
+    # -- parameters -------------------------------------------------------
+    young = db.query(
+        "MATCH (p:Person) WHERE p.age < $limit RETURN collect(p.name)", {"limit": 30}
+    ).scalar()
+    print("under 30:", sorted(young))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Client/server round trip: the Redis-module deployment shape.
+
+Starts the single-threaded server with a 4-thread graph pool (paper §II),
+connects a RESP client over TCP, creates a graph with GRAPH.QUERY, runs
+reads — including concurrent reads from several client threads — and
+shows GRAPH.EXPLAIN / INFO.
+
+Run:  python examples/server_client.py
+"""
+
+import threading
+import time
+
+from repro.graph.config import GraphConfig
+from repro.rediskv.client import RedisClient
+from repro.rediskv.server import RedisLikeServer
+
+
+def main() -> None:
+    server = RedisLikeServer(port=0, config=GraphConfig(thread_count=4)).start()
+    time.sleep(0.05)
+    print(f"server on {server.host}:{server.port}, pool={server.pool.size} threads")
+
+    with RedisClient(port=server.port) as client:
+        print("PING ->", client.ping())
+
+        client.graph_query(
+            "flights",
+            "CREATE (:City {name:'SFO'})-[:ROUTE {km: 4100}]->(:City {name:'JFK'}),"
+            " (:City {name:'LAX'})-[:ROUTE {km: 3980}]->(:City {name:'JFK'})",
+        )
+        result = client.graph_query(
+            "flights",
+            "MATCH (a:City)-[r:ROUTE]->(b:City) RETURN a.name, b.name, r.km ORDER BY r.km",
+        )
+        print("\nroutes:")
+        for row in result.rows:
+            print("  ", row)
+        print("stats:", result.statistics[:2])
+
+        print("\nGRAPH.EXPLAIN:")
+        for line in client.graph_explain("flights", "MATCH (a:City)-[:ROUTE]->(b) RETURN b"):
+            print("  " + line)
+
+        print("\nINFO:", client.info())
+
+    # concurrent readers: each query runs on one pool thread
+    def reader(i: int, results: list) -> None:
+        with RedisClient(port=server.port) as c:
+            r = c.graph_query("flights", "MATCH (a:City) RETURN count(a)")
+            results.append((i, r.scalar()))
+
+    results: list = []
+    threads = [threading.Thread(target=reader, args=(i, results)) for i in range(6)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = (time.perf_counter() - started) * 1e3
+    print(f"\n6 concurrent readers finished in {elapsed:.1f} ms:", sorted(results))
+
+    server.stop()
+    print("server stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Graph algorithms in the language of linear algebra (LAGraph-style).
+
+Each algorithm is expressed purely through :mod:`repro.grblas` operations —
+the same way RedisGraph's traversal engine and the paper's cited
+GraphChallenge kernels (triangle counting, k-truss) are built.
+"""
+
+from repro.algorithms.bfs import bfs_levels, bfs_parents
+from repro.algorithms.khop import khop_counts, khop_frontiers
+from repro.algorithms.sssp import sssp_bellman_ford
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangle import triangle_count
+from repro.algorithms.ktruss import ktruss
+from repro.algorithms.components import connected_components
+from repro.algorithms.kcore import clustering_coefficient, core_numbers, kcore
+
+__all__ = [
+    "kcore",
+    "core_numbers",
+    "clustering_coefficient",
+    "bfs_levels",
+    "bfs_parents",
+    "khop_counts",
+    "khop_frontiers",
+    "sssp_bellman_ford",
+    "pagerank",
+    "triangle_count",
+    "ktruss",
+    "connected_components",
+]

@@ -1,0 +1,103 @@
+"""Breadth-first search as iterated masked vector-matrix products.
+
+The level loop is the canonical GraphBLAS BFS:
+
+    frontier⟨¬visited, replace⟩ = frontier ANY.PAIR A
+
+Push vs pull: expanding the frontier row-wise (``vxm`` over A) touches
+out-edges of frontier nodes — cheap for small frontiers.  When the frontier
+covers a large fraction of the graph it is cheaper to *pull*: scan each
+unvisited vertex's in-edges for any visited predecessor (``mxv`` over A, a
+gather per row).  ``direction_optimized=True`` switches between the two on
+the standard |frontier| heuristic (Beamer's direction-optimizing BFS).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.grblas import Mask, Matrix, Vector, semiring
+from repro.grblas.descriptor import Descriptor
+from repro.grblas.types import INT64
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+_REPLACE_COMP_STRUCT = Descriptor(replace=True, mask_complement=True, mask_structural=True)
+
+
+def bfs_levels(
+    A: Matrix,
+    source: int,
+    *,
+    direction_optimized: bool = False,
+    max_level: Optional[int] = None,
+) -> Vector:
+    """Hop distance from ``source`` to every reachable node.
+
+    Returns an INT64 vector with ``levels[source] == 0``; unreachable nodes
+    stay implicit.
+    """
+    n = A.nrows
+    levels = Vector(n, INT64)
+    levels.set_element(source, 0)
+    frontier = Vector.from_coo([source], None, size=n)
+    AT: Optional[Matrix] = None
+    level = 0
+    while frontier.nvals and (max_level is None or level < max_level):
+        level += 1
+        if direction_optimized and frontier.nvals > n // 16:
+            if AT is None:
+                AT = A.transpose()
+            # pull: for each unvisited v, is any in-neighbour in the frontier?
+            frontier = AT.mxv(
+                frontier,
+                semiring.any_pair,
+                mask=Mask(levels, complement=True, structure=True),
+                desc=Descriptor(replace=True),
+            )
+        else:
+            frontier = frontier.vxm(
+                A,
+                semiring.any_pair,
+                mask=Mask(levels, complement=True, structure=True),
+                desc=Descriptor(replace=True),
+            )
+        if frontier.nvals == 0:
+            break
+        new_levels = Vector(n, INT64, indices=frontier.indices.copy(),
+                            values=np.full(frontier.nvals, level, dtype=np.int64))
+        levels = levels.ewise_add(new_levels, _first_wins())
+    return levels
+
+
+def bfs_parents(A: Matrix, source: int) -> Vector:
+    """BFS tree: ``parents[v]`` is the id of v's BFS predecessor
+    (``parents[source] == source``).  Propagates node ids along frontier
+    edges with the MIN.FIRST semiring, so ties resolve to the smallest
+    parent id deterministically."""
+    n = A.nrows
+    parents = Vector(n, INT64)
+    parents.set_element(source, source)
+    # frontier carries the *id of the frontier node itself* as its value
+    frontier = Vector.from_coo([source], [source], size=n, dtype=INT64)
+    while frontier.nvals:
+        nxt = frontier.vxm(
+            A,
+            semiring.min_first,
+            mask=Mask(parents, complement=True, structure=True),
+            desc=Descriptor(replace=True),
+        )
+        if nxt.nvals == 0:
+            break
+        parents = parents.ewise_add(nxt, _first_wins())
+        # new frontier: the just-discovered nodes, carrying their own ids
+        frontier = Vector(n, INT64, indices=nxt.indices.copy(), values=nxt.indices.copy())
+    return parents
+
+
+def _first_wins():
+    from repro.grblas import binary
+
+    return binary.first

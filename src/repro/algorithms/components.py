@@ -1,0 +1,30 @@
+"""Weakly connected components by label propagation.
+
+Every node starts labelled with its own id; each round propagates the
+minimum label across edges (MIN.SECOND products against the symmetrized
+adjacency) until no label changes.  Converges in O(diameter) rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grblas import Matrix, Vector, binary, semiring
+from repro.grblas.types import INT64
+
+__all__ = ["connected_components"]
+
+
+def connected_components(A: Matrix) -> Vector:
+    """Dense INT64 vector mapping every node to its component id (the
+    smallest node id in the component)."""
+    n = A.nrows
+    S = A.pattern().ewise_add(A.pattern().transpose(), binary.lor)
+    labels = Vector(n, INT64, indices=np.arange(n, dtype=np.int64), values=np.arange(n, dtype=np.int64))
+    while True:
+        # incoming minimum neighbour label: (S l)[i] = min_{j: S[i,j]} l[j]
+        neighbour_min = S.mxv(labels, semiring.min_second)
+        new_labels = labels.ewise_add(neighbour_min, binary.min)
+        if new_labels == labels:
+            return labels
+        labels = new_labels

@@ -1,0 +1,51 @@
+"""PageRank by power iteration over PLUS.SECOND products.
+
+Each iteration computes ``r' = (1-d)/n + d·(Aᵀ (r/outdeg)) + d·(dangling
+mass)/n``.  The contribution gather is ``vxm`` over the PLUS.FIRST
+semiring: the rank/outdegree value of the *source* end of each edge is
+summed into the target — edge values never matter, matching RedisGraph's
+unweighted adjacency matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grblas import Matrix, Vector, monoid, semiring
+from repro.grblas.types import FP64
+
+__all__ = ["pagerank"]
+
+
+def pagerank(
+    A: Matrix,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+) -> Vector:
+    """Rank of every node of the directed graph ``A`` (pattern only).
+
+    Returns a dense FP64 vector summing to 1.  Converges when the L1 change
+    drops below ``tol``.
+    """
+    n = A.nrows
+    if n == 0:
+        return Vector(n, FP64)
+    outdeg = A.row_degree().astype(np.float64)
+    dangling = np.flatnonzero(outdeg == 0)
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        scaled = rank / np.where(outdeg > 0, outdeg, 1.0)
+        v = Vector(n, FP64, indices=np.arange(n, dtype=np.int64), values=scaled)
+        contrib = v.vxm(A, semiring.plus_first)
+        new_rank = np.full(n, teleport)
+        new_rank[contrib.indices] += damping * contrib.values
+        if len(dangling):
+            new_rank += damping * rank[dangling].sum() / n
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return Vector(n, FP64, indices=np.arange(n, dtype=np.int64), values=rank)

@@ -1,0 +1,29 @@
+"""Single-source shortest paths over the MIN.PLUS (tropical) semiring.
+
+Bellman–Ford as repeated ``d⟨accum=min⟩ = d MIN.PLUS A`` until the distance
+vector reaches a fixpoint (at most |V|-1 relaxations; negative cycles raise).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidValue
+from repro.grblas import Matrix, Vector, binary, semiring
+from repro.grblas.types import FP64
+
+__all__ = ["sssp_bellman_ford"]
+
+
+def sssp_bellman_ford(A: Matrix, source: int) -> Vector:
+    """Distances from ``source`` over edge weights in ``A`` (FP64);
+    unreachable nodes stay implicit."""
+    n = A.nrows
+    dist = Vector(n, FP64)
+    dist.set_element(source, 0.0)
+    for _ in range(n):
+        relaxed = dist.vxm(A, semiring.min_plus)
+        new_dist = dist.ewise_add(relaxed, binary.min)
+        if new_dist == dist:
+            return dist
+        dist = new_dist
+    # one extra successful relaxation after n-1 rounds => negative cycle
+    raise InvalidValue("negative-weight cycle reachable from source")

@@ -1,0 +1,76 @@
+"""The embedded public API: :class:`GraphDB`.
+
+A GraphDB is a named property graph plus its query engine — the same
+object a RedisGraph deployment exposes per graph key, usable in-process
+without the server::
+
+    from repro import GraphDB
+
+    db = GraphDB("social")
+    db.query("CREATE (:Person {name: 'Ann'})-[:KNOWS]->(:Person {name: 'Bo'})")
+    result = db.query("MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name, b.name")
+    for row in result:
+        print(row)
+
+For the full client/server path (RESP protocol, thread pool) see
+:mod:`repro.rediskv`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.execplan.executor import QueryEngine
+from repro.execplan.resultset import ResultSet
+from repro.graph.config import GraphConfig
+from repro.graph.graph import Graph
+
+__all__ = ["GraphDB"]
+
+
+class GraphDB:
+    """An embedded graph database instance."""
+
+    def __init__(self, name: str = "g", config: Optional[GraphConfig] = None) -> None:
+        self.graph = Graph(name, config)
+        self.engine = QueryEngine(self.graph)
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """Run a Cypher query (read or update)."""
+        return self.engine.query(text, params)
+
+    def explain(self, text: str) -> str:
+        """The query's execution plan without running it."""
+        return self.engine.explain(text)
+
+    def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
+        """Run the query and return (results, per-operation profile)."""
+        return self.engine.profile(text, params)
+
+    def delete(self) -> None:
+        """Drop all graph content (GRAPH.DELETE)."""
+        self.graph = Graph(self.graph.name, self.graph.config)
+        self.engine = QueryEngine(self.graph)
+
+    def save(self, path) -> None:
+        """Persist the graph to a file (the module's RDB-save equivalent)."""
+        from repro.graph.persist import save_graph
+
+        save_graph(self.graph, path)
+
+    @classmethod
+    def load(cls, path) -> "GraphDB":
+        """Restore a graph saved with :meth:`save`."""
+        from repro.graph.persist import load_graph
+
+        db = cls.__new__(cls)
+        db.graph = load_graph(path)
+        db.engine = QueryEngine(db.graph)
+        return db
+
+    def __repr__(self) -> str:
+        return f"<GraphDB {self.name!r} {self.graph.node_count} nodes, {self.graph.edge_count} edges>"

@@ -1,0 +1,39 @@
+"""repro.bench — the TigerGraph k-hop benchmark harness (paper §III).
+
+Engines under test (see DESIGN.md's substitution table):
+
+* ``redisgraph`` — the full reproduction stack: Cypher parse → plan →
+  algebraic traversal (what the paper benchmarks as RedisGraph),
+* ``matrix`` — the GraphBLAS kernel alone (engine-level fast path),
+* ``csr-baseline`` — hand-tuned single-core CSR BFS in NumPy, the stand-in
+  for the best native competitor (TigerGraph-class),
+* ``pointer-chasing`` — per-edge adjacency-list traversal in interpreted
+  Python, the stand-in for object-store engines (Neo4j/JanusGraph-class).
+
+Entry point: ``python -m repro.bench --help``.
+"""
+
+from repro.bench.engines import (
+    CSRBaselineEngine,
+    Engine,
+    MatrixEngine,
+    PointerChasingEngine,
+    RedisGraphEngine,
+    make_engines,
+)
+from repro.bench.khop import KhopMeasurement, pick_seeds, run_khop
+from repro.bench.harness import BenchmarkSuite, DatasetSpec
+
+__all__ = [
+    "Engine",
+    "MatrixEngine",
+    "RedisGraphEngine",
+    "CSRBaselineEngine",
+    "PointerChasingEngine",
+    "make_engines",
+    "KhopMeasurement",
+    "pick_seeds",
+    "run_khop",
+    "BenchmarkSuite",
+    "DatasetSpec",
+]

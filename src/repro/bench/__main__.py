@@ -1,0 +1,99 @@
+"""CLI for the benchmark harness.
+
+Examples::
+
+    python -m repro.bench fig1                 # Fig. 1 reproduction
+    python -m repro.bench khop --scale 13      # full k-hop table, smaller graph
+    python -m repro.bench claims               # paper-claim verdicts
+    python -m repro.bench throughput           # E4 thread-pool scaling
+    python -m repro.bench all --out results/   # everything + CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.engines import ENGINE_CLASSES, make_engines
+from repro.bench.harness import BenchmarkSuite, DatasetSpec
+from repro.bench.paper import check_claims
+from repro.bench.report import format_fig1_chart, format_table, to_csv
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.bench", description="TigerGraph k-hop benchmark harness")
+    p.add_argument("command", choices=["fig1", "khop", "claims", "throughput", "all"])
+    p.add_argument("--scale", type=int, default=15, help="Graph500 scale (2^scale vertices)")
+    p.add_argument("--twitter-n", type=int, default=1 << 15, help="Twitter-like vertex count")
+    p.add_argument("--edge-factor", type=int, default=16)
+    p.add_argument(
+        "--engines",
+        default=None,
+        help=f"comma list of engines ({', '.join(ENGINE_CLASSES)})",
+    )
+    p.add_argument("--hops", default="1,2,3,6")
+    p.add_argument("--seed-fraction", type=float, default=0.1, help="fraction of the paper's 300/300/10/10 seeds")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", default=None, help="directory for CSV output")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    hops = [int(h) for h in args.hops.split(",")]
+    if args.command == "fig1":
+        hops = [1]
+    engine_names = args.engines.split(",") if args.engines else None
+
+    if args.command == "throughput":
+        from repro.bench.throughput import run_throughput
+        from repro.datasets import graph500_edges
+
+        src, dst, n = graph500_edges(args.scale, args.edge_factor, seed=args.seed)
+        print(f"throughput: graph500 scale={args.scale} ({n} vertices, {len(src)} edges)")
+        for r in run_throughput(src, dst, n, thread_counts=(1, 2, 4)):
+            print(f"  threads={r.threads}: {r.qps:.1f} queries/s ({r.queries} queries in {r.elapsed_s:.2f}s)")
+        return 0
+
+    datasets = [
+        DatasetSpec.graph500(args.scale, args.edge_factor, seed=args.seed),
+        DatasetSpec.twitter(args.twitter_n, seed=args.seed + 1),
+    ]
+    suite = BenchmarkSuite(
+        datasets,
+        make_engines(engine_names),
+        hops=hops,
+        seed_fraction=args.seed_fraction,
+        seed=args.seed,
+    )
+    measurements = suite.run()
+
+    print()
+    print(format_table(measurements, title="k-hop single-request response time"))
+    if 1 in hops:
+        print(format_fig1_chart(measurements))
+    if args.command in ("claims", "all"):
+        print("Paper-claim verdicts (see EXPERIMENTS.md for the mapping):")
+        for check in check_claims(measurements):
+            print("  " + check.line())
+    if args.command == "all":
+        from repro.bench.throughput import run_throughput
+
+        spec = datasets[0]
+        print("\nThroughput scaling (E4):")
+        for r in run_throughput(spec.src, spec.dst, spec.n, thread_counts=(1, 2, 4), queries_per_run=100):
+            print(f"  threads={r.threads}: {r.qps:.1f} queries/s")
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "khop.csv").write_text(to_csv(measurements))
+        print(f"\nwrote {out_dir / 'khop.csv'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The benchmark suite: datasets × engines × hop counts (paper §III)."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.engines import Engine, make_engines
+from repro.bench.khop import PAPER_SEED_COUNTS, KhopMeasurement, pick_seeds, run_khop
+from repro.datasets import graph500_edges, twitter_edges
+
+__all__ = ["DatasetSpec", "BenchmarkSuite"]
+
+
+@dataclass
+class DatasetSpec:
+    """A named, generated edge list."""
+
+    name: str
+    src: np.ndarray
+    dst: np.ndarray
+    n: int
+
+    @property
+    def nnz(self) -> int:
+        return len(self.src)
+
+    @classmethod
+    def graph500(cls, scale: int = 14, edge_factor: int = 16, seed: int = 1) -> "DatasetSpec":
+        src, dst, n = graph500_edges(scale, edge_factor, seed=seed)
+        return cls(f"graph500-s{scale}", src, dst, n)
+
+    @classmethod
+    def twitter(cls, n: int = 1 << 15, edge_factor: int = 30, seed: int = 7) -> "DatasetSpec":
+        src, dst, nn = twitter_edges(n, edge_factor, seed=seed)
+        return cls(f"twitter-{n // 1000}k", src, dst, nn)
+
+
+class BenchmarkSuite:
+    """Runs the paper's benchmark matrix and collects measurements.
+
+    ``seed_fraction`` scales the paper's 300/300/10/10 seed counts for
+    quick runs; engines whose 1-hop average exceeds ``skip_above_ms`` are
+    dropped from higher hop counts (keeps the interpreted baseline from
+    dominating wall-clock, mirroring the published benchmark's timeouts).
+    """
+
+    def __init__(
+        self,
+        datasets: Sequence[DatasetSpec],
+        engines: Optional[Sequence[Engine]] = None,
+        *,
+        hops: Sequence[int] = (1, 2, 3, 6),
+        seed_fraction: float = 0.1,
+        seed: int = 42,
+        skip_above_ms: float = 5000.0,
+        log: Callable[[str], None] = lambda s: print(s, file=sys.stderr),
+    ) -> None:
+        self.datasets = list(datasets)
+        self.engines = list(engines) if engines is not None else make_engines()
+        self.hops = list(hops)
+        self.seed_fraction = seed_fraction
+        self.seed = seed
+        self.skip_above_ms = skip_above_ms
+        self.log = log
+        self.measurements: List[KhopMeasurement] = []
+        self.load_times_s: Dict[Tuple[str, str], float] = {}
+
+    def seeds_for(self, spec: DatasetSpec, k: int) -> List[int]:
+        count = max(3, int(PAPER_SEED_COUNTS.get(k, 10) * self.seed_fraction))
+        return pick_seeds(spec.src, spec.n, count, seed=self.seed)
+
+    def run(self) -> List[KhopMeasurement]:
+        for spec in self.datasets:
+            self.log(f"== dataset {spec.name}: {spec.n} vertices, {spec.nnz} edges")
+            for engine in self.engines:
+                started = time.perf_counter()
+                engine.load(spec.src, spec.dst, spec.n)
+                load_s = time.perf_counter() - started
+                self.load_times_s[(spec.name, engine.name)] = load_s
+                self.log(f"   {engine.name}: loaded in {load_s:.2f}s")
+                drop_engine = False
+                for k in self.hops:
+                    if drop_engine:
+                        break
+                    seeds = self.seeds_for(spec, k)
+                    m = run_khop(engine, spec.name, k, seeds)
+                    self.measurements.append(m)
+                    self.log(
+                        f"   {engine.name} k={k}: avg {m.avg_ms:.3f} ms over {len(m.times_ms)} seeds"
+                    )
+                    if m.avg_ms > self.skip_above_ms:
+                        self.log(f"   {engine.name}: exceeding {self.skip_above_ms} ms, skipping higher k")
+                        drop_engine = True
+        return self.measurements

@@ -1,0 +1,100 @@
+"""Rendering of benchmark results: tables, the Fig. 1-style log-scale text
+chart, and CSV output."""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.khop import KhopMeasurement
+
+__all__ = ["format_table", "format_fig1_chart", "to_csv"]
+
+
+def format_table(measurements: Sequence[KhopMeasurement], title: str = "") -> str:
+    """Fixed-width table with one row per (dataset, engine, k)."""
+    headers = ["dataset", "engine", "k", "seeds", "avg_ms", "p50_ms", "p95_ms", "total_s", "avg_neighbors", "errors"]
+    rows = []
+    for m in measurements:
+        r = m.row()
+        rows.append(
+            [
+                r["dataset"],
+                r["engine"],
+                str(r["k"]),
+                str(r["seeds"]),
+                f"{r['avg_ms']:.3f}",
+                f"{r['p50_ms']:.3f}",
+                f"{r['p95_ms']:.3f}",
+                f"{r['total_s']:.3f}",
+                f"{r['avg_neighbors']:.1f}",
+                str(r["errors"]),
+            ]
+        )
+    widths = [max(len(h), *(len(row[i]) for row in rows)) if rows else len(h) for i, h in enumerate(headers)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def format_fig1_chart(
+    measurements: Sequence[KhopMeasurement],
+    *,
+    width: int = 50,
+    title: str = "Fig. 1 — average 1-hop response time (ms, log scale)",
+) -> str:
+    """The paper's Fig. 1 as a log-scale horizontal bar chart.
+
+    One group per dataset, one bar per engine, bar length proportional to
+    log10(avg ms) over the measured range.
+    """
+    one_hop = [m for m in measurements if m.k == 1]
+    if not one_hop:
+        return "(no 1-hop measurements)\n"
+    values = [m.avg_ms for m in one_hop if m.avg_ms > 0]
+    lo = min(values) / 1.5
+    hi = max(values) * 1.1
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = max(log_hi - log_lo, 1e-9)
+
+    out = io.StringIO()
+    out.write(title + "\n")
+    datasets = sorted({m.dataset for m in one_hop})
+    label_w = max(len(m.engine) for m in one_hop) + 2
+    for ds in datasets:
+        out.write(f"\n[{ds}]\n")
+        for m in sorted((x for x in one_hop if x.dataset == ds), key=lambda x: x.avg_ms):
+            frac = (math.log10(max(m.avg_ms, lo)) - log_lo) / span
+            bar = "#" * max(1, int(round(frac * width)))
+            out.write(f"  {m.engine.ljust(label_w)} {bar} {m.avg_ms:.3f} ms\n")
+    return out.getvalue()
+
+
+def to_csv(measurements: Sequence[KhopMeasurement]) -> str:
+    headers = ["dataset", "engine", "k", "seeds", "avg_ms", "p50_ms", "p95_ms", "total_s", "avg_neighbors", "errors"]
+    lines = [",".join(headers)]
+    for m in measurements:
+        r = m.row()
+        lines.append(
+            ",".join(
+                [
+                    r["dataset"],
+                    r["engine"],
+                    str(r["k"]),
+                    str(r["seeds"]),
+                    f"{r['avg_ms']:.6f}",
+                    f"{r['p50_ms']:.6f}",
+                    f"{r['p95_ms']:.6f}",
+                    f"{r['total_s']:.6f}",
+                    f"{r['avg_neighbors']:.2f}",
+                    str(r["errors"]),
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"

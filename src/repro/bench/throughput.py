@@ -1,0 +1,72 @@
+"""Read-throughput scaling with thread-pool size (experiment E4).
+
+The paper's §II argues the one-query-one-thread pool design "allows reads
+to scale and handle large throughput easily".  This driver measures
+queries/second of concurrent 1-hop k-hop queries against one graph while
+varying the number of worker threads.
+
+Honesty note (recorded in EXPERIMENTS.md): CPython's GIL serializes the
+interpreted portions of query execution, so absolute scaling is far below
+the paper's 32-vCPU hardware; the experiment still demonstrates the
+architecture (N concurrent single-threaded queries, reader lock held
+shared, no cross-query interference) and NumPy kernels release the GIL
+for part of the work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bench.khop import pick_seeds
+from repro.datasets.loader import build_graphdb
+from repro.rediskv.threadpool import ThreadPool
+
+__all__ = ["ThroughputResult", "run_throughput"]
+
+
+@dataclass
+class ThroughputResult:
+    threads: int
+    queries: int
+    elapsed_s: float
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.elapsed_s if self.elapsed_s > 0 else float("nan")
+
+
+def run_throughput(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n: int,
+    *,
+    thread_counts: Sequence[int] = (1, 2, 4),
+    queries_per_run: int = 200,
+    k: int = 1,
+    seed: int = 42,
+) -> List[ThroughputResult]:
+    db = build_graphdb(src, dst, n)
+    # warm the matrices (flush deltas) outside the timed region
+    db.graph.flush_all()
+    seeds = pick_seeds(src, n, min(queries_per_run, 256), seed=seed)
+    query = f"MATCH (s:V)-[:E*1..{k}]->(m) WHERE id(s) = $seed RETURN count(DISTINCT m)"
+
+    results: List[ThroughputResult] = []
+    for threads in thread_counts:
+        pool = ThreadPool(threads, name=f"tp{threads}")
+        jobs = []
+        started = time.perf_counter()
+        for i in range(queries_per_run):
+            s = seeds[i % len(seeds)]
+            jobs.append(pool.submit(db.query, query, {"seed": int(s)}))
+        for job in jobs:
+            job.result(timeout=600)
+        elapsed = time.perf_counter() - started
+        pool.shutdown()
+        results.append(ThroughputResult(threads, queries_per_run, elapsed))
+    return results

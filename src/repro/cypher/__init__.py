@@ -1,0 +1,12 @@
+"""repro.cypher — an openCypher front end.
+
+Pipeline: :func:`tokenize` → :func:`parse` (AST) → semantic validation.
+The execution side (compiling the AST into a plan of algebraic traversals)
+lives in :mod:`repro.execplan`.
+"""
+
+from repro.cypher.lexer import tokenize
+from repro.cypher.parser import parse
+from repro.cypher.semantic import validate
+
+__all__ = ["tokenize", "parse", "validate"]

@@ -1,0 +1,330 @@
+"""Scalar function library for runtime expression evaluation.
+
+Functions follow Cypher null-propagation: a null argument yields null
+unless the function is explicitly null-aware (``coalesce``, ``exists``).
+Entity-aware functions (``id``, ``labels``, ``type``, ``properties``,
+``startNode``/``endNode``, ``keys``) receive Node/Edge handles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import CypherTypeError
+from repro.graph.entities import Edge, Node
+
+__all__ = ["SCALAR_FUNCTIONS", "call_scalar"]
+
+
+def _null_aware(name: str):
+    """Functions where nulls are part of the contract."""
+    return name in ("coalesce", "exists", "tostring", "tostringornull")
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise CypherTypeError(msg)
+
+
+# -- entity functions --------------------------------------------------------
+
+def _fn_id(x):
+    _require(isinstance(x, (Node, Edge)), "id() expects a node or relationship")
+    return x.id
+
+
+def _fn_labels(x):
+    _require(isinstance(x, Node), "labels() expects a node")
+    return list(x.labels)
+
+
+def _fn_type(x):
+    _require(isinstance(x, Edge), "type() expects a relationship")
+    return x.type
+
+
+def _fn_properties(x):
+    if isinstance(x, (Node, Edge)):
+        return dict(x.properties)
+    if isinstance(x, dict):
+        return dict(x)
+    raise CypherTypeError("properties() expects a node, relationship or map")
+
+
+def _fn_startnode(x):
+    _require(isinstance(x, Edge), "startNode() expects a relationship")
+    return x._graph.get_node(x.src)
+
+
+def _fn_endnode(x):
+    _require(isinstance(x, Edge), "endNode() expects a relationship")
+    return x._graph.get_node(x.dst)
+
+
+def _fn_keys(x):
+    if isinstance(x, (Node, Edge)):
+        return sorted(x.properties.keys())
+    if isinstance(x, dict):
+        return sorted(x.keys())
+    raise CypherTypeError("keys() expects a node, relationship or map")
+
+
+# -- list / string size ------------------------------------------------------
+
+def _fn_size(x):
+    if isinstance(x, (list, str)):
+        return len(x)
+    raise CypherTypeError("size() expects a list or string")
+
+
+def _fn_length(x):
+    if isinstance(x, list):
+        return len(x)
+    raise CypherTypeError("length() expects a path (list)")
+
+
+def _fn_head(x):
+    _require(isinstance(x, list), "head() expects a list")
+    return x[0] if x else None
+
+
+def _fn_last(x):
+    _require(isinstance(x, list), "last() expects a list")
+    return x[-1] if x else None
+
+
+def _fn_tail(x):
+    _require(isinstance(x, list), "tail() expects a list")
+    return x[1:]
+
+
+def _fn_reverse(x):
+    if isinstance(x, list):
+        return x[::-1]
+    if isinstance(x, str):
+        return x[::-1]
+    raise CypherTypeError("reverse() expects a list or string")
+
+
+def _fn_range(*args):
+    _require(1 < len(args) <= 3, "range() expects 2 or 3 arguments")
+    start, stop = int(args[0]), int(args[1])
+    step = int(args[2]) if len(args) == 3 else 1
+    _require(step != 0, "range() step must not be zero")
+    # Cypher range is end-inclusive
+    return list(range(start, stop + (1 if step > 0 else -1), step))
+
+
+# -- numeric ------------------------------------------------------------------
+
+def _numeric(x, fname):
+    _require(isinstance(x, (int, float)) and not isinstance(x, bool), f"{fname}() expects a number")
+    return x
+
+
+def _fn_abs(x):
+    return abs(_numeric(x, "abs"))
+
+
+def _fn_ceil(x):
+    return float(math.ceil(_numeric(x, "ceil")))
+
+
+def _fn_floor(x):
+    return float(math.floor(_numeric(x, "floor")))
+
+
+def _fn_round(x):
+    v = _numeric(x, "round")
+    return float(math.floor(v + 0.5))  # Cypher rounds half away from zero (positive)
+
+
+def _fn_sign(x):
+    v = _numeric(x, "sign")
+    return 0 if v == 0 else (1 if v > 0 else -1)
+
+
+def _fn_sqrt(x):
+    v = _numeric(x, "sqrt")
+    _require(v >= 0, "sqrt() of a negative number")
+    return math.sqrt(v)
+
+
+def _fn_pow(x, y):
+    return float(_numeric(x, "pow") ** _numeric(y, "pow"))
+
+
+# -- conversions ---------------------------------------------------------------
+
+def _fn_tointeger(x):
+    if isinstance(x, bool):
+        raise CypherTypeError("toInteger() expects a number or string")
+    if isinstance(x, int):
+        return x
+    if isinstance(x, float):
+        return int(x)
+    if isinstance(x, str):
+        try:
+            return int(float(x)) if ("." in x or "e" in x.lower()) else int(x)
+        except ValueError:
+            return None
+    raise CypherTypeError("toInteger() expects a number or string")
+
+
+def _fn_tofloat(x):
+    if isinstance(x, bool):
+        raise CypherTypeError("toFloat() expects a number or string")
+    if isinstance(x, (int, float)):
+        return float(x)
+    if isinstance(x, str):
+        try:
+            return float(x)
+        except ValueError:
+            return None
+    raise CypherTypeError("toFloat() expects a number or string")
+
+
+def _fn_tostring(x):
+    if x is None:
+        return None
+    if isinstance(x, bool):
+        return "true" if x else "false"
+    if isinstance(x, float) and x == int(x):
+        return f"{x:.6f}"
+    return str(x)
+
+
+def _fn_toboolean(x):
+    if isinstance(x, bool):
+        return x
+    if isinstance(x, str):
+        low = x.lower()
+        if low == "true":
+            return True
+        if low == "false":
+            return False
+        return None
+    raise CypherTypeError("toBoolean() expects a boolean or string")
+
+
+# -- strings --------------------------------------------------------------------
+
+def _string(x, fname):
+    _require(isinstance(x, str), f"{fname}() expects a string")
+    return x
+
+
+def _fn_toupper(x):
+    return _string(x, "toUpper").upper()
+
+
+def _fn_tolower(x):
+    return _string(x, "toLower").lower()
+
+
+def _fn_trim(x):
+    return _string(x, "trim").strip()
+
+
+def _fn_ltrim(x):
+    return _string(x, "lTrim").lstrip()
+
+
+def _fn_rtrim(x):
+    return _string(x, "rTrim").rstrip()
+
+
+def _fn_replace(s, search, repl):
+    return _string(s, "replace").replace(_string(search, "replace"), _string(repl, "replace"))
+
+
+def _fn_split(s, sep):
+    return _string(s, "split").split(_string(sep, "split"))
+
+
+def _fn_substring(s, start, *rest):
+    s = _string(s, "substring")
+    start = int(start)
+    _require(start >= 0, "substring() start must be non-negative")
+    if rest:
+        ln = int(rest[0])
+        _require(ln >= 0, "substring() length must be non-negative")
+        return s[start : start + ln]
+    return s[start:]
+
+
+def _fn_left(s, n):
+    _require(int(n) >= 0, "left() length must be non-negative")
+    return _string(s, "left")[: int(n)]
+
+
+def _fn_right(s, n):
+    _require(int(n) >= 0, "right() length must be non-negative")
+    s = _string(s, "right")
+    n = int(n)
+    return s[len(s) - n :] if n else ""
+
+
+# -- null-aware ------------------------------------------------------------------
+
+def _fn_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_exists(x):
+    return x is not None
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "id": _fn_id,
+    "labels": _fn_labels,
+    "type": _fn_type,
+    "properties": _fn_properties,
+    "startnode": _fn_startnode,
+    "endnode": _fn_endnode,
+    "keys": _fn_keys,
+    "size": _fn_size,
+    "length": _fn_length,
+    "head": _fn_head,
+    "last": _fn_last,
+    "tail": _fn_tail,
+    "reverse": _fn_reverse,
+    "range": _fn_range,
+    "abs": _fn_abs,
+    "ceil": _fn_ceil,
+    "floor": _fn_floor,
+    "round": _fn_round,
+    "sign": _fn_sign,
+    "sqrt": _fn_sqrt,
+    "pow": _fn_pow,
+    "tointeger": _fn_tointeger,
+    "tofloat": _fn_tofloat,
+    "tostring": _fn_tostring,
+    "toboolean": _fn_toboolean,
+    "toupper": _fn_toupper,
+    "tolower": _fn_tolower,
+    "trim": _fn_trim,
+    "ltrim": _fn_ltrim,
+    "rtrim": _fn_rtrim,
+    "replace": _fn_replace,
+    "split": _fn_split,
+    "substring": _fn_substring,
+    "left": _fn_left,
+    "right": _fn_right,
+    "coalesce": _fn_coalesce,
+    "exists": _fn_exists,
+}
+
+
+def call_scalar(name: str, args: List[Any]) -> Any:
+    """Invoke a scalar function with Cypher null propagation."""
+    fn = SCALAR_FUNCTIONS.get(name)
+    if fn is None:
+        raise CypherTypeError(f"unknown function: {name}()")
+    if not _null_aware(name) and any(a is None for a in args):
+        return None
+    return fn(*args)

@@ -1,0 +1,217 @@
+"""The Cypher tokenizer.
+
+Hand-rolled single-pass scanner producing :class:`Token` objects with
+line/column positions (used in syntax-error messages).  Handles ``//`` and
+``/* */`` comments, single/double-quoted strings with escapes, backquoted
+identifiers, decimal integers/floats, ``$parameters`` and the operator set
+of the Cypher subset implemented by the parser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CypherSyntaxError
+from repro.cypher.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_PUNCT = set("()[]{},:;|.")
+_SIMPLE_OPS = set("+*/%^=")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"', "`": "`"}
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def error(msg: str) -> CypherSyntaxError:
+        return CypherSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = text[i]
+
+        # -- whitespace -------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        # -- comments ---------------------------------------------------
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in text[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        # -- strings ------------------------------------------------------
+        if ch in "'\"":
+            quote = ch
+            i += 1
+            col += 1
+            buf: List[str] = []
+            while True:
+                if i >= n:
+                    raise error("unterminated string literal")
+                c = text[i]
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise error("dangling escape in string")
+                    esc = text[i + 1]
+                    buf.append(_ESCAPES.get(esc, esc))
+                    i += 2
+                    col += 2
+                    continue
+                if c == quote:
+                    i += 1
+                    col += 1
+                    break
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                buf.append(c)
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), start_line, start_col))
+            continue
+
+        # -- backquoted identifier ---------------------------------------
+        if ch == "`":
+            end = text.find("`", i + 1)
+            if end < 0:
+                raise error("unterminated backquoted identifier")
+            name = text[i + 1 : end]
+            col += end + 1 - i
+            i = end + 1
+            tokens.append(Token(TokenType.IDENT, name, start_line, start_col))
+            continue
+
+        # -- numbers -------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            # a '.' starts a float only when followed by a digit ("1..3" is
+            # a range, "1.x" is invalid property access on an int)
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            value = text[i:j]
+            col += j - i
+            i = j
+            tokens.append(
+                Token(TokenType.FLOAT if is_float else TokenType.INTEGER, value, start_line, start_col)
+            )
+            continue
+
+        # -- identifiers & keywords -----------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            col += j - i
+            i = j
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_col))
+            continue
+
+        # -- parameters ------------------------------------------------------
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise error("expected parameter name after '$'")
+            name = text[i + 1 : j]
+            col += j - i
+            i = j
+            tokens.append(Token(TokenType.PARAMETER, name, start_line, start_col))
+            continue
+
+        # -- multi-char operators ---------------------------------------------
+        two = text[i : i + 2]
+        if two == "..":
+            tokens.append(Token(TokenType.RANGE, "..", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if two == "->":
+            tokens.append(Token(TokenType.ARROW_RIGHT, "->", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if two == "<-":
+            tokens.append(Token(TokenType.ARROW_LEFT, "<-", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if two in ("<>", "<=", ">=", "+="):
+            tokens.append(Token(TokenType.OPERATOR, two, start_line, start_col))
+            i += 2
+            col += 2
+            continue
+
+        # -- single-char operators / punctuation -------------------------------
+        if ch == "-":
+            tokens.append(Token(TokenType.DASH, "-", start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        if ch in "<>":
+            tokens.append(Token(TokenType.OPERATOR, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        if ch in _SIMPLE_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

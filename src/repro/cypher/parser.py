@@ -1,0 +1,583 @@
+"""Recursive-descent parser for the Cypher subset.
+
+Grammar coverage (sufficient for the paper's benchmark queries and the
+bundled examples):
+
+* ``MATCH`` / ``OPTIONAL MATCH`` with multiple comma-separated paths,
+  labels, inline property maps, directed/undirected edges, relationship
+  type alternation (``[:A|B]``) and variable-length paths (``[*1..3]``),
+* ``WHERE``, ``CREATE``, ``MERGE``, ``DELETE`` / ``DETACH DELETE``,
+  ``SET`` (property, ``+=`` map merge, labels), ``REMOVE``, ``WITH``,
+  ``UNWIND``, ``RETURN`` with ``DISTINCT`` / ``ORDER BY`` / ``SKIP`` /
+  ``LIMIT``, ``UNION [ALL]``,
+* the full expression grammar with Cypher precedence: OR < XOR < AND <
+  NOT < comparisons/predicates < additive < multiplicative < ``^`` <
+  unary < postfix (property access, subscript, slice) < atoms (literals,
+  parameters, lists, maps, functions, ``CASE``, ``count(*)``),
+* ``CREATE INDEX ON :Label(prop)`` / ``DROP INDEX ON :Label(prop)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CypherSyntaxError
+from repro.cypher import ast_nodes as A
+from repro.cypher.lexer import tokenize
+from repro.cypher.tokens import Token, TokenType
+
+__all__ = ["parse"]
+
+
+def parse(text: str) -> A.Query:
+    """Parse query text into an AST (raises CypherSyntaxError)."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> CypherSyntaxError:
+        tok = self._cur
+        found = tok.value or "end of input"
+        return CypherSyntaxError(f"{message} (found {found!r})", tok.line, tok.column)
+
+    def _check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.type is type_ and (value is None or tok.value == value)
+
+    def _check_kw(self, *names: str) -> bool:
+        return self._cur.type is TokenType.KEYWORD and self._cur.value in names
+
+    def _accept(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _accept_kw(self, *names: str) -> Optional[Token]:
+        if self._check_kw(*names):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, value: Optional[str] = None, what: str = "") -> Token:
+        tok = self._accept(type_, value)
+        if tok is None:
+            raise self._error(f"expected {what or value or type_.name}")
+        return tok
+
+    def _expect_kw(self, name: str) -> Token:
+        tok = self._accept_kw(name)
+        if tok is None:
+            raise self._error(f"expected {name}")
+        return tok
+
+    def _ident(self, what: str = "identifier") -> str:
+        # keywords that double as identifiers in practice (e.g. count)
+        if self._cur.type is TokenType.IDENT:
+            return self._advance().value
+        raise self._error(f"expected {what}")
+
+    # ------------------------------------------------------------------
+    # Query / clause structure
+    # ------------------------------------------------------------------
+    def parse_query(self) -> A.Query:
+        parts = [self._parse_single_query()]
+        union_all = False
+        while self._accept_kw("UNION"):
+            union_all = bool(self._accept_kw("ALL"))
+            parts.append(self._parse_single_query())
+        self._expect(TokenType.EOF, what="end of query")
+        return A.Query(tuple(parts), union_all=union_all)
+
+    def _parse_single_query(self) -> A.SingleQuery:
+        clauses: List[A.Clause] = []
+        while not self._check(TokenType.EOF) and not self._check_kw("UNION"):
+            clauses.append(self._parse_clause())
+        if not clauses:
+            raise self._error("empty query")
+        return A.SingleQuery(tuple(clauses))
+
+    def _parse_clause(self) -> A.Clause:
+        if self._check_kw("OPTIONAL"):
+            self._advance()
+            self._expect_kw("MATCH")
+            return self._parse_match(optional=True)
+        if self._accept_kw("MATCH"):
+            return self._parse_match(optional=False)
+        if self._check_kw("CREATE"):
+            if self._peek(1).is_keyword("INDEX"):
+                return self._parse_create_index()
+            self._advance()
+            return A.CreateClause(tuple(self._parse_pattern_list()))
+        if self._accept_kw("MERGE"):
+            return A.MergeClause(self._parse_path())
+        if self._check_kw("DROP"):
+            return self._parse_drop_index()
+        if self._accept_kw("DETACH"):
+            self._expect_kw("DELETE")
+            return self._parse_delete(detach=True)
+        if self._accept_kw("DELETE"):
+            return self._parse_delete(detach=False)
+        if self._accept_kw("SET"):
+            return self._parse_set()
+        if self._accept_kw("REMOVE"):
+            return self._parse_remove()
+        if self._accept_kw("WITH"):
+            return self._parse_with()
+        if self._accept_kw("RETURN"):
+            return self._parse_return()
+        if self._accept_kw("UNWIND"):
+            expr = self.parse_expression()
+            self._expect_kw("AS")
+            alias = self._ident("alias")
+            return A.UnwindClause(expr, alias)
+        raise self._error("expected a clause keyword (MATCH, CREATE, RETURN, ...)")
+
+    def _parse_match(self, *, optional: bool) -> A.MatchClause:
+        patterns = self._parse_pattern_list()
+        where = None
+        if self._accept_kw("WHERE"):
+            where = self.parse_expression()
+        return A.MatchClause(tuple(patterns), optional=optional, where=where)
+
+    def _parse_delete(self, *, detach: bool) -> A.DeleteClause:
+        exprs = [self.parse_expression()]
+        while self._accept(TokenType.PUNCT, ","):
+            exprs.append(self.parse_expression())
+        return A.DeleteClause(tuple(exprs), detach=detach)
+
+    def _parse_set(self) -> A.SetClause:
+        items: List[A.SetItem] = []
+        while True:
+            target = self._ident("SET target")
+            if self._accept(TokenType.PUNCT, "."):
+                key = self._ident("property name")
+                self._expect(TokenType.OPERATOR, "=", "'='")
+                items.append(A.SetItem(target, key, self.parse_expression()))
+            elif self._accept(TokenType.OPERATOR, "+="):
+                items.append(A.SetItem(target, None, self.parse_expression(), merge_map=True))
+            elif self._check(TokenType.PUNCT, ":"):
+                labels = []
+                while self._accept(TokenType.PUNCT, ":"):
+                    labels.append(self._ident("label"))
+                items.append(A.SetItem(target, None, None, labels=tuple(labels)))
+            elif self._accept(TokenType.OPERATOR, "="):
+                # SET n = {map}: full replacement, modeled as merge_map with
+                # a clear marker via key="" sentinel
+                items.append(A.SetItem(target, "", self.parse_expression(), merge_map=True))
+            else:
+                raise self._error("expected '.', '=', '+=' or ':' in SET")
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        return A.SetClause(tuple(items))
+
+    def _parse_remove(self) -> A.RemoveClause:
+        items: List[A.RemoveItem] = []
+        while True:
+            target = self._ident("REMOVE target")
+            if self._accept(TokenType.PUNCT, "."):
+                items.append(A.RemoveItem(target, self._ident("property name")))
+            elif self._check(TokenType.PUNCT, ":"):
+                labels = []
+                while self._accept(TokenType.PUNCT, ":"):
+                    labels.append(self._ident("label"))
+                items.append(A.RemoveItem(target, None, labels=tuple(labels)))
+            else:
+                raise self._error("expected '.' or ':' in REMOVE")
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        return A.RemoveClause(tuple(items))
+
+    def _parse_projection_block(self):
+        distinct = bool(self._accept_kw("DISTINCT"))
+        projections: List[A.Projection] = []
+        if self._accept(TokenType.OPERATOR, "*"):
+            projections.append(A.Projection(A.Identifier("*"), None, star=True))
+        else:
+            while True:
+                expr = self.parse_expression()
+                alias = None
+                if self._accept_kw("AS"):
+                    alias = self._ident("alias")
+                projections.append(A.Projection(expr, alias))
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        order_by: List[A.OrderItem] = []
+        if self._accept_kw("ORDER"):
+            self._expect_kw("BY")
+            while True:
+                expr = self.parse_expression()
+                ascending = True
+                if self._accept_kw("DESC", "DESCENDING"):
+                    ascending = False
+                else:
+                    self._accept_kw("ASC", "ASCENDING")
+                order_by.append(A.OrderItem(expr, ascending))
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        skip = self.parse_expression() if self._accept_kw("SKIP") else None
+        limit = self.parse_expression() if self._accept_kw("LIMIT") else None
+        return distinct, tuple(projections), tuple(order_by), skip, limit
+
+    def _parse_return(self) -> A.ReturnClause:
+        distinct, projections, order_by, skip, limit = self._parse_projection_block()
+        return A.ReturnClause(projections, distinct, order_by, skip, limit)
+
+    def _parse_with(self) -> A.WithClause:
+        distinct, projections, order_by, skip, limit = self._parse_projection_block()
+        where = self.parse_expression() if self._accept_kw("WHERE") else None
+        return A.WithClause(projections, distinct, where, order_by, skip, limit)
+
+    def _parse_create_index(self) -> A.CreateIndexClause:
+        self._expect_kw("CREATE")
+        self._expect_kw("INDEX")
+        self._expect_kw("ON")
+        self._expect(TokenType.PUNCT, ":")
+        label = self._ident("label")
+        self._expect(TokenType.PUNCT, "(")
+        attr = self._ident("property name")
+        self._expect(TokenType.PUNCT, ")")
+        return A.CreateIndexClause(label, attr)
+
+    def _parse_drop_index(self) -> A.DropIndexClause:
+        self._expect_kw("DROP")
+        self._expect_kw("INDEX")
+        self._expect_kw("ON")
+        self._expect(TokenType.PUNCT, ":")
+        label = self._ident("label")
+        self._expect(TokenType.PUNCT, "(")
+        attr = self._ident("property name")
+        self._expect(TokenType.PUNCT, ")")
+        return A.DropIndexClause(label, attr)
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+    def _parse_pattern_list(self) -> List[A.Path]:
+        paths = [self._parse_path()]
+        while self._accept(TokenType.PUNCT, ","):
+            paths.append(self._parse_path())
+        return paths
+
+    def _parse_path(self) -> A.Path:
+        var = None
+        if self._cur.type is TokenType.IDENT and self._peek(1).type is TokenType.OPERATOR and self._peek(1).value == "=":
+            var = self._advance().value
+            self._advance()  # '='
+        nodes = [self._parse_node_pattern()]
+        rels: List[A.RelPattern] = []
+        while self._check(TokenType.DASH) or self._check(TokenType.ARROW_LEFT):
+            rels.append(self._parse_rel_pattern())
+            nodes.append(self._parse_node_pattern())
+        return A.Path(var, tuple(nodes), tuple(rels))
+
+    def _parse_node_pattern(self) -> A.NodePattern:
+        self._expect(TokenType.PUNCT, "(", "'('")
+        var = None
+        if self._cur.type is TokenType.IDENT:
+            var = self._advance().value
+        labels: List[str] = []
+        while self._accept(TokenType.PUNCT, ":"):
+            labels.append(self._ident("label"))
+        props: Tuple[Tuple[str, A.Expr], ...] = ()
+        if self._check(TokenType.PUNCT, "{"):
+            props = self._parse_property_map()
+        self._expect(TokenType.PUNCT, ")", "')'")
+        return A.NodePattern(var, tuple(labels), props)
+
+    def _parse_rel_pattern(self) -> A.RelPattern:
+        # direction prefix: '<-' means incoming; '-' leaves it open
+        incoming = False
+        if self._accept(TokenType.ARROW_LEFT):
+            incoming = True
+        else:
+            self._expect(TokenType.DASH, what="'-'")
+
+        var = None
+        types: List[str] = []
+        min_hops, max_hops = 1, 1
+        props: Tuple[Tuple[str, A.Expr], ...] = ()
+        if self._accept(TokenType.PUNCT, "["):
+            if self._cur.type is TokenType.IDENT:
+                var = self._advance().value
+            if self._accept(TokenType.PUNCT, ":"):
+                types.append(self._ident("relationship type"))
+                while self._accept(TokenType.PUNCT, "|"):
+                    self._accept(TokenType.PUNCT, ":")
+                    types.append(self._ident("relationship type"))
+            if self._accept(TokenType.OPERATOR, "*"):
+                min_hops, max_hops = self._parse_hop_range()
+            if self._check(TokenType.PUNCT, "{"):
+                props = self._parse_property_map()
+            self._expect(TokenType.PUNCT, "]", "']'")
+
+        # direction suffix
+        if incoming:
+            self._expect(TokenType.DASH, what="'-'")
+            direction = "in"
+        elif self._accept(TokenType.ARROW_RIGHT):
+            direction = "out"
+        elif self._accept(TokenType.DASH):
+            direction = "any"
+        else:
+            raise self._error("expected '->' or '-' to close relationship pattern")
+        return A.RelPattern(var, tuple(types), direction, min_hops, max_hops, props)
+
+    def _parse_hop_range(self) -> Tuple[int, int]:
+        """After '*': ``*``, ``*n``, ``*n..m``, ``*..m``, ``*n..``."""
+        min_hops: Optional[int] = None
+        max_hops: Optional[int] = None
+        if self._cur.type is TokenType.INTEGER:
+            min_hops = int(self._advance().value)
+        if self._accept(TokenType.RANGE):
+            if self._cur.type is TokenType.INTEGER:
+                max_hops = int(self._advance().value)
+            else:
+                max_hops = -1
+        elif min_hops is not None:
+            max_hops = min_hops  # *n means exactly n
+        if min_hops is None and max_hops is None:
+            return 1, -1  # bare '*'
+        if min_hops is None:
+            min_hops = 1
+        if max_hops is None:
+            max_hops = -1
+        if max_hops != -1 and max_hops < min_hops:
+            raise self._error(f"variable-length range *{min_hops}..{max_hops} is empty")
+        return min_hops, max_hops
+
+    def _parse_property_map(self) -> Tuple[Tuple[str, A.Expr], ...]:
+        self._expect(TokenType.PUNCT, "{", "'{'")
+        items: List[Tuple[str, A.Expr]] = []
+        if not self._check(TokenType.PUNCT, "}"):
+            while True:
+                key = self._ident("property name")
+                self._expect(TokenType.PUNCT, ":", "':'")
+                items.append((key, self.parse_expression()))
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        self._expect(TokenType.PUNCT, "}", "'}'")
+        return tuple(items)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_xor()
+        while self._accept_kw("OR"):
+            left = A.BoolOp("OR", left, self._parse_xor())
+        return left
+
+    def _parse_xor(self) -> A.Expr:
+        left = self._parse_and()
+        while self._accept_kw("XOR"):
+            left = A.BoolOp("XOR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_not()
+        while self._accept_kw("AND"):
+            left = A.BoolOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> A.Expr:
+        if self._accept_kw("NOT"):
+            return A.Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> A.Expr:
+        left = self._parse_additive()
+        result: Optional[A.Expr] = None
+        prev = left
+        while True:
+            if self._cur.type is TokenType.OPERATOR and self._cur.value in ("=", "<>", "<", ">", "<=", ">="):
+                op = self._advance().value
+                right = self._parse_additive()
+                cmp_node: A.Expr = A.Comparison(op, prev, right)
+                prev = right
+            elif self._accept_kw("IS"):
+                negated = bool(self._accept_kw("NOT"))
+                self._expect_kw("NULL")
+                cmp_node = A.IsNull(prev, negated)
+            elif self._accept_kw("IN"):
+                cmp_node = A.InList(prev, self._parse_additive())
+            elif self._accept_kw("STARTS"):
+                self._expect_kw("WITH")
+                cmp_node = A.StringPredicate("STARTS_WITH", prev, self._parse_additive())
+            elif self._accept_kw("ENDS"):
+                self._expect_kw("WITH")
+                cmp_node = A.StringPredicate("ENDS_WITH", prev, self._parse_additive())
+            elif self._accept_kw("CONTAINS"):
+                cmp_node = A.StringPredicate("CONTAINS", prev, self._parse_additive())
+            else:
+                break
+            result = cmp_node if result is None else A.BoolOp("AND", result, cmp_node)
+        return result if result is not None else left
+
+    def _parse_additive(self) -> A.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._check(TokenType.OPERATOR, "+"):
+                self._advance()
+                left = A.Binary("+", left, self._parse_multiplicative())
+            elif self._check(TokenType.DASH):
+                self._advance()
+                left = A.Binary("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> A.Expr:
+        left = self._parse_power()
+        while self._cur.type is TokenType.OPERATOR and self._cur.value in ("*", "/", "%"):
+            op = self._advance().value
+            left = A.Binary(op, left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> A.Expr:
+        left = self._parse_unary()
+        if self._accept(TokenType.OPERATOR, "^"):
+            return A.Binary("^", left, self._parse_power())  # right-assoc
+        return left
+
+    def _parse_unary(self) -> A.Expr:
+        if self._check(TokenType.DASH):
+            self._advance()
+            return A.Unary("-", self._parse_unary())
+        if self._accept(TokenType.OPERATOR, "+"):
+            return A.Unary("+", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_atom()
+        while True:
+            if self._accept(TokenType.PUNCT, "."):
+                expr = A.PropertyAccess(expr, self._ident("property name"))
+            elif self._accept(TokenType.PUNCT, "["):
+                # subscript or slice
+                start: Optional[A.Expr] = None
+                if not self._check(TokenType.RANGE):
+                    start = self.parse_expression()
+                if self._accept(TokenType.RANGE):
+                    stop = None
+                    if not self._check(TokenType.PUNCT, "]"):
+                        stop = self.parse_expression()
+                    expr = A.Slice(expr, start, stop)
+                else:
+                    assert start is not None
+                    expr = A.Subscript(expr, start)
+                self._expect(TokenType.PUNCT, "]", "']'")
+            else:
+                return expr
+
+    def _parse_atom(self) -> A.Expr:
+        tok = self._cur
+        if tok.type is TokenType.INTEGER:
+            self._advance()
+            return A.Literal(int(tok.value))
+        if tok.type is TokenType.FLOAT:
+            self._advance()
+            return A.Literal(float(tok.value))
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return A.Literal(tok.value)
+        if tok.type is TokenType.PARAMETER:
+            self._advance()
+            return A.Parameter(tok.value)
+        if self._accept_kw("TRUE"):
+            return A.Literal(True)
+        if self._accept_kw("FALSE"):
+            return A.Literal(False)
+        if self._accept_kw("NULL"):
+            return A.Literal(None)
+        if self._check_kw("COUNT"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(", "'('")
+            distinct = bool(self._accept_kw("DISTINCT"))
+            if self._accept(TokenType.OPERATOR, "*"):
+                args: Tuple[A.Expr, ...] = ()
+            else:
+                args = (self.parse_expression(),)
+            self._expect(TokenType.PUNCT, ")", "')'")
+            return A.FunctionCall("count", args, distinct=distinct)
+        if self._check_kw("EXISTS"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(", "'('")
+            inner = self.parse_expression()
+            self._expect(TokenType.PUNCT, ")", "')'")
+            return A.FunctionCall("exists", (inner,))
+        if self._check_kw("CASE"):
+            return self._parse_case()
+        if tok.type is TokenType.PUNCT and tok.value == "(":
+            self._advance()
+            inner = self.parse_expression()
+            self._expect(TokenType.PUNCT, ")", "')'")
+            return inner
+        if tok.type is TokenType.PUNCT and tok.value == "[":
+            self._advance()
+            items: List[A.Expr] = []
+            if not self._check(TokenType.PUNCT, "]"):
+                while True:
+                    items.append(self.parse_expression())
+                    if not self._accept(TokenType.PUNCT, ","):
+                        break
+            self._expect(TokenType.PUNCT, "]", "']'")
+            return A.ListLiteral(tuple(items))
+        if tok.type is TokenType.PUNCT and tok.value == "{":
+            return A.MapLiteral(self._parse_property_map())
+        if tok.type is TokenType.IDENT:
+            # function call or plain identifier
+            if self._peek(1).type is TokenType.PUNCT and self._peek(1).value == "(":
+                name = self._advance().value
+                self._advance()  # '('
+                distinct = bool(self._accept_kw("DISTINCT"))
+                args: List[A.Expr] = []
+                if not self._check(TokenType.PUNCT, ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self._accept(TokenType.PUNCT, ","):
+                            break
+                self._expect(TokenType.PUNCT, ")", "')'")
+                return A.FunctionCall(name.lower(), tuple(args), distinct=distinct)
+            self._advance()
+            return A.Identifier(tok.value)
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> A.Expr:
+        self._expect_kw("CASE")
+        subject = None
+        if not self._check_kw("WHEN"):
+            subject = self.parse_expression()
+        whens: List[Tuple[A.Expr, A.Expr]] = []
+        while self._accept_kw("WHEN"):
+            cond = self.parse_expression()
+            self._expect_kw("THEN")
+            whens.append((cond, self.parse_expression()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        default = None
+        if self._accept_kw("ELSE"):
+            default = self.parse_expression()
+        self._expect_kw("END")
+        return A.CaseExpr(subject, tuple(whens), default)

@@ -1,0 +1,274 @@
+"""Semantic validation of parsed queries.
+
+Catches, at compile time (mirroring RedisGraph's AST validations):
+
+* use of unbound variables,
+* clause-order violations (nothing after RETURN, queries that do nothing),
+* aggregation misuse (aggregates in WHERE, nested aggregates),
+* WITH/RETURN scoping (WITH starts a fresh scope containing only its
+  projections),
+* redeclarations that change a variable's kind (node vs relationship),
+* unsupported corners called out explicitly (binding a variable-length
+  relationship), and UNION column-name agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import CypherSemanticError
+from repro.cypher import ast_nodes as A
+
+__all__ = ["validate", "has_aggregate", "AGGREGATE_FUNCTIONS"]
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max", "collect", "stdev"})
+
+
+def has_aggregate(expr: A.Expr) -> bool:
+    """Does the expression tree contain an aggregation call?"""
+    found = False
+
+    def visit(e: A.Expr) -> None:
+        nonlocal found
+        if isinstance(e, A.FunctionCall) and e.name in AGGREGATE_FUNCTIONS:
+            found = True
+        for child in _children(e):
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+def _children(e: A.Expr) -> Iterable[A.Expr]:
+    if isinstance(e, A.PropertyAccess):
+        return (e.subject,)
+    if isinstance(e, A.Subscript):
+        return (e.subject, e.index)
+    if isinstance(e, A.Slice):
+        return tuple(x for x in (e.subject, e.start, e.stop) if x is not None)
+    if isinstance(e, A.ListLiteral):
+        return e.items
+    if isinstance(e, A.MapLiteral):
+        return tuple(v for _, v in e.items)
+    if isinstance(e, A.Unary):
+        return (e.operand,)
+    if isinstance(e, (A.Binary, A.Comparison, A.BoolOp)):
+        return (e.left, e.right)
+    if isinstance(e, A.Not):
+        return (e.operand,)
+    if isinstance(e, A.IsNull):
+        return (e.operand,)
+    if isinstance(e, A.StringPredicate):
+        return (e.left, e.right)
+    if isinstance(e, A.InList):
+        return (e.needle, e.haystack)
+    if isinstance(e, A.FunctionCall):
+        return e.args
+    if isinstance(e, A.CaseExpr):
+        out = []
+        if e.subject is not None:
+            out.append(e.subject)
+        for w, t in e.whens:
+            out.extend((w, t))
+        if e.default is not None:
+            out.append(e.default)
+        return tuple(out)
+    return ()
+
+
+def _identifiers(e: A.Expr) -> Set[str]:
+    out: Set[str] = set()
+
+    def visit(x: A.Expr) -> None:
+        if isinstance(x, A.Identifier):
+            out.add(x.name)
+        for child in _children(x):
+            visit(child)
+
+    visit(e)
+    return out
+
+
+class _Scope:
+    def __init__(self) -> None:
+        self.kinds: Dict[str, str] = {}  # name -> 'node' | 'rel' | 'value' | 'path'
+
+    def bind(self, name: str, kind: str) -> None:
+        existing = self.kinds.get(name)
+        if existing is not None and existing != kind:
+            raise CypherSemanticError(
+                f"variable {name!r} already declared as {existing}, cannot rebind as {kind}"
+            )
+        self.kinds[name] = kind
+
+    def require(self, name: str, context: str) -> None:
+        if name not in self.kinds and name != "*":
+            raise CypherSemanticError(f"{name!r} not defined in {context}")
+
+    def reset(self, names: Dict[str, str]) -> None:
+        self.kinds = dict(names)
+
+
+def validate(query: A.Query) -> None:
+    """Raise :class:`CypherSemanticError` on an invalid query."""
+    column_names: Optional[Tuple[str, ...]] = None
+    for part in query.parts:
+        names = _validate_single(part)
+        if column_names is not None and names is not None and names != column_names:
+            raise CypherSemanticError(
+                f"UNION parts must return the same columns ({column_names} vs {names})"
+            )
+        if names is not None:
+            column_names = names
+    if len(query.parts) > 1 and column_names is None:
+        raise CypherSemanticError("UNION requires RETURN in every part")
+
+
+def _check_expr(expr: A.Expr, scope: _Scope, context: str, *, allow_aggregate: bool) -> None:
+    for name in _identifiers(expr):
+        scope.require(name, context)
+    if not allow_aggregate and has_aggregate(expr):
+        raise CypherSemanticError(f"aggregation is not allowed in {context}")
+    # nested aggregates: count(sum(x))
+    def visit(e: A.Expr, inside: bool) -> None:
+        is_agg = isinstance(e, A.FunctionCall) and e.name in AGGREGATE_FUNCTIONS
+        if is_agg and inside:
+            raise CypherSemanticError("nested aggregation is not allowed")
+        for child in _children(e):
+            visit(child, inside or is_agg)
+
+    visit(expr, False)
+
+
+def _bind_pattern(path: A.Path, scope: _Scope, *, inside_create: bool) -> None:
+    if path.var is not None:
+        scope.bind(path.var, "path")
+    for node in path.nodes:
+        if node.var is not None:
+            scope.bind(node.var, "node")
+        for _, expr in node.properties:
+            _check_expr(expr, scope, "a property map", allow_aggregate=False)
+    for rel in path.rels:
+        if rel.var is not None:
+            if rel.variable_length:
+                raise CypherSemanticError(
+                    "binding a variable-length relationship to a variable is not supported"
+                )
+            if inside_create and rel.var in scope.kinds:
+                raise CypherSemanticError(f"relationship variable {rel.var!r} already bound")
+            scope.bind(rel.var, "rel")
+        if inside_create and len(rel.types) != 1:
+            raise CypherSemanticError("CREATE requires exactly one relationship type")
+        if inside_create and rel.variable_length:
+            raise CypherSemanticError("CREATE cannot use variable-length relationships")
+        if inside_create and rel.direction == "any":
+            raise CypherSemanticError("CREATE requires a directed relationship")
+        for _, expr in rel.properties:
+            _check_expr(expr, scope, "a property map", allow_aggregate=False)
+
+
+def _validate_single(part: A.SingleQuery) -> Optional[Tuple[str, ...]]:
+    scope = _Scope()
+    returned: Optional[Tuple[str, ...]] = None
+    update_seen = False
+
+    for clause in part.clauses:
+        if returned is not None:
+            raise CypherSemanticError("no clause may follow RETURN")
+
+        if isinstance(clause, A.MatchClause):
+            for path in clause.patterns:
+                _bind_pattern(path, scope, inside_create=False)
+            if clause.where is not None:
+                _check_expr(clause.where, scope, "WHERE", allow_aggregate=False)
+
+        elif isinstance(clause, A.CreateClause):
+            update_seen = True
+            for path in clause.patterns:
+                _bind_pattern(path, scope, inside_create=True)
+
+        elif isinstance(clause, A.MergeClause):
+            update_seen = True
+            _bind_pattern(clause.pattern, scope, inside_create=False)
+            for rel in clause.pattern.rels:
+                if len(rel.types) != 1:
+                    raise CypherSemanticError("MERGE requires exactly one relationship type")
+                if rel.variable_length:
+                    raise CypherSemanticError("MERGE cannot use variable-length relationships")
+
+        elif isinstance(clause, A.DeleteClause):
+            update_seen = True
+            for expr in clause.exprs:
+                _check_expr(expr, scope, "DELETE", allow_aggregate=False)
+
+        elif isinstance(clause, A.SetClause):
+            update_seen = True
+            for item in clause.items:
+                scope.require(item.target, "SET")
+                if item.value is not None:
+                    _check_expr(item.value, scope, "SET", allow_aggregate=False)
+
+        elif isinstance(clause, A.RemoveClause):
+            update_seen = True
+            for item in clause.items:
+                scope.require(item.target, "REMOVE")
+
+        elif isinstance(clause, A.UnwindClause):
+            _check_expr(clause.expr, scope, "UNWIND", allow_aggregate=False)
+            scope.bind(clause.alias, "value")
+
+        elif isinstance(clause, A.WithClause):
+            _validate_projections(clause.projections, scope, "WITH")
+            new_scope: Dict[str, str] = {}
+            for proj in clause.projections:
+                if proj.star:
+                    new_scope.update(scope.kinds)
+                    continue
+                name = proj.output_name()
+                if isinstance(proj.expr, A.Identifier) and proj.expr.name in scope.kinds:
+                    new_scope[name] = scope.kinds[proj.expr.name]
+                else:
+                    new_scope[name] = "value"
+            for item in clause.order_by:
+                _check_expr(item.expr, scope, "ORDER BY", allow_aggregate=True)
+            scope.reset(new_scope)
+            if clause.where is not None:
+                _check_expr(clause.where, scope, "WHERE", allow_aggregate=False)
+
+        elif isinstance(clause, A.ReturnClause):
+            _validate_projections(clause.projections, scope, "RETURN")
+            names = []
+            for proj in clause.projections:
+                if proj.star:
+                    if not scope.kinds:
+                        raise CypherSemanticError("RETURN * with no variables in scope")
+                    names.extend(sorted(scope.kinds))
+                else:
+                    names.append(proj.output_name())
+            if len(set(names)) != len(names):
+                raise CypherSemanticError(f"duplicate column names in RETURN: {names}")
+            post_scope = _Scope()
+            for n in names:
+                post_scope.bind(n, "value")
+            for item in clause.order_by:
+                for ident in _identifiers(item.expr):
+                    if ident not in post_scope.kinds and ident not in scope.kinds:
+                        raise CypherSemanticError(f"{ident!r} not defined in ORDER BY")
+            returned = tuple(names)
+
+        elif isinstance(clause, (A.CreateIndexClause, A.DropIndexClause)):
+            update_seen = True
+
+        else:  # pragma: no cover - parser produces only the above
+            raise CypherSemanticError(f"unknown clause {clause!r}")
+
+    if returned is None and not update_seen:
+        raise CypherSemanticError("query neither returns results nor updates the graph")
+    return returned
+
+
+def _validate_projections(projections, scope: _Scope, context: str) -> None:
+    for proj in projections:
+        if proj.star:
+            continue
+        _check_expr(proj.expr, scope, context, allow_aggregate=True)

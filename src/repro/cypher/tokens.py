@@ -1,0 +1,52 @@
+"""Token model for the Cypher lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    IDENT = auto()        # foo, `quoted ident`
+    KEYWORD = auto()      # MATCH, RETURN, ... (normalized upper-case)
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    PARAMETER = auto()    # $name
+    OPERATOR = auto()     # = <> < > <= >= + - * / % ^
+    PUNCT = auto()        # ( ) [ ] { } , : ; | .
+    RANGE = auto()        # ..
+    ARROW_RIGHT = auto()  # ->
+    ARROW_LEFT = auto()   # <-
+    DASH = auto()         # -
+    EOF = auto()
+
+
+# Reserved words recognized case-insensitively.  Anything else is an IDENT.
+KEYWORDS = frozenset(
+    {
+        "MATCH", "OPTIONAL", "WHERE", "RETURN", "CREATE", "DELETE", "DETACH",
+        "SET", "REMOVE", "MERGE", "WITH", "UNWIND", "AS", "ORDER", "BY",
+        "SKIP", "LIMIT", "ASC", "ASCENDING", "DESC", "DESCENDING",
+        "DISTINCT", "AND", "OR", "XOR", "NOT", "IN", "STARTS", "ENDS",
+        "CONTAINS", "IS", "NULL", "TRUE", "FALSE", "COUNT", "CASE", "WHEN",
+        "THEN", "ELSE", "END", "EXISTS", "UNION", "ALL", "ON", "INDEX",
+        "DROP", "FOR",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r} @{self.line}:{self.column})"

@@ -1,0 +1,79 @@
+"""LDBC-lite: a miniature propertied social network (paper future work:
+"further benchmarking on LDBC").
+
+Generates a :class:`~repro.api.GraphDB` with the labeled/propertied
+entities LDBC-style workloads touch:
+
+* ``(:Person {name, city, age})`` in city communities,
+* ``(:Post {topic})`` authored by persons,
+* ``[:KNOWS]`` dense within a city, sparse across cities (block model),
+* ``[:CREATED]`` person→post, ``[:LIKES]`` person→post.
+
+Small enough for tests/examples, structured enough that label scans,
+indexes, multi-hop traversals and aggregations all have work to do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api import GraphDB
+from repro.graph.config import GraphConfig
+
+__all__ = ["ldbc_lite", "CITIES", "TOPICS"]
+
+CITIES = ["Aru", "Brel", "Cusk", "Dorn"]
+TOPICS = ["graphs", "music", "chess", "space", "tea"]
+
+
+def ldbc_lite(
+    persons: int = 80,
+    posts_per_person: int = 2,
+    *,
+    p_intra: float = 0.18,
+    p_inter: float = 0.01,
+    likes_per_person: int = 3,
+    seed: int = 11,
+    config: Optional[GraphConfig] = None,
+) -> GraphDB:
+    """Build and return the populated database."""
+    rng = np.random.default_rng(seed)
+    db = GraphDB("ldbc-lite", config or GraphConfig(node_capacity=max(256, persons * (1 + posts_per_person))))
+    graph = db.graph
+
+    cities = [CITIES[i % len(CITIES)] for i in range(persons)]
+    person_ids = []
+    for i in range(persons):
+        node = graph.create_node(
+            ["Person"],
+            {"name": f"p{i:04d}", "city": cities[i], "age": int(rng.integers(16, 80))},
+        )
+        person_ids.append(node.id)
+
+    post_ids = []
+    for i in range(persons):
+        for j in range(posts_per_person):
+            post = graph.create_node(
+                ["Post"],
+                {"topic": TOPICS[int(rng.integers(len(TOPICS)))], "idx": i * posts_per_person + j},
+            )
+            post_ids.append(post.id)
+            graph.create_edge(person_ids[i], "CREATED", post.id)
+
+    # KNOWS block model
+    for i in range(persons):
+        for j in range(persons):
+            if i == j:
+                continue
+            p = p_intra if cities[i] == cities[j] else p_inter
+            if rng.random() < p:
+                graph.create_edge(person_ids[i], "KNOWS", person_ids[j])
+
+    # LIKES: uniformly random posts (excluding one's own creations half the time)
+    for i in range(persons):
+        for post in rng.choice(len(post_ids), size=likes_per_person, replace=False):
+            graph.create_edge(person_ids[i], "LIKES", post_ids[int(post)])
+
+    return db

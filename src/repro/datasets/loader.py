@@ -1,0 +1,55 @@
+"""Bulk loading of generated edge lists into engine-level containers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.api import GraphDB
+from repro.graph.config import GraphConfig
+from repro.graph.graph import Graph
+from repro.grblas import Matrix
+
+__all__ = ["edges_to_matrix", "build_graph", "build_graphdb"]
+
+
+def edges_to_matrix(src: np.ndarray, dst: np.ndarray, n: int) -> Matrix:
+    """Boolean adjacency matrix of an edge list (duplicates collapse)."""
+    return Matrix.from_edges(src, dst, nrows=n)
+
+
+def build_graph(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n: int,
+    *,
+    reltype: str = "E",
+    label: str = "V",
+    name: str = "bench",
+    config: Optional[GraphConfig] = None,
+) -> Graph:
+    """A property graph holding the edge list (nodes property-less,
+    matrices bulk-installed — the benchmark loading path)."""
+    cfg = config or GraphConfig(node_capacity=max(1, n))
+    graph = Graph(name, cfg)
+    graph.bulk_load_nodes(n, label=label)
+    graph.bulk_load_edges(src, dst, reltype)
+    return graph
+
+
+def build_graphdb(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n: int,
+    *,
+    reltype: str = "E",
+    label: str = "V",
+    name: str = "bench",
+    config: Optional[GraphConfig] = None,
+) -> GraphDB:
+    """A queryable GraphDB over the same bulk-loaded content."""
+    db = GraphDB(name, config or GraphConfig(node_capacity=max(1, n)))
+    db.graph.bulk_load_nodes(n, label=label)
+    db.graph.bulk_load_edges(src, dst, reltype)
+    return db

@@ -1,0 +1,118 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+The hierarchy mirrors the error classes a RedisGraph deployment surfaces:
+GraphBLAS API misuse (dimension/domain errors), Cypher compile-time errors
+(syntax and semantic), runtime query errors (type errors inside expression
+evaluation), and server/protocol errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# GraphBLAS layer
+# ---------------------------------------------------------------------------
+
+
+class GraphBLASError(ReproError):
+    """Base class for GraphBLAS API errors."""
+
+
+class DimensionMismatch(GraphBLASError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class DomainMismatch(GraphBLASError):
+    """Operand dtypes cannot be used with the requested operator."""
+
+
+class IndexOutOfBounds(GraphBLASError):
+    """A row/column index is outside the matrix/vector shape."""
+
+
+class EmptyObject(GraphBLASError):
+    """An operation required a stored value that is not present."""
+
+
+class InvalidValue(GraphBLASError):
+    """A parameter value is not valid for the requested operation."""
+
+
+# ---------------------------------------------------------------------------
+# Cypher front end
+# ---------------------------------------------------------------------------
+
+
+class CypherError(ReproError):
+    """Base class for query-language errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """The query text failed to lex or parse.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    clients can point at the error position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class CypherSemanticError(CypherError):
+    """The query parsed but is not semantically valid (unbound variable,
+    aggregation misuse, redeclared identifier, ...)."""
+
+
+class CypherTypeError(CypherError):
+    """A runtime expression was applied to values of the wrong type."""
+
+
+# ---------------------------------------------------------------------------
+# Graph / storage layer
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for property-graph storage errors."""
+
+
+class EntityNotFound(GraphError):
+    """A node or edge id does not exist (or was deleted)."""
+
+
+class ConstraintViolation(GraphError):
+    """A storage-level constraint was violated (e.g. duplicate index key
+    under a unique constraint)."""
+
+
+# ---------------------------------------------------------------------------
+# Server / protocol layer
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for server-side errors."""
+
+
+class ProtocolError(ServerError):
+    """Malformed RESP input."""
+
+
+class WrongTypeError(ServerError):
+    """Operation against a key holding the wrong kind of value (Redis
+    ``WRONGTYPE``)."""
+
+    def __init__(self, message: str = "Operation against a key holding the wrong kind of value") -> None:
+        super().__init__(message)
+
+
+class ResponseError(ServerError):
+    """An ``-ERR ...`` reply received by the client."""

@@ -1,0 +1,14 @@
+"""repro.execplan — the query execution engine.
+
+Compiles a validated Cypher AST into a tree of plan operations (Volcano
+iterator model, like RedisGraph's ExecutionPlan).  The load-bearing design
+point — the paper's contribution — is that ``MATCH`` traversals compile to
+*algebraic expressions*: chains of sparse Boolean matrix products evaluated
+by :mod:`repro.grblas` in node batches, instead of per-edge pointer
+chasing.
+"""
+
+from repro.execplan.executor import QueryEngine
+from repro.execplan.resultset import ResultSet, QueryStatistics
+
+__all__ = ["QueryEngine", "ResultSet", "QueryStatistics"]

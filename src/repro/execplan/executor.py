@@ -1,0 +1,116 @@
+"""Query engine: parse → validate → plan → optimize → execute.
+
+Concurrency follows the paper: the engine itself runs each query on a
+single thread; read queries take the graph's read lock (many concurrent
+readers), update queries take the write lock.  The server layer feeds
+queries to a pool; embedded callers just call :meth:`QueryEngine.query`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cypher.parser import parse
+from repro.cypher.semantic import validate
+from repro.execplan.expressions import ExecContext
+from repro.execplan.ops_base import PlanOp
+from repro.execplan.optimizer import optimize
+from repro.execplan.planner import PlannedQuery, plan_single_query
+from repro.execplan.resultset import QueryStatistics, ResultSet
+from repro.graph.graph import Graph
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Compiles and runs Cypher queries against one :class:`Graph`."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def compile(self, text: str) -> Tuple[List[PlannedQuery], bool, bool]:
+        """Parse/validate/plan; returns (plans, writes, union_all)."""
+        ast = parse(text)
+        validate(ast)
+        plans = [plan_single_query(part, self.graph) for part in ast.parts]
+        for planned in plans:
+            planned.root = optimize(planned.root)
+        writes = any(p.writes for p in plans)
+        return plans, writes, ast.union_all
+
+    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """Execute a query and return its ResultSet."""
+        plans, writes, union_all = self.compile(text)
+        stats = QueryStatistics()
+        ctx = ExecContext(self.graph, params, stats)
+        started = time.perf_counter()
+        lock = self.graph.lock.write() if writes else self.graph.lock.read()
+        with lock:
+            columns, rows = self._run(plans, ctx, union_all)
+        stats.execution_time_ms = (time.perf_counter() - started) * 1e3
+        return ResultSet(columns, rows, stats)
+
+    def _run(self, plans: List[PlannedQuery], ctx: ExecContext, union_all: bool):
+        columns: List[str] = []
+        rows: List[tuple] = []
+        for planned in plans:
+            if planned.columns is not None:
+                columns = planned.columns
+                rows.extend(tuple(rec) for rec in planned.root.produce(ctx))
+            else:
+                for _ in planned.root.produce(ctx):
+                    pass  # update-only: drain for side effects
+        if len(plans) > 1 and not union_all:
+            from repro.execplan.ops_stream import _hashable
+
+            seen = set()
+            deduped = []
+            for row in rows:
+                key = tuple(_hashable(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        return columns, rows
+
+    # ------------------------------------------------------------------
+    def explain(self, text: str) -> str:
+        """The execution plan as an indented tree (GRAPH.EXPLAIN)."""
+        plans, _, _ = self.compile(text)
+        return "\n\n".join(p.explain() for p in plans)
+
+    def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
+        """Execute with per-operation record counts and timings
+        (GRAPH.PROFILE)."""
+        plans, writes, union_all = self.compile(text)
+        for planned in plans:
+            _instrument(planned.root)
+        stats = QueryStatistics()
+        ctx = ExecContext(self.graph, params, stats)
+        started = time.perf_counter()
+        lock = self.graph.lock.write() if writes else self.graph.lock.read()
+        with lock:
+            columns, rows = self._run(plans, ctx, union_all)
+        stats.execution_time_ms = (time.perf_counter() - started) * 1e3
+        report = "\n\n".join(p.explain(profile=True) for p in plans)
+        return ResultSet(columns, rows, stats), report
+
+
+def _instrument(op: PlanOp) -> None:
+    """Wrap every produce() in the tree with row/time counters."""
+    for child in op.children:
+        _instrument(child)
+    original = op.produce
+
+    def profiled(ctx, _original=original, _op=op):
+        start = time.perf_counter()
+        for record in _original(ctx):
+            _op.profile_rows += 1
+            _op.profile_ms += (time.perf_counter() - start) * 1e3
+            yield record
+            start = time.perf_counter()
+        _op.profile_ms += (time.perf_counter() - start) * 1e3
+
+    op.produce = profiled  # type: ignore[method-assign]

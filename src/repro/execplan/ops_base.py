@@ -1,0 +1,76 @@
+"""Plan-operation base class and trivial leaves.
+
+Operations form a tree evaluated Volcano-style: ``produce(ctx)`` returns a
+fresh generator of records.  ``produce`` must be re-invocable (Apply-style
+operators re-run their subtree once per outer record), which is why state
+lives in locals of the generator, never on the operator object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.execplan.expressions import ExecContext
+from repro.execplan.record import Layout, Record
+
+__all__ = ["PlanOp", "Unit", "Argument"]
+
+
+class PlanOp:
+    """Base plan operation."""
+
+    name: str = "Op"
+
+    def __init__(self, children: List["PlanOp"], out_layout: Layout) -> None:
+        self.children = children
+        self.out_layout = out_layout
+        # PROFILE counters (filled when executed through a profiling run)
+        self.profile_rows: int = 0
+        self.profile_ms: float = 0.0
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- plan rendering --------------------------------------------------
+    def describe(self) -> str:
+        """One-line description used by EXPLAIN/PROFILE."""
+        return self.name
+
+    def tree_lines(self, indent: int = 0, *, profile: bool = False) -> List[str]:
+        line = "    " * indent + self.describe()
+        if profile:
+            line += f" | Records produced: {self.profile_rows}, Execution time: {self.profile_ms:.6f} ms"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1, profile=profile))
+        return lines
+
+
+class Unit(PlanOp):
+    """Produces exactly one empty record — the leaf under a bare CREATE."""
+
+    name = "Unit"
+
+    def __init__(self) -> None:
+        super().__init__([], Layout())
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        yield self.out_layout.new_record()
+
+
+class Argument(PlanOp):
+    """Leaf that replays a seeded record — the entry point of Apply-style
+    subplans (OPTIONAL MATCH / MERGE match arms), as in RedisGraph."""
+
+    name = "Argument"
+
+    def __init__(self, layout: Layout) -> None:
+        super().__init__([], layout)
+        self._record: Optional[Record] = None
+
+    def seed(self, record: Record) -> None:
+        self._record = record
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        assert self._record is not None, "Argument not seeded"
+        yield list(self._record)

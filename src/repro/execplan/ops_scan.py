@@ -1,0 +1,150 @@
+"""Scan operations: the leaves that put nodes into the record stream."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.execplan.expressions import CompiledExpr, ExecContext
+from repro.execplan.ops_base import PlanOp
+from repro.execplan.record import Layout, Record
+from repro.graph.entities import Node
+
+__all__ = ["AllNodeScan", "NodeByLabelScan", "NodeByIndexScan", "NodeByIdSeek"]
+
+
+class NodeByIdSeek(PlanOp):
+    """O(1) node lookup from a ``WHERE id(n) = <expr>`` predicate — the
+    access path the k-hop benchmark's seed queries rely on."""
+
+    name = "NodeByIdSeek"
+
+    def __init__(self, var: str, id_expr: "CompiledExpr", child: Optional["PlanOp"] = None) -> None:
+        base = child.out_layout if child is not None else Layout()
+        super().__init__([child] if child else [], base.extend(var))
+        self._var_slot = self.out_layout.slot(var)
+        self._var = var
+        self._id_expr = id_expr
+
+    def describe(self) -> str:
+        return f"NodeByIdSeek | ({self._var})"
+
+    def _emit(self, ctx: ExecContext, record: Record):
+        node_id = self._id_expr(record, ctx)
+        if node_id is None or not isinstance(node_id, int) or not ctx.graph.has_node(node_id):
+            return
+        out = record + [None] * (len(self.out_layout) - len(record))
+        out[self._var_slot] = Node(ctx.graph, node_id)
+        yield out
+
+    def produce(self, ctx: ExecContext) -> "Iterator[Record]":
+        if self.children:
+            for record in self.children[0].produce(ctx):
+                yield from self._emit(ctx, record)
+        else:
+            yield from self._emit(ctx, Layout().new_record())
+
+
+class AllNodeScan(PlanOp):
+    """Emit every live node bound to ``var`` (optionally extending a child
+    stream as a nested-loop cross product)."""
+
+    name = "AllNodeScan"
+
+    def __init__(self, var: str, child: Optional[PlanOp] = None) -> None:
+        base = child.out_layout if child is not None else Layout()
+        super().__init__([child] if child else [], base.extend(var))
+        self._var_slot = self.out_layout.slot(var)
+        self._var = var
+
+    def describe(self) -> str:
+        return f"AllNodeScan | ({self._var})"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        node_ids = ctx.graph.all_node_ids()
+        if self.children:
+            for record in self.children[0].produce(ctx):
+                for nid in node_ids:
+                    out = record + [None] * (len(self.out_layout) - len(record))
+                    out[self._var_slot] = Node(ctx.graph, int(nid))
+                    yield out
+        else:
+            for nid in node_ids:
+                out = self.out_layout.new_record()
+                out[self._var_slot] = Node(ctx.graph, int(nid))
+                yield out
+
+
+class NodeByLabelScan(PlanOp):
+    """Emit nodes carrying a label — reads the label matrix diagonal."""
+
+    name = "NodeByLabelScan"
+
+    def __init__(self, var: str, label: str, child: Optional[PlanOp] = None) -> None:
+        base = child.out_layout if child is not None else Layout()
+        super().__init__([child] if child else [], base.extend(var))
+        self._var_slot = self.out_layout.slot(var)
+        self._var = var
+        self._label = label
+
+    def describe(self) -> str:
+        return f"NodeByLabelScan | ({self._var}:{self._label})"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        node_ids = ctx.graph.nodes_with_label(self._label)
+        if self.children:
+            for record in self.children[0].produce(ctx):
+                for nid in node_ids:
+                    out = record + [None] * (len(self.out_layout) - len(record))
+                    out[self._var_slot] = Node(ctx.graph, int(nid))
+                    yield out
+        else:
+            for nid in node_ids:
+                out = self.out_layout.new_record()
+                out[self._var_slot] = Node(ctx.graph, int(nid))
+                yield out
+
+
+class NodeByIndexScan(PlanOp):
+    """Probe an exact-match index: ``MATCH (n:L {attr: value})`` where an
+    index exists on (L, attr)."""
+
+    name = "NodeByIndexScan"
+
+    def __init__(
+        self,
+        var: str,
+        label: str,
+        attribute: str,
+        value: CompiledExpr,
+        child: Optional[PlanOp] = None,
+    ) -> None:
+        base = child.out_layout if child is not None else Layout()
+        super().__init__([child] if child else [], base.extend(var))
+        self._var_slot = self.out_layout.slot(var)
+        self._var = var
+        self._label = label
+        self._attribute = attribute
+        self._value = value
+
+    def describe(self) -> str:
+        return f"NodeByIndexScan | ({self._var}:{self._label} {{{self._attribute}}})"
+
+    def _ids(self, ctx: ExecContext, record: Record):
+        index = ctx.graph.get_index(self._label, self._attribute)
+        assert index is not None, "planner selected an index scan without an index"
+        value = self._value(record, ctx)
+        return sorted(index.lookup(value))
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        if self.children:
+            for record in self.children[0].produce(ctx):
+                for nid in self._ids(ctx, record):
+                    out = record + [None] * (len(self.out_layout) - len(record))
+                    out[self._var_slot] = Node(ctx.graph, int(nid))
+                    yield out
+        else:
+            empty = Layout().new_record()
+            for nid in self._ids(ctx, empty):
+                out = self.out_layout.new_record()
+                out[self._var_slot] = Node(ctx.graph, int(nid))
+                yield out

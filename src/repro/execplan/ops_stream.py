@@ -1,0 +1,362 @@
+"""Record-stream operations: filter, project, aggregate, sort, distinct,
+skip/limit, unwind, cartesian product, optional (apply) and results."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CypherTypeError
+from repro.execplan.expressions import CompiledExpr, ExecContext, sort_key
+from repro.execplan.ops_base import Argument, PlanOp
+from repro.execplan.record import Layout, Record
+from repro.graph.entities import Edge, Node
+
+__all__ = [
+    "Filter",
+    "Project",
+    "Aggregate",
+    "AggSpec",
+    "Sort",
+    "Distinct",
+    "Skip",
+    "Limit",
+    "Unwind",
+    "CartesianProduct",
+    "ApplyOptional",
+    "Results",
+]
+
+
+def _hashable(value) -> Any:
+    """Turn any runtime value into a hashable grouping/dedup key."""
+    if isinstance(value, Node):
+        return ("node", value.id)
+    if isinstance(value, Edge):
+        return ("edge", value.id)
+    if isinstance(value, list):
+        return ("list", tuple(_hashable(v) for v in value))
+    if isinstance(value, dict):
+        return ("map", tuple(sorted((k, _hashable(v)) for k, v in value.items())))
+    return value
+
+
+class Filter(PlanOp):
+    """Keep records whose predicate evaluates to exactly true."""
+
+    name = "Filter"
+
+    def __init__(self, child: PlanOp, predicate: CompiledExpr, label: str = "") -> None:
+        super().__init__([child], child.out_layout)
+        self._predicate = predicate
+        self._label = label
+
+    def describe(self) -> str:
+        return f"Filter | {self._label}" if self._label else "Filter"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        pred = self._predicate
+        for record in self.children[0].produce(ctx):
+            if pred(record, ctx) is True:
+                yield record
+
+
+class Project(PlanOp):
+    """Evaluate projections into a fresh, narrower record."""
+
+    name = "Project"
+
+    def __init__(self, child: PlanOp, items: Sequence[Tuple[str, CompiledExpr]]) -> None:
+        super().__init__([child], Layout([name for name, _ in items]))
+        self._items = list(items)
+
+    def describe(self) -> str:
+        return f"Project | {', '.join(n for n, _ in self._items)}"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        fns = [fn for _, fn in self._items]
+        for record in self.children[0].produce(ctx):
+            yield [fn(record, ctx) for fn in fns]
+
+
+class AggSpec:
+    """One aggregation: kind, argument expression, DISTINCT flag."""
+
+    __slots__ = ("kind", "expr", "distinct")
+
+    def __init__(self, kind: str, expr: Optional[CompiledExpr], distinct: bool) -> None:
+        self.kind = kind  # count/sum/avg/min/max/collect; expr None = count(*)
+        self.expr = expr
+        self.distinct = distinct
+
+
+class _AggState:
+    __slots__ = ("count", "total", "values", "best", "seen")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.values: List[Any] = []
+        self.best: Any = None
+        self.seen: set = set()
+
+
+class Aggregate(PlanOp):
+    """Hash aggregation: group keys + aggregate columns.
+
+    With no group keys, exactly one output row is emitted even on empty
+    input (``count(*)`` over nothing is 0, ``sum`` is 0, others null).
+    """
+
+    name = "Aggregate"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        group_items: Sequence[Tuple[str, CompiledExpr]],
+        agg_items: Sequence[Tuple[str, AggSpec]],
+    ) -> None:
+        names = [n for n, _ in group_items] + [n for n, _ in agg_items]
+        super().__init__([child], Layout(names))
+        self._group = list(group_items)
+        self._aggs = list(agg_items)
+
+    def describe(self) -> str:
+        return (
+            f"Aggregate | keys=[{', '.join(n for n, _ in self._group)}] "
+            f"aggs=[{', '.join(n for n, _ in self._aggs)}]"
+        )
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        groups: dict = {}
+        group_fns = [fn for _, fn in self._group]
+        specs = [spec for _, spec in self._aggs]
+        for record in self.children[0].produce(ctx):
+            key_values = [fn(record, ctx) for fn in group_fns]
+            key = tuple(_hashable(v) for v in key_values)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (key_values, [_AggState() for _ in specs])
+                groups[key] = entry
+            for spec, state in zip(specs, entry[1]):
+                self._accumulate(spec, state, record, ctx)
+        if not groups and not self._group:
+            groups[()] = ([], [_AggState() for _ in specs])
+        for key_values, states in groups.values():
+            row = list(key_values)
+            for spec, state in zip(specs, states):
+                row.append(self._finalize(spec, state))
+            yield row
+
+    @staticmethod
+    def _accumulate(spec: AggSpec, state: _AggState, record: Record, ctx: ExecContext) -> None:
+        if spec.expr is None:  # count(*)
+            state.count += 1
+            return
+        value = spec.expr(record, ctx)
+        if value is None:
+            return
+        if spec.distinct:
+            key = _hashable(value)
+            if key in state.seen:
+                return
+            state.seen.add(key)
+        state.count += 1
+        if spec.kind == "sum" or spec.kind == "avg":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise CypherTypeError(f"{spec.kind}() expects numeric values")
+            state.total += value
+        elif spec.kind == "collect":
+            state.values.append(value)
+        elif spec.kind in ("min", "max"):
+            if state.best is None:
+                state.best = value
+            else:
+                if spec.kind == "min":
+                    if sort_key(value) < sort_key(state.best):
+                        state.best = value
+                elif sort_key(value) > sort_key(state.best):
+                    state.best = value
+
+    @staticmethod
+    def _finalize(spec: AggSpec, state: _AggState):
+        if spec.kind == "count":
+            return state.count
+        if spec.kind == "sum":
+            total = state.total
+            return int(total) if float(total).is_integer() else total
+        if spec.kind == "avg":
+            return None if state.count == 0 else state.total / state.count
+        if spec.kind == "collect":
+            return state.values
+        if spec.kind in ("min", "max"):
+            return state.best
+        raise CypherTypeError(f"unknown aggregate {spec.kind}")  # pragma: no cover
+
+
+class Sort(PlanOp):
+    """Materializing sort with the Cypher type-aware ordering.
+
+    When the optimizer sets ``top`` (a following LIMIT with a literal
+    count) and all keys share one direction, a bounded heap replaces the
+    full materialize-and-sort.
+    """
+
+    name = "Sort"
+
+    def __init__(self, child: PlanOp, keys: Sequence[Tuple[CompiledExpr, bool]]) -> None:
+        super().__init__([child], child.out_layout)
+        self._keys = list(keys)
+        self.top = -1  # set by the optimizer
+
+    def describe(self) -> str:
+        return f"Sort | top={self.top}" if self.top >= 0 else "Sort"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        directions = {asc for _, asc in self._keys}
+        if self.top >= 0 and len(directions) == 1:
+            import heapq
+
+            ascending = directions == {True}
+            keyed = (
+                (tuple(sort_key(expr(rec, ctx)) for expr, _ in self._keys), i, rec)
+                for i, rec in enumerate(self.children[0].produce(ctx))
+            )
+            pick = heapq.nsmallest if ascending else heapq.nlargest
+            for _, _, rec in pick(self.top, keyed, key=lambda t: t[0]):
+                yield rec
+            return
+        rows = list(self.children[0].produce(ctx))
+        # stable multi-key sort: apply keys right-to-left
+        for expr, ascending in reversed(self._keys):
+            rows.sort(key=lambda rec: sort_key(expr(rec, ctx)), reverse=not ascending)
+        yield from rows
+
+
+class Distinct(PlanOp):
+    name = "Distinct"
+
+    def __init__(self, child: PlanOp) -> None:
+        super().__init__([child], child.out_layout)
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        seen = set()
+        for record in self.children[0].produce(ctx):
+            key = tuple(_hashable(v) for v in record)
+            if key not in seen:
+                seen.add(key)
+                yield record
+
+
+class Skip(PlanOp):
+    name = "Skip"
+
+    def __init__(self, child: PlanOp, count: CompiledExpr) -> None:
+        super().__init__([child], child.out_layout)
+        self._count = count
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        n = int(self._count([], ctx))
+        for i, record in enumerate(self.children[0].produce(ctx)):
+            if i >= n:
+                yield record
+
+
+class Limit(PlanOp):
+    name = "Limit"
+
+    def __init__(self, child: PlanOp, count: CompiledExpr) -> None:
+        super().__init__([child], child.out_layout)
+        self._count = count
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        n = int(self._count([], ctx))
+        if n <= 0:
+            return
+        for i, record in enumerate(self.children[0].produce(ctx)):
+            yield record
+            if i + 1 >= n:
+                return
+
+
+class Unwind(PlanOp):
+    """Fan a list value out into one record per element."""
+
+    name = "Unwind"
+
+    def __init__(self, child: PlanOp, expr: CompiledExpr, alias: str) -> None:
+        super().__init__([child], child.out_layout.extend(alias))
+        self._expr = expr
+        self._slot = self.out_layout.slot(alias)
+        self._alias = alias
+
+    def describe(self) -> str:
+        return f"Unwind | {self._alias}"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        width = len(self.out_layout)
+        for record in self.children[0].produce(ctx):
+            value = self._expr(record, ctx)
+            if value is None:
+                continue
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                out = record + [None] * (width - len(record))
+                out[self._slot] = item
+                yield out
+
+
+class CartesianProduct(PlanOp):
+    """Cross product of disconnected pattern streams (right side
+    materialized once)."""
+
+    name = "CartesianProduct"
+
+    def __init__(self, left: PlanOp, right: PlanOp) -> None:
+        merged = left.out_layout.extend(*right.out_layout.names)
+        super().__init__([left, right], merged)
+        self._right_slots = [merged.slot(n) for n in right.out_layout.names]
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        right_rows = list(self.children[1].produce(ctx))
+        width = len(self.out_layout)
+        for left_rec in self.children[0].produce(ctx):
+            for right_rec in right_rows:
+                out = left_rec + [None] * (width - len(left_rec))
+                for slot, value in zip(self._right_slots, right_rec):
+                    out[slot] = value
+                yield out
+
+
+class ApplyOptional(PlanOp):
+    """OPTIONAL MATCH: run the right subtree once per left record (seeded
+    through its Argument leaf); emit null-extended records when empty."""
+
+    name = "Optional"
+
+    def __init__(self, left: PlanOp, right: PlanOp, argument: Argument) -> None:
+        super().__init__([left, right], right.out_layout)
+        self._argument = argument
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        width = len(self.out_layout)
+        for record in self.children[0].produce(ctx):
+            self._argument.seed(record + [None] * (len(self._argument.out_layout) - len(record)))
+            matched = False
+            for out in self.children[1].produce(ctx):
+                matched = True
+                yield out
+            if not matched:
+                yield record + [None] * (width - len(record))
+
+
+class Results(PlanOp):
+    """Plan root: passes records through (column naming happens in the
+    executor, which owns the final projection)."""
+
+    name = "Results"
+
+    def __init__(self, child: PlanOp) -> None:
+        super().__init__([child], child.out_layout)
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        yield from self.children[0].produce(ctx)

@@ -1,0 +1,271 @@
+"""Traversal operations — where Cypher meets GraphBLAS.
+
+``ConditionalTraverse`` batches incoming records, builds a frontier
+extraction matrix, and fires one sparse matrix-product chain per batch
+(paper §II: "graph traversals … translated into linear algebraic
+operations on sparse matrices").  ``ExpandInto`` closes cycles whose both
+endpoints are already bound; ``CondVarLenTraverse`` runs the masked-BFS
+loop for ``[*min..max]`` patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.execplan.algebraic import AlgebraicExpression, frontier_matrix
+from repro.execplan.expressions import ExecContext
+from repro.execplan.ops_base import PlanOp
+from repro.execplan.record import Layout, Record
+from repro.graph.entities import Edge, Node
+from repro.grblas import Mask, Vector, semiring
+from repro.grblas.descriptor import Descriptor
+
+__all__ = ["ConditionalTraverse", "ExpandInto", "CondVarLenTraverse"]
+
+_REPLACE = Descriptor(replace=True)
+
+
+def _edge_candidates(graph, src: int, dst: int, types: Tuple[str, ...], direction: str) -> List[Tuple[int, bool]]:
+    """Edge ids realizing one (src, dst) hop; bool marks a reversed match
+    (for undirected patterns).  Requires materialized edges."""
+    out: List[Tuple[int, bool]] = []
+    type_list = list(types) if types else [None]
+    for t in type_list:
+        if direction in ("out", "any"):
+            out.extend((eid, False) for eid in graph.edges_between(src, dst, t))
+        if direction in ("in", "any"):
+            out.extend((eid, True) for eid in graph.edges_between(dst, src, t))
+    return out
+
+
+class ConditionalTraverse(PlanOp):
+    """One relationship hop: ``(src)-[:T]->(dst)`` with ``src`` bound.
+
+    Consumes records in batches of ``config.traverse_batch_size``; each
+    batch becomes one frontier matrix multiplied through the algebraic
+    expression.  Destination labels ride inside the expression as diagonal
+    matrices.
+    """
+
+    name = "ConditionalTraverse"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        src_var: str,
+        dst_var: str,
+        expression: AlgebraicExpression,
+        *,
+        edge_var: Optional[str] = None,
+        types: Tuple[str, ...] = (),
+        direction: str = "out",
+    ) -> None:
+        out_layout = child.out_layout.extend(dst_var, *( [edge_var] if edge_var else [] ))
+        super().__init__([child], out_layout)
+        self._src_slot = child.out_layout.slot(src_var)
+        self._dst_slot = out_layout.slot(dst_var)
+        self._edge_slot = out_layout.slot(edge_var) if edge_var else None
+        self._edge_var = edge_var
+        self._expr = expression
+        self._types = types
+        self._direction = direction
+        self._src_var = src_var
+        self._dst_var = dst_var
+
+    def describe(self) -> str:
+        return (
+            f"ConditionalTraverse | ({self._src_var})->({self._dst_var}) "
+            f"expr=[{self._expr.describe()}]"
+        )
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        batch_size = ctx.graph.config.traverse_batch_size
+        batch: List[Record] = []
+        for record in self.children[0].produce(ctx):
+            batch.append(record)
+            if len(batch) >= batch_size:
+                yield from self._expand(ctx, batch)
+                batch = []
+        if batch:
+            yield from self._expand(ctx, batch)
+
+    def _expand(self, ctx: ExecContext, batch: List[Record]) -> Iterator[Record]:
+        graph = ctx.graph
+        src_ids = [rec[self._src_slot].id for rec in batch]
+        F = frontier_matrix(src_ids, graph.capacity)
+        D = self._expr.evaluate(graph, F)
+        rec_idx, dst_ids, _ = D.to_coo()
+        width = len(self.out_layout)
+        for r, dst in zip(rec_idx.tolist(), dst_ids.tolist()):
+            base = batch[r]
+            if self._edge_slot is None:
+                out = base + [None] * (width - len(base))
+                out[self._dst_slot] = Node(graph, dst)
+                yield out
+            else:
+                src = src_ids[r]
+                candidates = _edge_candidates(graph, src, dst, self._types, self._direction)
+                if not candidates and graph.relation_matrix(
+                    self._types[0] if self._types else None
+                ).nvals:
+                    # connected per the matrix but no edge records: the graph
+                    # was bulk-loaded without materialized edges
+                    raise GraphError(
+                        "edge variables require materialized edges; this graph was bulk-loaded "
+                        "(re-load with per-edge creation to bind edge variables)"
+                    )
+                for eid, _reversed in candidates:
+                    out = base + [None] * (width - len(base))
+                    out[self._dst_slot] = Node(graph, dst)
+                    out[self._edge_slot] = Edge(graph, eid)
+                    yield out
+
+
+class ExpandInto(PlanOp):
+    """Close a pattern whose endpoints are both bound: emit the record only
+    when the (src, dst) hop exists.  A batched structural matrix probe."""
+
+    name = "ExpandInto"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        src_var: str,
+        dst_var: str,
+        expression: AlgebraicExpression,
+        *,
+        edge_var: Optional[str] = None,
+        types: Tuple[str, ...] = (),
+        direction: str = "out",
+    ) -> None:
+        out_layout = child.out_layout.extend(*([edge_var] if edge_var else []))
+        super().__init__([child], out_layout)
+        self._src_slot = child.out_layout.slot(src_var)
+        self._dst_slot = child.out_layout.slot(dst_var)
+        self._edge_slot = out_layout.slot(edge_var) if edge_var else None
+        self._expr = expression
+        self._types = types
+        self._direction = direction
+        self._src_var = src_var
+        self._dst_var = dst_var
+
+    def describe(self) -> str:
+        return f"ExpandInto | ({self._src_var})->({self._dst_var}) expr=[{self._expr.describe()}]"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        batch_size = ctx.graph.config.traverse_batch_size
+        batch: List[Record] = []
+        for record in self.children[0].produce(ctx):
+            batch.append(record)
+            if len(batch) >= batch_size:
+                yield from self._probe(ctx, batch)
+                batch = []
+        if batch:
+            yield from self._probe(ctx, batch)
+
+    def _probe(self, ctx: ExecContext, batch: List[Record]) -> Iterator[Record]:
+        graph = ctx.graph
+        src_ids = [rec[self._src_slot].id for rec in batch]
+        dst_ids = [rec[self._dst_slot].id for rec in batch]
+        F = frontier_matrix(src_ids, graph.capacity)
+        D = self._expr.evaluate(graph, F)
+        width = len(self.out_layout)
+        for r, record in enumerate(batch):
+            if D[r, dst_ids[r]] is None:
+                continue
+            if self._edge_slot is None:
+                yield list(record) if width == len(record) else record + [None] * (width - len(record))
+                continue
+            for eid, _rev in _edge_candidates(graph, src_ids[r], dst_ids[r], self._types, self._direction):
+                out = record + [None] * (width - len(record))
+                out[self._edge_slot] = Edge(graph, eid)
+                yield out
+
+
+class CondVarLenTraverse(PlanOp):
+    """Variable-length traversal ``(src)-[:T*min..max]->(dst)``.
+
+    Per source node, runs the masked BFS loop (frontier ``vxm`` under a
+    complemented visited mask) over the expression's combined relation
+    matrix, emitting each node first reached at hop distance in
+    ``[min, max]``.  When ``dst`` is already bound it degrades to a
+    reachability test.
+    """
+
+    name = "CondVarLenTraverse"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        src_var: str,
+        dst_var: str,
+        expression: AlgebraicExpression,
+        min_hops: int,
+        max_hops: int,  # -1 = unbounded
+        *,
+        dst_bound: bool = False,
+        max_cap: int = 30,
+    ) -> None:
+        out_layout = child.out_layout if dst_bound else child.out_layout.extend(dst_var)
+        super().__init__([child], out_layout)
+        self._src_slot = child.out_layout.slot(src_var)
+        self._dst_bound = dst_bound
+        self._dst_slot = out_layout.slot(dst_var)
+        self._expr = expression
+        self._min = min_hops
+        self._max = max_hops if max_hops >= 0 else max_cap
+        self._src_var = src_var
+        self._dst_var = dst_var
+
+    def describe(self) -> str:
+        return (
+            f"CondVarLenTraverse | ({self._src_var})-[*{self._min}..{self._max}]->"
+            f"({self._dst_var}) expr=[{self._expr.describe()}]"
+        )
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        graph = ctx.graph
+        A = self._expr.single_matrix(graph)
+        width = len(self.out_layout)
+        for record in self.children[0].produce(ctx):
+            src = record[self._src_slot].id
+            reachable = self._reachable(A, src, graph.capacity)
+            if self._dst_bound:
+                dst = record[self._dst_slot].id
+                if dst in reachable:
+                    yield list(record)
+            else:
+                for dst in reachable:
+                    out = record + [None] * (width - len(record))
+                    out[self._dst_slot] = Node(graph, int(dst))
+                    yield out
+
+    def _reachable(self, A, src: int, dim: int) -> set:
+        """Nodes whose first-reach hop count lies within [min, max]."""
+        visited = Vector.from_coo([src], None, size=dim)
+        frontier = visited.dup()
+        out: set = set()
+        if self._min == 0:
+            out.add(src)
+        for hop in range(1, self._max + 1):
+            frontier = frontier.vxm(
+                A,
+                semiring.any_pair,
+                mask=Mask(visited, complement=True, structure=True),
+                desc=_REPLACE,
+            )
+            if frontier.nvals == 0:
+                break
+            if hop >= self._min:
+                out.update(frontier.indices.tolist())
+            visited = visited.ewise_add(frontier, _lor())
+        return out
+
+
+def _lor():
+    from repro.grblas import binary
+
+    return binary.lor

@@ -1,0 +1,313 @@
+"""Graph-mutating operations: CREATE, MERGE, DELETE, SET, REMOVE, indices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CypherTypeError, EntityNotFound
+from repro.execplan.expressions import CompiledExpr, ExecContext
+from repro.execplan.ops_base import Argument, PlanOp
+from repro.execplan.record import Layout, Record
+from repro.graph.entities import Edge, Node
+
+__all__ = [
+    "NodeCreateSpec",
+    "EdgeCreateSpec",
+    "Create",
+    "Merge",
+    "Delete",
+    "SetOp",
+    "RemoveOp",
+    "CreateIndexOp",
+    "DropIndexOp",
+]
+
+
+@dataclass
+class NodeCreateSpec:
+    """One node of a CREATE pattern.  ``bound`` means the variable already
+    exists in the incoming record (reuse, don't create)."""
+
+    var: Optional[str]
+    labels: Tuple[str, ...]
+    properties: Tuple[Tuple[str, CompiledExpr], ...]
+    bound: bool
+
+
+@dataclass
+class EdgeCreateSpec:
+    """One edge of a CREATE pattern, referencing node specs by index."""
+
+    var: Optional[str]
+    reltype: str
+    src_index: int  # into the path's node list (already direction-resolved)
+    dst_index: int
+    properties: Tuple[Tuple[str, CompiledExpr], ...]
+
+
+class _PatternWriter:
+    """Shared CREATE machinery (used by both Create and the Merge create arm)."""
+
+    def __init__(self, paths: Sequence[Tuple[List[NodeCreateSpec], List[EdgeCreateSpec]]]) -> None:
+        self.paths = list(paths)
+
+    def new_names(self) -> List[str]:
+        names: List[str] = []
+        for nodes, edges in self.paths:
+            for spec in nodes:
+                if spec.var and not spec.bound:
+                    names.append(spec.var)
+            for spec in edges:
+                if spec.var:
+                    names.append(spec.var)
+        return names
+
+    def write(self, record: Record, in_layout: Layout, out: Record, out_layout: Layout, ctx: ExecContext) -> None:
+        graph = ctx.graph
+        stats = ctx.stats
+        for nodes, edges in self.paths:
+            created: List[Node] = []
+            for spec in nodes:
+                if spec.bound:
+                    # bound either from the incoming record or by an earlier
+                    # path of this same clause — both live in `out`
+                    value = out[out_layout.slot(spec.var)]
+                    if not isinstance(value, Node):
+                        raise CypherTypeError(
+                            f"CREATE expected {spec.var!r} to be a node, got {type(value).__name__}"
+                        )
+                    created.append(value)
+                    continue
+                props = {k: fn(record, ctx) for k, fn in spec.properties}
+                props = {k: v for k, v in props.items() if v is not None}
+                node = graph.create_node(spec.labels, props)
+                created.append(node)
+                if stats:
+                    stats.nodes_created += 1
+                    stats.labels_added += len(spec.labels)
+                    stats.properties_set += len(props)
+                if spec.var:
+                    out[out_layout.slot(spec.var)] = node
+            for spec in edges:
+                props = {k: fn(record, ctx) for k, fn in spec.properties}
+                props = {k: v for k, v in props.items() if v is not None}
+                edge = graph.create_edge(
+                    created[spec.src_index].id, spec.reltype, created[spec.dst_index].id, props
+                )
+                if stats:
+                    stats.relationships_created += 1
+                    stats.properties_set += len(props)
+                if spec.var:
+                    out[out_layout.slot(spec.var)] = edge
+
+
+class Create(PlanOp):
+    name = "Create"
+
+    def __init__(self, child: PlanOp, paths: Sequence[Tuple[List[NodeCreateSpec], List[EdgeCreateSpec]]]) -> None:
+        self._writer = _PatternWriter(paths)
+        out_layout = child.out_layout.extend(*self._writer.new_names())
+        super().__init__([child], out_layout)
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        in_layout = self.children[0].out_layout
+        width = len(self.out_layout)
+        for record in self.children[0].produce(ctx):
+            out = record + [None] * (width - len(record))
+            self._writer.write(record, in_layout, out, self.out_layout, ctx)
+            yield out
+
+
+class Merge(PlanOp):
+    """MERGE: per input record, emit the match arm's results; when the arm
+    finds nothing, create the pattern and emit the created bindings."""
+
+    name = "Merge"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        match_arm: PlanOp,
+        argument: Argument,
+        paths: Sequence[Tuple[List[NodeCreateSpec], List[EdgeCreateSpec]]],
+    ) -> None:
+        self._writer = _PatternWriter(paths)
+        super().__init__([child, match_arm], match_arm.out_layout)
+        self._argument = argument
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        in_layout = self.children[0].out_layout
+        width = len(self.out_layout)
+        for record in self.children[0].produce(ctx):
+            self._argument.seed(record + [None] * (len(self._argument.out_layout) - len(record)))
+            matched = False
+            for out in self.children[1].produce(ctx):
+                matched = True
+                yield out
+            if not matched:
+                out = record + [None] * (width - len(record))
+                self._writer.write(record, in_layout, out, self.out_layout, ctx)
+                yield out
+
+
+class Delete(PlanOp):
+    name = "Delete"
+
+    def __init__(self, child: PlanOp, exprs: Sequence[CompiledExpr], *, detach: bool) -> None:
+        super().__init__([child], child.out_layout)
+        self._exprs = list(exprs)
+        self._detach = detach
+
+    def describe(self) -> str:
+        return "Delete | DETACH" if self._detach else "Delete"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        graph = ctx.graph
+        stats = ctx.stats
+        for record in self.children[0].produce(ctx):
+            for fn in self._exprs:
+                value = fn(record, ctx)
+                if value is None:
+                    continue
+                if isinstance(value, Node):
+                    if graph.has_node(value.id):
+                        removed_edges = graph.delete_node(value.id, detach=self._detach)
+                        if stats:
+                            stats.nodes_deleted += 1
+                            stats.relationships_deleted += removed_edges
+                elif isinstance(value, Edge):
+                    if graph.has_edge(value.id):
+                        graph.delete_edge(value.id)
+                        if stats:
+                            stats.relationships_deleted += 1
+                else:
+                    raise CypherTypeError(
+                        f"DELETE expects nodes or relationships, got {type(value).__name__}"
+                    )
+            yield record
+
+
+class SetOp(PlanOp):
+    name = "Set"
+
+    def __init__(
+        self,
+        child: PlanOp,
+        items: Sequence[Tuple[str, Optional[str], Optional[CompiledExpr], Tuple[str, ...], bool]],
+    ) -> None:
+        # items: (target var, key, value fn, labels, merge_map)
+        super().__init__([child], child.out_layout)
+        self._items = list(items)
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        graph = ctx.graph
+        stats = ctx.stats
+        layout = self.out_layout
+        for record in self.children[0].produce(ctx):
+            for target, key, value_fn, labels, merge_map in self._items:
+                entity = record[layout.slot(target)]
+                if entity is None:
+                    continue
+                if labels:
+                    if not isinstance(entity, Node):
+                        raise CypherTypeError("SET label expects a node")
+                    for label in labels:
+                        graph.add_label(entity.id, label)
+                        if stats:
+                            stats.labels_added += 1
+                    continue
+                value = value_fn(record, ctx) if value_fn is not None else None
+                if merge_map:
+                    if not isinstance(value, dict):
+                        raise CypherTypeError("SET += expects a map")
+                    if key == "":  # full replacement: SET n = {map}
+                        for old_key in list(_entity_props(entity)):
+                            _set_prop(graph, entity, old_key, None)
+                    for k, v in value.items():
+                        _set_prop(graph, entity, k, v)
+                        if stats:
+                            stats.properties_set += 1
+                else:
+                    _set_prop(graph, entity, key, value)
+                    if stats:
+                        stats.properties_set += 1
+            yield record
+
+
+class RemoveOp(PlanOp):
+    name = "Remove"
+
+    def __init__(self, child: PlanOp, items: Sequence[Tuple[str, Optional[str], Tuple[str, ...]]]) -> None:
+        super().__init__([child], child.out_layout)
+        self._items = list(items)
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        graph = ctx.graph
+        stats = ctx.stats
+        layout = self.out_layout
+        for record in self.children[0].produce(ctx):
+            for target, key, labels in self._items:
+                entity = record[layout.slot(target)]
+                if entity is None:
+                    continue
+                if key is not None:
+                    _set_prop(graph, entity, key, None)
+                    if stats:
+                        stats.properties_set += 1
+                for label in labels:
+                    if not isinstance(entity, Node):
+                        raise CypherTypeError("REMOVE label expects a node")
+                    graph.remove_label(entity.id, label)
+            yield record
+
+
+class CreateIndexOp(PlanOp):
+    name = "CreateIndex"
+
+    def __init__(self, label: str, attribute: str) -> None:
+        super().__init__([], Layout())
+        self._label = label
+        self._attribute = attribute
+
+    def describe(self) -> str:
+        return f"CreateIndex | :{self._label}({self._attribute})"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        ctx.graph.create_index(self._label, self._attribute)
+        if ctx.stats:
+            ctx.stats.indices_created += 1
+        return
+        yield  # pragma: no cover - generator with no items
+
+class DropIndexOp(PlanOp):
+    name = "DropIndex"
+
+    def __init__(self, label: str, attribute: str) -> None:
+        super().__init__([], Layout())
+        self._label = label
+        self._attribute = attribute
+
+    def describe(self) -> str:
+        return f"DropIndex | :{self._label}({self._attribute})"
+
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        if ctx.graph.drop_index(self._label, self._attribute) and ctx.stats:
+            ctx.stats.indices_deleted += 1
+        return
+        yield  # pragma: no cover
+
+
+def _entity_props(entity) -> dict:
+    if isinstance(entity, (Node, Edge)):
+        return entity.properties
+    raise CypherTypeError(f"cannot set properties on {type(entity).__name__}")
+
+
+def _set_prop(graph, entity, key: str, value) -> None:
+    if isinstance(entity, Node):
+        graph.set_node_property(entity.id, key, value)
+    elif isinstance(entity, Edge):
+        graph.set_edge_property(entity.id, key, value)
+    else:
+        raise CypherTypeError(f"cannot set properties on {type(entity).__name__}")

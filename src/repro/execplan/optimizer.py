@@ -1,0 +1,52 @@
+"""Plan rewrites applied after construction.
+
+The planner already performs the big structural choices RedisGraph makes
+(index-scan selection, folding labels into algebraic expressions, using
+ExpandInto for closed patterns).  This pass adds stream-level rewrites:
+
+* **top-k sort**: ``Limit(Sort(x))`` annotates the sort with the limit so
+  it keeps a bounded heap instead of materializing + sorting everything,
+* **filter fusion**: adjacent Filters merge into one (fewer generator
+  hops per record).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.execplan.ops_base import PlanOp
+from repro.execplan.ops_stream import Filter, Limit, Sort
+
+__all__ = ["optimize"]
+
+
+def optimize(root: PlanOp) -> PlanOp:
+    root = _rewrite(root)
+    return root
+
+
+def _rewrite(op: PlanOp) -> PlanOp:
+    op.children = [_rewrite(c) for c in op.children]
+
+    # Limit(Sort(x)) -> Sort with top-k bound (keep the Limit: Skip needs it)
+    if isinstance(op, Limit) and op.children and isinstance(op.children[0], Sort):
+        sort = op.children[0]
+        try:
+            n = int(op._count([], None))  # literal limits only
+        except Exception:
+            n = -1
+        if n >= 0:
+            sort.top = n
+
+    # Filter(Filter(x)) -> fused Filter
+    if isinstance(op, Filter) and op.children and isinstance(op.children[0], Filter):
+        inner = op.children[0]
+        outer_pred = op._predicate
+        inner_pred = inner._predicate
+
+        def fused(record, ctx, _a=inner_pred, _b=outer_pred):
+            return _a(record, ctx) is True and _b(record, ctx) is True
+
+        fused_op = Filter(inner.children[0], fused, f"{inner._label} AND {op._label}".strip(" AND "))
+        return fused_op
+    return op

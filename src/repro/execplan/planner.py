@@ -1,0 +1,709 @@
+"""The query planner: AST clauses → plan-operation tree.
+
+Mirrors RedisGraph's ExecutionPlan construction:
+
+* every MATCH path picks an *anchor* — a bound variable when the path
+  connects to earlier clauses, otherwise the cheapest scan (index probe >
+  label scan > all-node scan) — and is walked outward from the anchor,
+  one traversal operation per relationship,
+* each traversal step compiles to an algebraic expression (relation
+  matrix × destination label diagonals); single hops become
+  ConditionalTraverse / ExpandInto, variable-length hops become
+  CondVarLenTraverse,
+* inline property maps lower to filters (or into the index probe at the
+  anchor), WHERE lowers to a Filter operation,
+* WITH/RETURN lower to Project or Aggregate (+ Distinct/Sort/Skip/Limit),
+  with aggregate calls rewritten into placeholder slots and implicit
+  grouping keys lifted from mixed expressions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CypherSemanticError
+from repro.cypher import ast_nodes as A
+from repro.cypher.semantic import AGGREGATE_FUNCTIONS, has_aggregate
+from repro.execplan.algebraic import build_traverse_expression
+from repro.execplan.expressions import CompiledExpr, ExecContext, _equal, compile_expr
+from repro.execplan.ops_base import Argument, PlanOp, Unit
+from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
+from repro.execplan.ops_stream import (
+    AggSpec,
+    Aggregate,
+    ApplyOptional,
+    CartesianProduct,
+    Distinct,
+    Filter,
+    Limit,
+    Project,
+    Results,
+    Skip,
+    Sort,
+    Unwind,
+)
+from repro.execplan.ops_traverse import CondVarLenTraverse, ConditionalTraverse, ExpandInto
+from repro.execplan.ops_update import (
+    Create,
+    CreateIndexOp,
+    Delete,
+    DropIndexOp,
+    EdgeCreateSpec,
+    Merge,
+    NodeCreateSpec,
+    RemoveOp,
+    SetOp,
+)
+from repro.graph.entities import Node
+from repro.graph.graph import Graph
+
+__all__ = ["plan_single_query", "PlannedQuery"]
+
+
+class PlannedQuery:
+    """A compiled query part: plan root + output column names (None for
+    update-only queries) + whether it writes."""
+
+    def __init__(self, root: PlanOp, columns: Optional[List[str]], writes: bool) -> None:
+        self.root = root
+        self.columns = columns
+        self.writes = writes
+
+    def explain(self, *, profile: bool = False) -> str:
+        return "\n".join(self.root.tree_lines(profile=profile))
+
+
+class _Planner:
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.root: Optional[PlanOp] = None
+        self.visible: List[str] = []  # user-visible variable names, in order
+        self._anon = itertools.count()
+        self.writes = False
+        self.columns: Optional[List[str]] = None
+        self._id_seeks: Dict[str, A.Expr] = {}
+
+    # ------------------------------------------------------------------
+    def _anon_var(self) -> str:
+        return f"@anon{next(self._anon)}"
+
+    def _layout(self):
+        from repro.execplan.record import Layout
+
+        return self.root.out_layout if self.root is not None else Layout()
+
+    def _bound(self) -> Set[str]:
+        return set(self._layout().names)
+
+    def _expose(self, name: Optional[str]) -> None:
+        if name and not name.startswith("@") and name not in self.visible:
+            self.visible.append(name)
+
+    # ------------------------------------------------------------------
+    # Clause dispatch
+    # ------------------------------------------------------------------
+    def add_clause(self, clause) -> None:
+        if isinstance(clause, A.MatchClause):
+            self._plan_match(clause)
+        elif isinstance(clause, A.CreateClause):
+            self._plan_create(clause)
+        elif isinstance(clause, A.MergeClause):
+            self._plan_merge(clause)
+        elif isinstance(clause, A.DeleteClause):
+            self._plan_delete(clause)
+        elif isinstance(clause, A.SetClause):
+            self._plan_set(clause)
+        elif isinstance(clause, A.RemoveClause):
+            self._plan_remove(clause)
+        elif isinstance(clause, A.UnwindClause):
+            self._plan_unwind(clause)
+        elif isinstance(clause, A.WithClause):
+            self._plan_projection_clause(clause, is_return=False)
+        elif isinstance(clause, A.ReturnClause):
+            self._plan_projection_clause(clause, is_return=True)
+        elif isinstance(clause, A.CreateIndexClause):
+            self.root = CreateIndexOp(clause.label, clause.attribute)
+            self.writes = True
+        elif isinstance(clause, A.DropIndexClause):
+            self.root = DropIndexOp(clause.label, clause.attribute)
+            self.writes = True
+        else:  # pragma: no cover
+            raise CypherSemanticError(f"unsupported clause {clause!r}")
+
+    # ------------------------------------------------------------------
+    # MATCH
+    # ------------------------------------------------------------------
+    def _plan_match(self, clause: A.MatchClause) -> None:
+        if clause.optional:
+            self._plan_optional_match(clause)
+            return
+        # `WHERE id(n) = <expr>` gives the anchor an O(1) id-seek access
+        # path (the k-hop benchmark's seed lookup); the residual filter
+        # still runs and is trivially true.
+        self._id_seeks = _extract_id_seeks(clause.where)
+        try:
+            for path in clause.patterns:
+                self._plan_path(path)
+        finally:
+            self._id_seeks = {}
+        if clause.where is not None:
+            self.root = Filter(self.root, compile_expr(clause.where, self._layout()), "WHERE")
+
+    def _plan_optional_match(self, clause: A.MatchClause) -> None:
+        if self.root is None:
+            # OPTIONAL MATCH as the first clause: a bare match that may
+            # produce an all-null row
+            left: PlanOp = Unit()
+        else:
+            left = self.root
+        argument = Argument(left.out_layout)
+        sub = _Planner(self.graph)
+        sub.root = argument
+        sub.visible = list(self.visible)
+        for path in clause.patterns:
+            sub._plan_path(path)
+        if clause.where is not None:
+            sub.root = Filter(sub.root, compile_expr(clause.where, sub._layout()), "WHERE")
+        self.root = ApplyOptional(left, sub.root, argument)
+        for name in sub.visible:
+            self._expose(name)
+
+    def _plan_path(self, path: A.Path) -> None:
+        if path.var is not None:
+            raise CypherSemanticError("named path variables are not supported")
+        nodes = list(path.nodes)
+        rels = list(path.rels)
+        bound = self._bound()
+
+        # resolve variables: give anonymous nodes internal names
+        node_vars: List[str] = []
+        for node in nodes:
+            node_vars.append(node.var if node.var is not None else self._anon_var())
+
+        # anchor selection: a bound node wins; otherwise best scan
+        anchor = None
+        for i, var in enumerate(node_vars):
+            if var in bound:
+                anchor = i
+                break
+        connected = anchor is not None
+
+        # a path may also be *correlated*: its property maps reference bound
+        # variables (UNWIND xs AS x MATCH (n {k: x})); chain the scan onto
+        # the stream instead of cross-producting
+        correlated = False
+        if not connected and bound:
+            refs: Set[str] = set()
+            for node in nodes:
+                for _, e in node.properties:
+                    refs |= _identifier_names(e)
+            for rel in rels:
+                for _, e in rel.properties:
+                    refs |= _identifier_names(e)
+            correlated = bool(refs & bound)
+
+        if anchor is None:
+            anchor = self._best_scan_anchor(nodes, node_vars)
+
+        # build the path subtree; disconnected paths start their own chain
+        chain_root = self.root if (connected or correlated) else None
+        chain = _PathChain(self, chain_root, node_vars)
+        if not connected:
+            chain.scan_anchor(nodes[anchor], node_vars[anchor])
+        else:
+            chain.note_bound(node_vars[anchor])
+            # anchor node's labels/props still need checking when restated
+            chain.filter_node_constraints(nodes[anchor], node_vars[anchor])
+
+        for i in range(anchor, len(rels)):
+            chain.traverse(rels[i], nodes[i + 1], node_vars[i], node_vars[i + 1], forward=True)
+        for i in range(anchor - 1, -1, -1):
+            chain.traverse(rels[i], nodes[i], node_vars[i + 1], node_vars[i], forward=False)
+
+        subtree = chain.root
+        if connected or correlated or self.root is None:
+            self.root = subtree
+        else:
+            self.root = CartesianProduct(self.root, subtree)
+        for node in nodes:
+            self._expose(node.var)
+        for rel in rels:
+            self._expose(rel.var)
+
+    def _best_scan_anchor(self, nodes: Sequence[A.NodePattern], node_vars: Sequence[str]) -> int:
+        """Cheapest entry point: id-seek > indexed property > label > any."""
+        best, best_score = 0, -1
+        for i, node in enumerate(nodes):
+            score = 0
+            if node_vars[i] in self._id_seeks:
+                score = 3
+            elif node.labels:
+                score = 1
+                if node.properties:
+                    for key, _ in node.properties:
+                        if self.graph.get_index(node.labels[0], key) is not None:
+                            score = 2
+                            break
+            if score > best_score:
+                best, best_score = i, score
+        return best
+
+    # ------------------------------------------------------------------
+    # CREATE / MERGE
+    # ------------------------------------------------------------------
+    def _create_specs(self, path: A.Path, bound: Set[str], layout) -> Tuple[List[NodeCreateSpec], List[EdgeCreateSpec]]:
+        node_specs: List[NodeCreateSpec] = []
+        seen_in_path: Dict[str, int] = {}
+        for node in path.nodes:
+            if node.var is not None and node.var in seen_in_path:
+                # the same variable twice in one CREATE path refers to the
+                # same (just-created) node
+                node_specs.append(node_specs[seen_in_path[node.var]])
+                continue
+            is_bound = node.var is not None and node.var in bound
+            props = tuple((k, compile_expr(v, layout)) for k, v in node.properties)
+            if is_bound and (node.labels or props):
+                raise CypherSemanticError(
+                    f"cannot restate labels/properties on bound variable {node.var!r} in CREATE"
+                )
+            spec = NodeCreateSpec(node.var, node.labels, props, is_bound)
+            if node.var is not None:
+                seen_in_path[node.var] = len(node_specs)
+            node_specs.append(spec)
+        edge_specs: List[EdgeCreateSpec] = []
+        for i, rel in enumerate(path.rels):
+            props = tuple((k, compile_expr(v, layout)) for k, v in rel.properties)
+            src, dst = i, i + 1
+            if rel.direction == "in":
+                src, dst = dst, src
+            edge_specs.append(EdgeCreateSpec(rel.var, rel.types[0], src, dst, props))
+        return node_specs, edge_specs
+
+    def _plan_create(self, clause: A.CreateClause) -> None:
+        child = self.root if self.root is not None else Unit()
+        bound = set(child.out_layout.names)
+        paths = []
+        for p in clause.patterns:
+            specs = self._create_specs(p, bound, child.out_layout)
+            paths.append(specs)
+            # nodes created by this path are visible to later paths of the
+            # same clause: CREATE (a), (a)-[:R]->(b)
+            for spec in specs[0]:
+                if spec.var:
+                    bound.add(spec.var)
+        self.root = Create(child, paths)
+        self.writes = True
+        for path in clause.patterns:
+            for node in path.nodes:
+                self._expose(node.var)
+            for rel in path.rels:
+                self._expose(rel.var)
+
+    def _plan_merge(self, clause: A.MergeClause) -> None:
+        child = self.root if self.root is not None else Unit()
+        argument = Argument(child.out_layout)
+        sub = _Planner(self.graph)
+        sub.root = argument
+        sub.visible = list(self.visible)
+        sub._plan_path(clause.pattern)
+        bound = set(child.out_layout.names)
+        paths = [self._create_specs(clause.pattern, bound, child.out_layout)]
+        self.root = Merge(child, sub.root, argument, paths)
+        self.writes = True
+        for node in clause.pattern.nodes:
+            self._expose(node.var)
+        for rel in clause.pattern.rels:
+            self._expose(rel.var)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def _plan_delete(self, clause: A.DeleteClause) -> None:
+        layout = self._layout()
+        exprs = [compile_expr(e, layout) for e in clause.exprs]
+        self.root = Delete(self.root, exprs, detach=clause.detach)
+        self.writes = True
+
+    def _plan_set(self, clause: A.SetClause) -> None:
+        layout = self._layout()
+        items = []
+        for item in clause.items:
+            value_fn = compile_expr(item.value, layout) if item.value is not None else None
+            items.append((item.target, item.key, value_fn, item.labels, item.merge_map))
+        self.root = SetOp(self.root, items)
+        self.writes = True
+
+    def _plan_remove(self, clause: A.RemoveClause) -> None:
+        items = [(i.target, i.key, i.labels) for i in clause.items]
+        self.root = RemoveOp(self.root, items)
+        self.writes = True
+
+    def _plan_unwind(self, clause: A.UnwindClause) -> None:
+        child = self.root if self.root is not None else Unit()
+        fn = compile_expr(clause.expr, child.out_layout)
+        self.root = Unwind(child, fn, clause.alias)
+        self._expose(clause.alias)
+
+    # ------------------------------------------------------------------
+    # WITH / RETURN
+    # ------------------------------------------------------------------
+    def _expand_star(self, projections: Sequence[A.Projection]) -> List[A.Projection]:
+        out: List[A.Projection] = []
+        for proj in projections:
+            if proj.star:
+                for name in self.visible:
+                    out.append(A.Projection(A.Identifier(name), name))
+            else:
+                out.append(proj)
+        return out
+
+    def _plan_projection_clause(self, clause, *, is_return: bool) -> None:
+        child = self.root if self.root is not None else Unit()
+        projections = self._expand_star(clause.projections)
+        names = [p.output_name() for p in projections]
+
+        any_aggregate = any(has_aggregate(p.expr) for p in projections)
+
+        # an ORDER BY expression identical to a projection expression sorts
+        # on the output column (`RETURN DISTINCT b.name ORDER BY b.name`)
+        expr_to_name = {p.expr: n for n, p in zip(names, projections)}
+        clause_order_by = tuple(
+            A.OrderItem(A.Identifier(expr_to_name[item.expr]), item.ascending)
+            if item.expr in expr_to_name
+            else item
+            for item in clause.order_by
+        )
+        clause = _replace_order_by(clause, clause_order_by)
+
+        # ORDER BY may reference pre-projection variables (Cypher allows
+        # `RETURN n.name ORDER BY n.age`); thread them through as hidden
+        # columns dropped after the sort.  Not with DISTINCT or aggregation,
+        # where the sort keys must be computable from the output columns —
+        # the same restriction Neo4j enforces.
+        hidden: List[str] = []
+        if clause.order_by and not any_aggregate:
+            needed: Set[str] = set()
+            for item in clause.order_by:
+                needed |= _identifier_names(item.expr)
+            hidden = [
+                n for n in sorted(needed) if n not in names and n in child.out_layout
+            ]
+            if hidden and clause.distinct:
+                raise CypherSemanticError(
+                    "with DISTINCT, ORDER BY may only reference returned columns"
+                )
+
+        if any_aggregate:
+            self.root = self._plan_aggregation(child, projections, names)
+        else:
+            items = [(name, compile_expr(p.expr, child.out_layout)) for name, p in zip(names, projections)]
+            items += [(n, compile_expr(A.Identifier(n), child.out_layout)) for n in hidden]
+            self.root = Project(child, items)
+
+        out_layout = self.root.out_layout
+        if clause.distinct:
+            self.root = Distinct(self.root)
+        if clause.order_by:
+            keys = []
+            for item in clause.order_by:
+                keys.append((compile_expr(item.expr, out_layout), item.ascending))
+            self.root = Sort(self.root, keys)
+        if clause.skip is not None:
+            self.root = Skip(self.root, compile_expr(clause.skip, out_layout))
+        if clause.limit is not None:
+            self.root = Limit(self.root, compile_expr(clause.limit, out_layout))
+        if not is_return and clause.where is not None:
+            self.root = Filter(self.root, compile_expr(clause.where, out_layout), "WHERE")
+        if hidden:
+            keep = [(n, compile_expr(A.Identifier(n), self.root.out_layout)) for n in names]
+            self.root = Project(self.root, keep)
+
+        self.visible = list(names)
+        if is_return:
+            self.columns = list(names)
+
+    def _plan_aggregation(self, child: PlanOp, projections, names) -> PlanOp:
+        """Rewrite aggregate calls to placeholder slots, lift implicit group
+        keys out of mixed expressions, and stack Aggregate + Project."""
+        group_items: List[Tuple[str, CompiledExpr]] = []
+        agg_items: List[Tuple[str, AggSpec]] = []
+        outer_items: List[Tuple[str, A.Expr]] = []
+        group_index: Dict[A.Expr, str] = {}
+
+        def lift_group(expr: A.Expr) -> str:
+            if expr in group_index:
+                return group_index[expr]
+            name = f"@grp{len(group_items)}"
+            group_items.append((name, compile_expr(expr, child.out_layout)))
+            group_index[expr] = name
+            return name
+
+        def rewrite(expr: A.Expr) -> A.Expr:
+            if isinstance(expr, A.FunctionCall) and expr.name in AGGREGATE_FUNCTIONS:
+                slot = f"@agg{len(agg_items)}"
+                arg_fn = compile_expr(expr.args[0], child.out_layout) if expr.args else None
+                kind = expr.name if expr.name != "stdev" else "stdev"
+                agg_items.append((slot, AggSpec(kind, arg_fn, expr.distinct)))
+                return A.Identifier(slot)
+            if not has_aggregate(expr):
+                if isinstance(expr, A.Literal):
+                    return expr
+                return A.Identifier(lift_group(expr))
+            # rebuild containers around aggregate leaves
+            if isinstance(expr, A.Binary):
+                return A.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, A.Comparison):
+                return A.Comparison(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, A.BoolOp):
+                return A.BoolOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, A.Not):
+                return A.Not(rewrite(expr.operand))
+            if isinstance(expr, A.Unary):
+                return A.Unary(expr.op, rewrite(expr.operand))
+            if isinstance(expr, A.FunctionCall):
+                return A.FunctionCall(expr.name, tuple(rewrite(a) for a in expr.args), expr.distinct)
+            if isinstance(expr, A.ListLiteral):
+                return A.ListLiteral(tuple(rewrite(i) for i in expr.items))
+            if isinstance(expr, A.MapLiteral):
+                return A.MapLiteral(tuple((k, rewrite(v)) for k, v in expr.items))
+            if isinstance(expr, A.PropertyAccess):
+                return A.PropertyAccess(rewrite(expr.subject), expr.key)
+            if isinstance(expr, A.Subscript):
+                return A.Subscript(rewrite(expr.subject), rewrite(expr.index))
+            if isinstance(expr, A.Slice):
+                return A.Slice(
+                    rewrite(expr.subject),
+                    rewrite(expr.start) if expr.start is not None else None,
+                    rewrite(expr.stop) if expr.stop is not None else None,
+                )
+            if isinstance(expr, A.IsNull):
+                return A.IsNull(rewrite(expr.operand), expr.negated)
+            if isinstance(expr, A.InList):
+                return A.InList(rewrite(expr.needle), rewrite(expr.haystack))
+            if isinstance(expr, A.StringPredicate):
+                return A.StringPredicate(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, A.CaseExpr):
+                return A.CaseExpr(
+                    rewrite(expr.subject) if expr.subject is not None else None,
+                    tuple((rewrite(w), rewrite(t)) for w, t in expr.whens),
+                    rewrite(expr.default) if expr.default is not None else None,
+                )
+            raise CypherSemanticError(
+                f"aggregation inside {expr.__class__.__name__} is not supported"
+            )
+
+        for name, proj in zip(names, projections):
+            if has_aggregate(proj.expr):
+                outer_items.append((name, rewrite(proj.expr)))
+            else:
+                # pure grouping projection: keep its own output name
+                group_items.append((name, compile_expr(proj.expr, child.out_layout)))
+                group_index[proj.expr] = name
+                outer_items.append((name, A.Identifier(name)))
+
+        agg_op = Aggregate(child, group_items, agg_items)
+        project_items = [(name, compile_expr(expr, agg_op.out_layout)) for name, expr in outer_items]
+        return Project(agg_op, project_items)
+
+
+class _PathChain:
+    """Builds the op chain of one MATCH path, walking outward from the
+    anchor node."""
+
+    def __init__(self, planner: _Planner, root: Optional[PlanOp], node_vars: List[str]) -> None:
+        self.planner = planner
+        self.root = root
+        self.bound_in_chain: Set[str] = set(root.out_layout.names) if root is not None else set()
+
+    def note_bound(self, var: str) -> None:
+        self.bound_in_chain.add(var)
+
+    def scan_anchor(self, node: A.NodePattern, var: str) -> None:
+        planner = self.planner
+        graph = planner.graph
+        child = self.root  # None for standalone paths; stream for correlated
+        base_layout = child.out_layout if child is not None else None
+        scan: PlanOp
+        seek_expr = planner._id_seeks.get(var)
+        if seek_expr is not None and not (_identifier_names(seek_expr) - (set(base_layout.names) if base_layout else set())):
+            from repro.execplan.record import Layout
+
+            id_fn = compile_expr(seek_expr, base_layout or Layout())
+            self.root = NodeByIdSeek(var, id_fn, child)
+            self.bound_in_chain.add(var)
+            self.filter_node_constraints(node, var)
+            return
+        if node.labels:
+            index_key = None
+            for key, value_expr in node.properties:
+                if graph.get_index(node.labels[0], key) is not None:
+                    index_key = (key, value_expr)
+                    break
+            if index_key is not None:
+                from repro.execplan.record import Layout
+
+                value_fn = compile_expr(index_key[1], base_layout or Layout())
+                scan = NodeByIndexScan(var, node.labels[0], index_key[0], value_fn, child)
+            else:
+                scan = NodeByLabelScan(var, node.labels[0], child)
+        else:
+            scan = AllNodeScan(var, child)
+        self.root = scan
+        self.bound_in_chain.add(var)
+        self.filter_node_constraints(node, var, skip_first_label=bool(node.labels))
+
+    def filter_node_constraints(
+        self, node: A.NodePattern, var: str, *, skip_first_label: bool = False
+    ) -> None:
+        """Residual label/property checks not already guaranteed upstream."""
+        labels = node.labels[1:] if skip_first_label else node.labels
+        if labels:
+            slot = self.root.out_layout.slot(var)
+            wanted = tuple(labels)
+
+            def label_check(record, ctx, _slot=slot, _wanted=wanted):
+                entity = record[_slot]
+                return isinstance(entity, Node) and all(
+                    ctx.graph.has_label(entity.id, l) for l in _wanted
+                )
+
+            self.root = Filter(self.root, label_check, f"{var}:{':'.join(labels)}")
+        if node.properties:
+            self._property_filter(var, node.properties)
+
+    def _property_filter(self, var: str, properties) -> None:
+        layout = self.root.out_layout
+        slot = layout.slot(var)
+        checks = [(key, compile_expr(value, layout)) for key, value in properties]
+
+        def prop_check(record, ctx, _slot=slot, _checks=checks):
+            entity = record[_slot]
+            if entity is None:
+                return False
+            props = entity.properties
+            for key, fn in _checks:
+                if _equal(props.get(key), fn(record, ctx)) is not True:
+                    return False
+            return True
+
+        self.root = Filter(self.root, prop_check, f"{var}{{{', '.join(k for k, _ in checks)}}}")
+
+    def traverse(
+        self,
+        rel: A.RelPattern,
+        dst_node: A.NodePattern,
+        src_var: str,
+        dst_var: str,
+        *,
+        forward: bool,
+    ) -> None:
+        """One relationship step from a bound src to dst (possibly bound)."""
+        direction = rel.direction
+        if not forward:
+            direction = {"out": "in", "in": "out", "any": "any"}[direction]
+
+        dst_bound = dst_var in self.bound_in_chain
+        # single hops fold destination labels into the algebra; variable
+        # length must not (labels constrain only the endpoint, not the
+        # intermediate hops the iterated matrix would otherwise filter)
+        fold_labels = () if (dst_bound or rel.variable_length) else dst_node.labels
+        expression = build_traverse_expression(rel.types, direction, fold_labels)
+        edge_var = rel.var
+
+        if rel.variable_length:
+            if rel.properties:
+                raise CypherSemanticError(
+                    "property maps on variable-length relationships are not supported"
+                )
+            self.root = CondVarLenTraverse(
+                self.root,
+                src_var,
+                dst_var,
+                expression,
+                rel.min_hops,
+                rel.max_hops,
+                dst_bound=dst_bound,
+            )
+        elif dst_bound:
+            self.root = ExpandInto(
+                self.root,
+                src_var,
+                dst_var,
+                expression,
+                edge_var=edge_var,
+                types=rel.types,
+                direction=direction,
+            )
+        else:
+            self.root = ConditionalTraverse(
+                self.root,
+                src_var,
+                dst_var,
+                expression,
+                edge_var=edge_var,
+                types=rel.types,
+                direction=direction,
+            )
+        if dst_bound:
+            # restated constraints on an already-bound variable still filter
+            self.filter_node_constraints(dst_node, dst_var)
+        else:
+            self.bound_in_chain.add(dst_var)
+            if rel.variable_length:
+                self.filter_node_constraints(dst_node, dst_var)
+            elif dst_node.properties:
+                # labels were folded into the expression; only properties remain
+                self._property_filter(dst_var, dst_node.properties)
+        if rel.properties and not rel.variable_length:
+            if edge_var is None:
+                raise CypherSemanticError(
+                    "property maps on anonymous relationships are not supported; bind a variable"
+                )
+            self._property_filter(edge_var, rel.properties)
+
+
+def _identifier_names(expr: A.Expr) -> Set[str]:
+    from repro.cypher.semantic import _identifiers
+
+    return _identifiers(expr)
+
+
+def _extract_id_seeks(where: Optional[A.Expr]) -> Dict[str, A.Expr]:
+    """Map var -> id-expression for top-level ``id(var) = expr`` conjuncts."""
+    out: Dict[str, A.Expr] = {}
+    if where is None:
+        return out
+
+    def visit(e: A.Expr) -> None:
+        if isinstance(e, A.BoolOp) and e.op == "AND":
+            visit(e.left)
+            visit(e.right)
+            return
+        if isinstance(e, A.Comparison) and e.op == "=":
+            for fn_side, val_side in ((e.left, e.right), (e.right, e.left)):
+                if (
+                    isinstance(fn_side, A.FunctionCall)
+                    and fn_side.name == "id"
+                    and len(fn_side.args) == 1
+                    and isinstance(fn_side.args[0], A.Identifier)
+                ):
+                    out[fn_side.args[0].name] = val_side
+                    return
+
+    visit(where)
+    return out
+
+
+def _replace_order_by(clause, order_by):
+    import dataclasses
+
+    return dataclasses.replace(clause, order_by=order_by)
+
+
+def plan_single_query(part: A.SingleQuery, graph: Graph) -> PlannedQuery:
+    planner = _Planner(graph)
+    for clause in part.clauses:
+        planner.add_clause(clause)
+    root = planner.root if planner.root is not None else Unit()
+    return PlannedQuery(Results(root), planner.columns, planner.writes)

@@ -1,0 +1,66 @@
+"""Records and record layouts.
+
+A Record is a flat Python list of runtime values (Node/Edge handles,
+scalars, lists, maps, None).  The mapping from variable names to slots is
+fixed per plan operation at *compile* time (a :class:`Layout`), so runtime
+access is a plain list index — no per-row dict lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Layout", "Record"]
+
+Record = list  # runtime record: just a list, indexed via Layout
+
+
+class Layout:
+    """Immutable name → slot mapping."""
+
+    __slots__ = ("_slots", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: Tuple[str, ...] = tuple(names)
+        self._slots: Dict[str, int] = {n: i for i, n in enumerate(self._names)}
+        assert len(self._slots) == len(self._names), "duplicate names in layout"
+
+    def slot(self, name: str) -> int:
+        return self._slots[name]
+
+    def get(self, name: str) -> Optional[int]:
+        return self._slots.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._slots
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def extend(self, *names: str) -> "Layout":
+        """A new layout with extra trailing slots (existing slots keep
+        their indices, so parent records can be extended in place)."""
+        new_names: List[str] = []
+        for n in names:
+            if n not in self._slots and n not in new_names:
+                new_names.append(n)
+        return Layout(self._names + tuple(new_names))
+
+    def new_record(self) -> Record:
+        return [None] * len(self._names)
+
+    def project_from(self, record: Record, source: "Layout") -> Record:
+        """Build a record of this layout by copying same-named slots."""
+        out = self.new_record()
+        for i, name in enumerate(self._names):
+            j = source.get(name)
+            if j is not None:
+                out[i] = record[j]
+        return out
+
+    def __repr__(self) -> str:
+        return f"Layout({', '.join(self._names)})"

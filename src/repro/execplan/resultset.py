@@ -1,0 +1,70 @@
+"""Query results and side-effect statistics (RedisGraph's ResultSet)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+__all__ = ["QueryStatistics", "ResultSet"]
+
+
+@dataclass
+class QueryStatistics:
+    nodes_created: int = 0
+    nodes_deleted: int = 0
+    relationships_created: int = 0
+    relationships_deleted: int = 0
+    properties_set: int = 0
+    labels_added: int = 0
+    indices_created: int = 0
+    indices_deleted: int = 0
+    execution_time_ms: float = 0.0
+
+    def summary(self) -> List[str]:
+        """Human-readable non-zero counters, RedisGraph reply style."""
+        parts = []
+        for attr, label in [
+            ("labels_added", "Labels added"),
+            ("nodes_created", "Nodes created"),
+            ("properties_set", "Properties set"),
+            ("relationships_created", "Relationships created"),
+            ("nodes_deleted", "Nodes deleted"),
+            ("relationships_deleted", "Relationships deleted"),
+            ("indices_created", "Indices created"),
+            ("indices_deleted", "Indices deleted"),
+        ]:
+            value = getattr(self, attr)
+            if value:
+                parts.append(f"{label}: {value}")
+        parts.append(f"Query internal execution time: {self.execution_time_ms:.6f} milliseconds")
+        return parts
+
+
+class ResultSet:
+    """Column names + row tuples + statistics."""
+
+    def __init__(self, columns: Sequence[str], rows: List[Tuple[Any, ...]], stats: QueryStatistics) -> None:
+        self.columns = list(columns)
+        self.rows = rows
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self):
+        """The single value of a 1x1 result (e.g. RETURN count(*))."""
+        assert len(self.rows) == 1 and len(self.rows[0]) == 1, "result is not 1x1"
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"<ResultSet {self.columns} rows={len(self.rows)}>"

@@ -1,0 +1,38 @@
+"""repro.graph — the property-graph storage layer.
+
+This is RedisGraph's graph object rebuilt on :mod:`repro.grblas`:
+
+* nodes and edges live in :class:`~repro.graph.datablock.DataBlock` slot
+  stores (id-stable, free-list reuse),
+* every relationship type owns a Boolean adjacency
+  :class:`~repro.graph.delta_matrix.DeltaMatrix`; every label owns a
+  diagonal matrix; one combined adjacency covers untyped traversals,
+* matrix updates are buffered as deltas and flushed in bulk before reads —
+  the trick RedisGraph uses to make write bursts cheap while keeping
+  traversals on canonical CSR,
+* a reader-writer lock serializes writers against the query thread pool,
+* exact-match indices accelerate ``MATCH (n:L {p: v})`` scans.
+"""
+
+from repro.graph.attributes import AttributeRegistry
+from repro.graph.config import GraphConfig
+from repro.graph.datablock import DataBlock
+from repro.graph.delta_matrix import DeltaMatrix
+from repro.graph.entities import Edge, Node
+from repro.graph.graph import Graph
+from repro.graph.index import ExactMatchIndex
+from repro.graph.rwlock import RWLock
+from repro.graph.schema import Schema
+
+__all__ = [
+    "AttributeRegistry",
+    "GraphConfig",
+    "DataBlock",
+    "DeltaMatrix",
+    "Edge",
+    "Node",
+    "Graph",
+    "ExactMatchIndex",
+    "RWLock",
+    "Schema",
+]

@@ -1,0 +1,48 @@
+"""Graph/module configuration, mirroring RedisGraph's load-time options."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def _default_thread_count() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class GraphConfig:
+    """Tunables of the graph engine.
+
+    Attributes
+    ----------
+    thread_count:
+        Size of the query-execution thread pool (the paper: "a threadpool
+        that takes a configurable number of threads at the module's loading
+        time").  Each query runs on exactly one of these threads.
+    node_capacity:
+        Initial matrix dimension; grows geometrically as nodes are created
+        (RedisGraph grows its matrices in blocks for the same reason).
+    delta_max_pending:
+        Flush a delta matrix into its base CSR once this many pending
+        changes accumulate, even without an intervening read.
+    traverse_batch_size:
+        Number of source rows batched into one algebraic traversal by the
+        ConditionalTraverse plan operation.
+    """
+
+    thread_count: int = field(default_factory=_default_thread_count)
+    node_capacity: int = 256
+    delta_max_pending: int = 10_000
+    traverse_batch_size: int = 64
+
+    def validate(self) -> "GraphConfig":
+        if self.thread_count < 1:
+            raise ValueError("thread_count must be >= 1")
+        if self.node_capacity < 1:
+            raise ValueError("node_capacity must be >= 1")
+        if self.delta_max_pending < 1:
+            raise ValueError("delta_max_pending must be >= 1")
+        if self.traverse_batch_size < 1:
+            raise ValueError("traverse_batch_size must be >= 1")
+        return self

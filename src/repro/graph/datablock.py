@@ -1,0 +1,70 @@
+"""DataBlock: slot-addressed entity storage with id reuse.
+
+Mirrors RedisGraph's DataBlock: entities get dense integer ids (which double
+as matrix row/column indices), deletions push slots onto a free list, and
+creations pop from it before growing.  Iteration yields live slots only.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.errors import EntityNotFound
+
+__all__ = ["DataBlock"]
+
+T = TypeVar("T")
+
+_TOMBSTONE = object()
+
+
+class DataBlock(Generic[T]):
+    def __init__(self) -> None:
+        self._slots: List[object] = []
+        self._free: List[int] = []
+        self._count = 0
+
+    def alloc(self, item: T) -> int:
+        """Store ``item``; returns its (possibly recycled) id."""
+        self._count += 1
+        if self._free:
+            slot = self._free.pop()
+            self._slots[slot] = item
+            return slot
+        self._slots.append(item)
+        return len(self._slots) - 1
+
+    def free(self, item_id: int) -> T:
+        """Delete the item; its id becomes reusable.  Returns the item."""
+        item = self.get(item_id)
+        self._slots[item_id] = _TOMBSTONE
+        self._free.append(item_id)
+        self._count -= 1
+        return item
+
+    def get(self, item_id: int) -> T:
+        if not self.exists(item_id):
+            raise EntityNotFound(f"entity id {item_id} does not exist")
+        return self._slots[item_id]  # type: ignore[return-value]
+
+    def exists(self, item_id: int) -> bool:
+        return 0 <= item_id < len(self._slots) and self._slots[item_id] is not _TOMBSTONE
+
+    def __len__(self) -> int:
+        """Number of *live* items."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Highest slot ever allocated + 1 (the matrix dimension floor)."""
+        return len(self._slots)
+
+    def items(self) -> Iterator[Tuple[int, T]]:
+        for i, item in enumerate(self._slots):
+            if item is not _TOMBSTONE:
+                yield i, item  # type: ignore[misc]
+
+    def ids(self) -> Iterator[int]:
+        for i, item in enumerate(self._slots):
+            if item is not _TOMBSTONE:
+                yield i

@@ -1,0 +1,134 @@
+"""DeltaMatrix: a Boolean adjacency matrix with buffered updates.
+
+RedisGraph does not touch its CSR matrices on every edge write — that would
+be O(nnz) per edge.  Instead each matrix keeps *pending* additions and
+deletions; reads force a bulk flush (one sort-merge for the whole batch)
+and large write bursts flush automatically at ``max_pending``.  The same
+object memoizes the transpose (RedisGraph stores both ``M`` and ``Mᵀ`` so
+both traversal directions are row-major scans).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.grblas import Matrix
+from repro.grblas import _kernels as K
+from repro.grblas.types import BOOL
+
+__all__ = ["DeltaMatrix"]
+
+_I64 = np.int64
+
+
+class DeltaMatrix:
+    def __init__(self, dim: int, *, max_pending: int = 10_000) -> None:
+        self._base = Matrix(dim, dim, BOOL)
+        self._pending_add: Set[Tuple[int, int]] = set()
+        self._pending_del: Set[Tuple[int, int]] = set()
+        self._transpose: Optional[Matrix] = None
+        self.max_pending = max_pending
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._base.nrows
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending_add) + len(self._pending_del)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._pending_add or self._pending_del)
+
+    def nvals(self) -> int:
+        return self.synced().nvals
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, i: int, j: int) -> None:
+        """Buffer the insertion of entry (i, j)."""
+        self._pending_del.discard((i, j))
+        self._pending_add.add((i, j))
+        self._transpose = None
+        if self.pending > self.max_pending:
+            self.flush()
+
+    def delete(self, i: int, j: int) -> None:
+        """Buffer the removal of entry (i, j)."""
+        self._pending_add.discard((i, j))
+        self._pending_del.add((i, j))
+        self._transpose = None
+        if self.pending > self.max_pending:
+            self.flush()
+
+    def resize(self, dim: int) -> None:
+        self.flush()
+        self._base.resize(dim, dim)
+        self._transpose = None
+
+    def clear(self) -> None:
+        self._pending_add.clear()
+        self._pending_del.clear()
+        self._base.clear()
+        self._transpose = None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def has(self, i: int, j: int) -> bool:
+        if (i, j) in self._pending_add:
+            return True
+        if (i, j) in self._pending_del:
+            return False
+        return self._base[i, j] is not None
+
+    def flush(self) -> None:
+        """Apply all pending changes in one vectorized merge."""
+        if not self.dirty:
+            return
+        keys, _ = self._base.to_linear()
+        n = self._base.ncols
+        if self._pending_add:
+            add = np.fromiter(
+                (i * n + j for i, j in self._pending_add), dtype=_I64, count=len(self._pending_add)
+            )
+            add.sort()
+            keys = np.union1d(keys, add)
+        if self._pending_del:
+            dele = np.fromiter(
+                (i * n + j for i, j in self._pending_del), dtype=_I64, count=len(self._pending_del)
+            )
+            dele.sort()
+            keys = keys[K.setdiff_sorted(keys, dele)]
+        rows, cols = K.split_keys(keys, n)
+        self._base.indptr = K.rows_to_indptr(rows, self._base.nrows)
+        self._base.indices = cols
+        self._base.values = np.ones(len(cols), dtype=np.bool_)
+        self._pending_add.clear()
+        self._pending_del.clear()
+        self._transpose = None
+
+    def synced(self) -> Matrix:
+        """The up-to-date CSR matrix (flushes pending changes first)."""
+        self.flush()
+        return self._base
+
+    def transposed(self) -> Matrix:
+        """The memoized transpose of the synced matrix."""
+        self.flush()
+        if self._transpose is None:
+            self._transpose = self._base.transpose()
+        return self._transpose
+
+    def row_ids(self, i: int) -> np.ndarray:
+        """Column ids present in row i (synced view)."""
+        cols, _ = self.synced().row(i)
+        return cols
+
+    def __repr__(self) -> str:
+        return f"<DeltaMatrix dim={self.dim} nvals={self._base.nvals} pending={self.pending}>"

@@ -1,0 +1,439 @@
+"""The property graph: entities + labels + typed adjacency matrices.
+
+Storage layout (paper §II):
+
+* node/edge records live in DataBlocks; the node id doubles as the
+  row/column index of every matrix,
+* one Boolean :class:`DeltaMatrix` per relationship type (``R[i,j]`` ⇔ an
+  edge of that type from i to j), one per label (diagonal), and one
+  combined adjacency ``ADJ`` for untyped traversals,
+* matrices share a capacity that grows geometrically as nodes are created
+  (``GrB_Matrix_resize``), so node creation never rebuilds CSR per node,
+* a reader-writer lock arbitrates the query thread pool.
+
+Multi-edges: several edges of one type may connect the same (src, dst)
+pair; the matrix entry is shared and ``_edge_map`` tracks the edge ids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConstraintViolation, EntityNotFound, GraphError
+from repro.graph.attributes import AttributeRegistry
+from repro.graph.config import GraphConfig
+from repro.graph.datablock import DataBlock
+from repro.graph.delta_matrix import DeltaMatrix
+from repro.graph.entities import Edge, Node
+from repro.graph.index import ExactMatchIndex
+from repro.graph.rwlock import RWLock
+from repro.graph.schema import Schema
+from repro.grblas import Matrix, binary
+
+__all__ = ["Graph"]
+
+
+class _NodeRecord:
+    __slots__ = ("labels", "props")
+
+    def __init__(self, labels: Tuple[int, ...], props: Dict[int, Any]) -> None:
+        self.labels = labels
+        self.props = props
+
+
+class _EdgeRecord:
+    __slots__ = ("src", "dst", "rel_id", "props")
+
+    def __init__(self, src: int, dst: int, rel_id: int, props: Dict[int, Any]) -> None:
+        self.src = src
+        self.dst = dst
+        self.rel_id = rel_id
+        self.props = props
+
+
+class Graph:
+    """A named property graph backed by GraphBLAS matrices."""
+
+    def __init__(self, name: str = "g", config: Optional[GraphConfig] = None) -> None:
+        self.name = name
+        self.config = (config or GraphConfig()).validate()
+        self.schema = Schema()
+        self.attrs = AttributeRegistry()
+        self.lock = RWLock()
+        self._nodes: DataBlock[_NodeRecord] = DataBlock()
+        self._edges: DataBlock[_EdgeRecord] = DataBlock()
+        self._capacity = self.config.node_capacity
+        self._adj = self._new_matrix()
+        self._rel_matrices: List[DeltaMatrix] = []
+        self._label_matrices: List[DeltaMatrix] = []
+        self._edge_map: Dict[Tuple[int, int, int], List[int]] = {}
+        self._node_out: Dict[int, Set[int]] = {}
+        self._node_in: Dict[int, Set[int]] = {}
+        self._indices: Dict[Tuple[int, int], ExactMatchIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity / matrices
+    # ------------------------------------------------------------------
+    def _new_matrix(self) -> DeltaMatrix:
+        return DeltaMatrix(self._capacity, max_pending=self.config.delta_max_pending)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_cap = self._capacity
+        while new_cap < needed:
+            new_cap *= 2
+        self._capacity = new_cap
+        self._adj.resize(new_cap)
+        for m in self._rel_matrices:
+            m.resize(new_cap)
+        for m in self._label_matrices:
+            m.resize(new_cap)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Node:
+        label_ids = tuple(self.schema.intern_label(l) for l in labels)
+        props = {self.attrs.intern(k): v for k, v in (properties or {}).items()}
+        record = _NodeRecord(label_ids, props)
+        node_id = self._nodes.alloc(record)
+        self._ensure_capacity(node_id + 1)
+        for lid in label_ids:
+            self._label_matrix_for(lid).add(node_id, node_id)
+        for (lid, aid), index in self._indices.items():
+            if lid in label_ids and aid in props:
+                index.insert(props[aid], node_id)
+        return Node(self, node_id)
+
+    def delete_node(self, node_id: int, *, detach: bool = False) -> int:
+        """Delete a node.  With ``detach`` incident edges go first
+        (DETACH DELETE); otherwise a connected node raises.  Returns the
+        number of edges deleted alongside the node."""
+        record = self._nodes.get(node_id)
+        incident = self._node_out.get(node_id, set()) | self._node_in.get(node_id, set())
+        if incident and not detach:
+            raise ConstraintViolation(
+                f"cannot delete node {node_id}: {len(incident)} incident edges (use DETACH DELETE)"
+            )
+        for eid in list(incident):
+            self.delete_edge(eid)
+        for lid in record.labels:
+            self._label_matrices[lid].delete(node_id, node_id)
+        for (lid, aid), index in self._indices.items():
+            if lid in record.labels and aid in record.props:
+                index.remove(record.props[aid], node_id)
+        self._nodes.free(node_id)
+        self._node_out.pop(node_id, None)
+        self._node_in.pop(node_id, None)
+        return len(incident)
+
+    def has_node(self, node_id: int) -> bool:
+        return self._nodes.exists(node_id)
+
+    def get_node(self, node_id: int) -> Node:
+        self._nodes.get(node_id)  # raises EntityNotFound if absent
+        return Node(self, node_id)
+
+    def all_node_ids(self) -> np.ndarray:
+        return np.fromiter(self._nodes.ids(), dtype=np.int64)
+
+    def labels_of(self, node_id: int) -> Tuple[str, ...]:
+        record = self._nodes.get(node_id)
+        return tuple(self.schema.label_name(l) for l in record.labels)
+
+    def has_label(self, node_id: int, label: str) -> bool:
+        lid = self.schema.label_id(label)
+        if lid is None:
+            return False
+        return lid in self._nodes.get(node_id).labels
+
+    def node_properties(self, node_id: int) -> Dict[str, Any]:
+        record = self._nodes.get(node_id)
+        return {self.attrs.name_of(a): v for a, v in record.props.items()}
+
+    def node_property(self, node_id: int, key: str):
+        aid = self.attrs.lookup(key)
+        if aid is None:
+            return None
+        return self._nodes.get(node_id).props.get(aid)
+
+    def set_node_property(self, node_id: int, key: str, value) -> None:
+        record = self._nodes.get(node_id)
+        aid = self.attrs.intern(key)
+        old = record.props.get(aid)
+        for (lid, iaid), index in self._indices.items():
+            if iaid == aid and lid in record.labels:
+                if aid in record.props:
+                    index.remove(old, node_id)
+                if value is not None:
+                    index.insert(value, node_id)
+        if value is None:
+            record.props.pop(aid, None)
+        else:
+            record.props[aid] = value
+
+    def add_label(self, node_id: int, label: str) -> None:
+        record = self._nodes.get(node_id)
+        lid = self.schema.intern_label(label)
+        if lid in record.labels:
+            return
+        record.labels = record.labels + (lid,)
+        self._label_matrix_for(lid).add(node_id, node_id)
+        for (ilid, aid), index in self._indices.items():
+            if ilid == lid and aid in record.props:
+                index.insert(record.props[aid], node_id)
+
+    def remove_label(self, node_id: int, label: str) -> bool:
+        record = self._nodes.get(node_id)
+        lid = self.schema.label_id(label)
+        if lid is None or lid not in record.labels:
+            return False
+        record.labels = tuple(l for l in record.labels if l != lid)
+        self._label_matrices[lid].delete(node_id, node_id)
+        for (ilid, aid), index in self._indices.items():
+            if ilid == lid and aid in record.props:
+                index.remove(record.props[aid], node_id)
+        return True
+
+    def nodes_with_label(self, label: str) -> np.ndarray:
+        lid = self.schema.label_id(label)
+        if lid is None or lid >= len(self._label_matrices):
+            return np.empty(0, dtype=np.int64)
+        m = self._label_matrices[lid].synced()
+        return np.flatnonzero(np.diff(m.indptr)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Edge lifecycle
+    # ------------------------------------------------------------------
+    def create_edge(
+        self,
+        src: int,
+        reltype: str,
+        dst: int,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Edge:
+        if not self._nodes.exists(src):
+            raise EntityNotFound(f"source node {src} does not exist")
+        if not self._nodes.exists(dst):
+            raise EntityNotFound(f"destination node {dst} does not exist")
+        rid = self.schema.intern_reltype(reltype)
+        props = {self.attrs.intern(k): v for k, v in (properties or {}).items()}
+        edge_id = self._edges.alloc(_EdgeRecord(src, dst, rid, props))
+        self._rel_matrix_for(rid).add(src, dst)
+        self._adj.add(src, dst)
+        self._edge_map.setdefault((src, dst, rid), []).append(edge_id)
+        self._node_out.setdefault(src, set()).add(edge_id)
+        self._node_in.setdefault(dst, set()).add(edge_id)
+        return Edge(self, edge_id)
+
+    def delete_edge(self, edge_id: int) -> None:
+        record = self._edges.free(edge_id)
+        key = (record.src, record.dst, record.rel_id)
+        siblings = self._edge_map.get(key, [])
+        if edge_id in siblings:
+            siblings.remove(edge_id)
+        if not siblings:
+            self._edge_map.pop(key, None)
+            self._rel_matrices[record.rel_id].delete(record.src, record.dst)
+            # the combined adjacency entry drops only when *no* relation
+            # type still connects the pair
+            if not any(
+                (record.src, record.dst, rid) in self._edge_map
+                for rid in range(self.schema.reltype_count)
+            ):
+                self._adj.delete(record.src, record.dst)
+        self._node_out.get(record.src, set()).discard(edge_id)
+        self._node_in.get(record.dst, set()).discard(edge_id)
+
+    def has_edge(self, edge_id: int) -> bool:
+        return self._edges.exists(edge_id)
+
+    def get_edge(self, edge_id: int) -> Edge:
+        self._edges.get(edge_id)
+        return Edge(self, edge_id)
+
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        record = self._edges.get(edge_id)
+        return record.src, record.dst
+
+    def edge_type(self, edge_id: int) -> str:
+        return self.schema.reltype_name(self._edges.get(edge_id).rel_id)
+
+    def edge_properties(self, edge_id: int) -> Dict[str, Any]:
+        record = self._edges.get(edge_id)
+        return {self.attrs.name_of(a): v for a, v in record.props.items()}
+
+    def edge_property(self, edge_id: int, key: str):
+        aid = self.attrs.lookup(key)
+        if aid is None:
+            return None
+        return self._edges.get(edge_id).props.get(aid)
+
+    def set_edge_property(self, edge_id: int, key: str, value) -> None:
+        record = self._edges.get(edge_id)
+        aid = self.attrs.intern(key)
+        if value is None:
+            record.props.pop(aid, None)
+        else:
+            record.props[aid] = value
+
+    def edges_between(self, src: int, dst: int, reltype: Optional[str] = None) -> List[int]:
+        """Edge ids connecting src → dst (optionally restricted by type)."""
+        if reltype is not None:
+            rid = self.schema.reltype_id(reltype)
+            if rid is None:
+                return []
+            return list(self._edge_map.get((src, dst, rid), ()))
+        out: List[int] = []
+        for rid in range(self.schema.reltype_count):
+            out.extend(self._edge_map.get((src, dst, rid), ()))
+        return out
+
+    def out_edges(self, node_id: int) -> List[int]:
+        return sorted(self._node_out.get(node_id, ()))
+
+    def in_edges(self, node_id: int) -> List[int]:
+        return sorted(self._node_in.get(node_id, ()))
+
+    # ------------------------------------------------------------------
+    # Matrix access (the traversal engine's view)
+    # ------------------------------------------------------------------
+    def _rel_matrix_for(self, rid: int) -> DeltaMatrix:
+        while rid >= len(self._rel_matrices):
+            self._rel_matrices.append(self._new_matrix())
+        return self._rel_matrices[rid]
+
+    def _label_matrix_for(self, lid: int) -> DeltaMatrix:
+        while lid >= len(self._label_matrices):
+            self._label_matrices.append(self._new_matrix())
+        return self._label_matrices[lid]
+
+    def relation_matrix(self, reltype: Optional[str] = None, *, transposed: bool = False) -> Matrix:
+        """The Boolean adjacency of one relationship type (or of every type
+        combined when ``reltype`` is None)."""
+        if reltype is None:
+            dm = self._adj
+        else:
+            rid = self.schema.reltype_id(reltype)
+            if rid is None:
+                return Matrix(self._capacity, self._capacity, "BOOL")
+            dm = self._rel_matrix_for(rid)
+        return dm.transposed() if transposed else dm.synced()
+
+    def label_matrix(self, label: str) -> Matrix:
+        lid = self.schema.label_id(label)
+        if lid is None:
+            return Matrix(self._capacity, self._capacity, "BOOL")
+        return self._label_matrix_for(lid).synced()
+
+    def flush_all(self) -> None:
+        """Force-sync every delta matrix (bulk load epilogue)."""
+        self._adj.flush()
+        for m in self._rel_matrices:
+            m.flush()
+        for m in self._label_matrices:
+            m.flush()
+
+    # ------------------------------------------------------------------
+    # Bulk loading (benchmark datasets)
+    # ------------------------------------------------------------------
+    def bulk_load_nodes(self, count: int, label: Optional[str] = None) -> None:
+        """Create ``count`` property-less nodes in one pass."""
+        label_ids: Tuple[int, ...] = ()
+        if label is not None:
+            label_ids = (self.schema.intern_label(label),)
+        first = None
+        for _ in range(count):
+            nid = self._nodes.alloc(_NodeRecord(label_ids, {}))
+            if first is None:
+                first = nid
+        self._ensure_capacity(self._nodes.capacity)
+        if label is not None and count:
+            lm = self._label_matrix_for(label_ids[0])
+            base = lm.synced()
+            ids = np.arange(first, first + count, dtype=np.int64)
+            diag = Matrix.from_coo(ids, ids, None, nrows=self._capacity, ncols=self._capacity)
+            merged = base.ewise_add(diag, binary.lor)
+            lm.clear()
+            lm._base = merged  # bulk splice, bypassing per-entry buffering
+
+    def bulk_load_edges(self, src: np.ndarray, dst: np.ndarray, reltype: str) -> int:
+        """Install an edge array directly into the relation matrix.
+
+        This is the dataset-loading fast path: no per-edge records are
+        materialized (matching how the benchmark graphs are queried —
+        traversals never bind these edges' properties).  Returns the number
+        of distinct matrix entries added.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise GraphError("bulk_load_edges: src/dst length mismatch")
+        if len(src) and (src.max() >= self._nodes.capacity or dst.max() >= self._nodes.capacity):
+            raise EntityNotFound("bulk_load_edges: endpoint node id out of range")
+        rid = self.schema.intern_reltype(reltype)
+        dm = self._rel_matrix_for(rid)
+        new = Matrix.from_edges(src, dst, nrows=self._capacity)
+        merged = dm.synced().ewise_add(new, binary.lor)
+        dm.clear()
+        dm._base = merged
+        adj_merged = self._adj.synced().ewise_add(new, binary.lor)
+        self._adj.clear()
+        self._adj._base = adj_merged
+        return new.nvals
+
+    # ------------------------------------------------------------------
+    # Indices
+    # ------------------------------------------------------------------
+    def create_index(self, label: str, attribute: str) -> ExactMatchIndex:
+        lid = self.schema.intern_label(label)
+        aid = self.attrs.intern(attribute)
+        key = (lid, aid)
+        if key in self._indices:
+            raise ConstraintViolation(f"index on :{label}({attribute}) already exists")
+        index = ExactMatchIndex(lid, aid)
+        for nid in self.nodes_with_label(label):
+            props = self._nodes.get(int(nid)).props
+            if aid in props:
+                index.insert(props[aid], int(nid))
+        self._indices[key] = index
+        return index
+
+    def drop_index(self, label: str, attribute: str) -> bool:
+        lid = self.schema.label_id(label)
+        aid = self.attrs.lookup(attribute)
+        if lid is None or aid is None:
+            return False
+        return self._indices.pop((lid, aid), None) is not None
+
+    def get_index(self, label: str, attribute: str) -> Optional[ExactMatchIndex]:
+        lid = self.schema.label_id(label)
+        aid = self.attrs.lookup(attribute)
+        if lid is None or aid is None:
+            return None
+        return self._indices.get((lid, aid))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Graph {self.name!r} nodes={self.node_count} edges={self.edge_count} "
+            f"labels={self.schema.label_count} reltypes={self.schema.reltype_count}>"
+        )

@@ -1,0 +1,54 @@
+"""Exact-match secondary indices over (label, attribute).
+
+``CREATE INDEX ON :Person(name)`` builds one; the planner then rewrites
+``MATCH (n:Person {name: $x})`` from a label scan + filter into a direct
+index probe — the same optimization RedisGraph applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Set
+
+__all__ = ["ExactMatchIndex"]
+
+
+class ExactMatchIndex:
+    """value → set of node ids, for one (label_id, attr_id) pair."""
+
+    def __init__(self, label_id: int, attr_id: int) -> None:
+        self.label_id = label_id
+        self.attr_id = attr_id
+        self._map: Dict[Any, Set[int]] = {}
+        self._size = 0
+
+    def insert(self, value: Any, node_id: int) -> None:
+        if not _indexable(value):
+            return
+        bucket = self._map.setdefault(value, set())
+        if node_id not in bucket:
+            bucket.add(node_id)
+            self._size += 1
+
+    def remove(self, value: Any, node_id: int) -> None:
+        bucket = self._map.get(value)
+        if bucket and node_id in bucket:
+            bucket.discard(node_id)
+            self._size -= 1
+            if not bucket:
+                del self._map[value]
+
+    def lookup(self, value: Any) -> Set[int]:
+        if not _indexable(value):
+            return set()
+        return set(self._map.get(value, ()))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"<ExactMatchIndex label={self.label_id} attr={self.attr_id} entries={self._size}>"
+
+
+def _indexable(value: Any) -> bool:
+    """Lists/maps are not hashable index keys (same restriction as Redis)."""
+    return isinstance(value, (str, int, float, bool)) or value is None

@@ -1,0 +1,169 @@
+"""Graph serialization — the module's RDB hook equivalent.
+
+Redis persists module datatypes through RDB callbacks; this module plays
+that role for the reproduction: :func:`save_graph` writes a complete graph
+(schemas, attribute registry, node/edge records, indices, adjacency
+structure) into a single file, and :func:`load_graph` reconstructs an
+identical graph.
+
+Format: a zip container (``numpy.savez``) holding
+
+* ``meta`` — JSON: name, config, schema names, attribute names, index
+  keys, node records (labels + properties), edge records,
+* one ``int64`` edge array per relationship type (matrices are *not*
+  stored; they rebuild from the edge arrays in one bulk pass, which keeps
+  the file format independent of CSR layout details).
+
+Properties must be JSON-serializable (str/int/float/bool/None/list/map) —
+the same restriction RedisGraph's values have.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.config import GraphConfig
+from repro.graph.graph import Graph, _EdgeRecord, _NodeRecord
+
+__all__ = ["save_graph", "load_graph"]
+
+FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, target: Union[str, Path, BinaryIO]) -> None:
+    """Serialize ``graph`` to a file path or binary stream."""
+    nodes = []
+    for node_id, record in graph._nodes.items():
+        nodes.append([node_id, list(record.labels), _jsonable_props(graph, record.props)])
+    edges = []
+    for edge_id, record in graph._edges.items():
+        edges.append(
+            [edge_id, record.src, record.dst, record.rel_id, _jsonable_props(graph, record.props)]
+        )
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "capacity": graph.capacity,
+        "config": {
+            "thread_count": graph.config.thread_count,
+            "node_capacity": graph.config.node_capacity,
+            "delta_max_pending": graph.config.delta_max_pending,
+            "traverse_batch_size": graph.config.traverse_batch_size,
+        },
+        "labels": graph.schema.labels(),
+        "reltypes": graph.schema.reltypes(),
+        "attributes": [graph.attrs.name_of(i) for i in range(len(graph.attrs))],
+        "indices": [[lid, aid] for (lid, aid) in graph._indices],
+        "nodes": nodes,
+        "edges": edges,
+        "node_slots": graph._nodes.capacity,
+        "edge_slots": graph._edges.capacity,
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    # bulk-loaded matrix entries that have no edge records still need to
+    # survive: store each relation matrix's COO
+    for rid in range(graph.schema.reltype_count):
+        m = graph._rel_matrix_for(rid).synced()
+        rows, cols, _ = m.to_coo()
+        arrays[f"rel{rid}"] = np.stack([rows, cols]) if len(rows) else np.empty((2, 0), dtype=np.int64)
+    np.savez_compressed(target, **arrays)
+
+
+def load_graph(source: Union[str, Path, BinaryIO]) -> Graph:
+    """Reconstruct a graph saved by :func:`save_graph`."""
+    with np.load(source, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise GraphError(f"unsupported graph file version: {meta.get('version')!r}")
+        rel_coos = {
+            int(key[3:]): data[key] for key in data.files if key.startswith("rel")
+        }
+
+    config = GraphConfig(**meta["config"]).validate()
+    graph = Graph(meta["name"], config)
+
+    for label in meta["labels"]:
+        graph.schema.intern_label(label)
+    for reltype in meta["reltypes"]:
+        graph.schema.intern_reltype(reltype)
+    for attr in meta["attributes"]:
+        graph.attrs.intern(attr)
+
+    # rebuild the node DataBlock with identical slot assignment
+    slots = meta["node_slots"]
+    by_slot = {int(n[0]): n for n in meta["nodes"]}
+    graph._ensure_capacity(max(slots, meta["capacity"]))
+    for slot in range(slots):
+        entry = by_slot.get(slot)
+        if entry is None:
+            placeholder = graph._nodes.alloc(None)  # tombstone-to-be
+            continue
+        _, labels, props = entry
+        record = _NodeRecord(tuple(labels), {graph.attrs.intern(k): v for k, v in props.items()})
+        graph._nodes.alloc(record)
+    for slot in range(slots):
+        if slot not in by_slot:
+            graph._nodes.free(slot)
+    for slot, entry in by_slot.items():
+        for lid in entry[1]:
+            graph._label_matrix_for(lid).add(slot, slot)
+
+    # edge records (DataBlock slots preserved the same way)
+    edge_slots = meta["edge_slots"]
+    edge_by_slot = {int(e[0]): e for e in meta["edges"]}
+    for slot in range(edge_slots):
+        entry = edge_by_slot.get(slot)
+        if entry is None:
+            graph._edges.alloc(None)
+            continue
+        _, src, dst, rel_id, props = entry
+        record = _EdgeRecord(src, dst, rel_id, {graph.attrs.intern(k): v for k, v in props.items()})
+        graph._edges.alloc(record)
+        graph._edge_map.setdefault((src, dst, rel_id), []).append(slot)
+        graph._node_out.setdefault(src, set()).add(slot)
+        graph._node_in.setdefault(dst, set()).add(slot)
+    for slot in range(edge_slots):
+        if slot not in edge_by_slot:
+            graph._edges.free(slot)
+
+    # adjacency structure (covers bulk-loaded edges without records)
+    for rid, coo in sorted(rel_coos.items()):
+        if coo.shape[1]:
+            graph.bulk_load_edges(coo[0], coo[1], graph.schema.reltype_name(rid))
+
+    # indices last, so they populate from the restored records
+    for lid, aid in meta["indices"]:
+        label = graph.schema.label_name(lid)
+        attr = graph.attrs.name_of(aid)
+        graph.create_index(label, attr)
+    return graph
+
+
+def _jsonable_props(graph: Graph, props: dict) -> dict:
+    out = {}
+    for aid, value in props.items():
+        _check_jsonable(value)
+        out[graph.attrs.name_of(aid)] = value
+    return out
+
+
+def _check_jsonable(value) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for v in value:
+            _check_jsonable(v)
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise GraphError("map property keys must be strings to persist")
+            _check_jsonable(v)
+        return
+    raise GraphError(f"property of type {type(value).__name__} cannot be persisted")

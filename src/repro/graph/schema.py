@@ -1,0 +1,61 @@
+"""Label and relationship-type registries (RedisGraph schemas)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """Bidirectional name↔id maps for node labels and relationship types."""
+
+    def __init__(self) -> None:
+        self._label_ids: Dict[str, int] = {}
+        self._label_names: List[str] = []
+        self._reltype_ids: Dict[str, int] = {}
+        self._reltype_names: List[str] = []
+
+    # -- labels ---------------------------------------------------------
+    def intern_label(self, name: str) -> int:
+        lid = self._label_ids.get(name)
+        if lid is None:
+            lid = len(self._label_names)
+            self._label_ids[name] = lid
+            self._label_names.append(name)
+        return lid
+
+    def label_id(self, name: str) -> Optional[int]:
+        return self._label_ids.get(name)
+
+    def label_name(self, lid: int) -> str:
+        return self._label_names[lid]
+
+    @property
+    def label_count(self) -> int:
+        return len(self._label_names)
+
+    def labels(self) -> List[str]:
+        return list(self._label_names)
+
+    # -- relationship types ----------------------------------------------
+    def intern_reltype(self, name: str) -> int:
+        rid = self._reltype_ids.get(name)
+        if rid is None:
+            rid = len(self._reltype_names)
+            self._reltype_ids[name] = rid
+            self._reltype_names.append(name)
+        return rid
+
+    def reltype_id(self, name: str) -> Optional[int]:
+        return self._reltype_ids.get(name)
+
+    def reltype_name(self, rid: int) -> str:
+        return self._reltype_names[rid]
+
+    @property
+    def reltype_count(self) -> int:
+        return len(self._reltype_names)
+
+    def reltypes(self) -> List[str]:
+        return list(self._reltype_names)

@@ -1,0 +1,110 @@
+"""GraphBLAS output-write semantics: ``C⟨M⟩ accum= T`` on linear keys.
+
+Every operation computes its raw result ``T`` as (sorted linear keys,
+values), then funnels through :func:`masked_accum_write`, which implements
+the spec's four-step write:
+
+1. ``Z = T`` when no accumulator, else the union-merge ``Z = C ⊙ T``
+   (accum applied where both hold an entry).
+2. Resolve the mask to the set of *writable* keys.
+3. Inside the writable region the output takes ``Z``; outside it the output
+   keeps old ``C`` entries — unless ``replace`` is set, which clears them.
+4. Values cast into the output domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.grblas import _kernels as K
+from repro.grblas.mask import check_mask_shape, resolve_mask
+from repro.grblas.ops import BinaryOp
+
+__all__ = ["masked_accum_write", "finalize_matrix", "finalize_vector"]
+
+_I64 = np.int64
+
+
+def masked_accum_write(
+    c_keys: np.ndarray,
+    c_vals: np.ndarray,
+    t_keys: np.ndarray,
+    t_vals: np.ndarray,
+    out_np_dtype: np.dtype,
+    *,
+    accum: Optional[BinaryOp],
+    mask,
+    desc,
+    shape,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine existing output ``C`` with computed ``T`` under mask/accum.
+
+    All key arrays are sorted unique linear keys; returns the same form.
+    """
+    check_mask_shape(mask, shape)
+    t_vals = np.asarray(t_vals).astype(out_np_dtype, copy=False)
+    c_vals = np.asarray(c_vals).astype(out_np_dtype, copy=False)
+
+    # Step 1: accumulate into Z
+    if accum is None or len(c_keys) == 0:
+        z_keys, z_vals = t_keys, t_vals
+    else:
+        z_keys, z_vals = K.merge_union(c_keys, c_vals, t_keys, t_vals, accum, out_np_dtype)
+
+    resolved = resolve_mask(mask, desc)
+    replace = bool(desc is not None and desc.replace)
+    if resolved is None:
+        if accum is None and not replace and len(c_keys):
+            # No mask, no accum: the spec says C is *overwritten* by T.
+            return z_keys, z_vals
+        return z_keys, z_vals
+
+    true_keys, complement = resolved
+
+    # Step 3: writable region takes Z; the rest keeps C (unless replace)
+    if complement:
+        zk = K.setdiff_sorted(z_keys, true_keys)
+        z_in_keys, z_in_vals = z_keys[zk], z_vals[zk]
+        if replace or len(c_keys) == 0:
+            c_out_keys = np.empty(0, dtype=_I64)
+            c_out_vals = np.empty(0, dtype=out_np_dtype)
+        else:
+            ia, _ = K.intersect_sorted(c_keys, true_keys)
+            c_out_keys, c_out_vals = c_keys[ia], c_vals[ia]
+    else:
+        ia, _ = K.intersect_sorted(z_keys, true_keys)
+        z_in_keys, z_in_vals = z_keys[ia], z_vals[ia]
+        if replace or len(c_keys) == 0:
+            c_out_keys = np.empty(0, dtype=_I64)
+            c_out_vals = np.empty(0, dtype=out_np_dtype)
+        else:
+            kk = K.setdiff_sorted(c_keys, true_keys)
+            c_out_keys, c_out_vals = c_keys[kk], c_vals[kk]
+
+    if len(c_out_keys) == 0:
+        return z_in_keys, z_in_vals
+    if len(z_in_keys) == 0:
+        return c_out_keys, c_out_vals
+    # regions are disjoint by construction; a merge keeps keys sorted
+    keys = np.concatenate([z_in_keys, c_out_keys])
+    vals = np.concatenate([z_in_vals, c_out_vals])
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]
+
+
+def finalize_matrix(out, keys: np.ndarray, vals: np.ndarray):
+    """Install sorted linear (keys, vals) into a Matrix object."""
+    rows, cols = K.split_keys(keys, out.ncols)
+    out.indptr = K.rows_to_indptr(rows, out.nrows)
+    out.indices = cols
+    out.values = np.asarray(vals, dtype=out.dtype.np_dtype)
+    return out
+
+
+def finalize_vector(out, keys: np.ndarray, vals: np.ndarray):
+    """Install sorted (indices, vals) into a Vector object."""
+    out.indices = np.asarray(keys, dtype=_I64)
+    out.values = np.asarray(vals, dtype=out.dtype.np_dtype)
+    return out

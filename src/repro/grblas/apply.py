@@ -1,0 +1,83 @@
+"""``GrB_apply``: map a unary operator over stored values, or bind one
+argument of a binary operator to a scalar (``GxB_Matrix_apply_BinaryOp``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grblas._write import finalize_matrix, finalize_vector, masked_accum_write
+from repro.grblas.matrix import Matrix
+from repro.grblas.ops import BinaryOp, UnaryOp
+from repro.grblas.types import from_numpy_dtype
+from repro.grblas.vector import Vector
+
+__all__ = ["apply_matrix", "apply_vector", "apply_bind_matrix", "apply_bind_vector"]
+
+
+def _mapped(values: np.ndarray, fn) -> np.ndarray:
+    out = np.asarray(fn(values))
+    return out
+
+
+def apply_matrix(A: Matrix, op: UnaryOp, *, mask=None, accum=None, desc=None) -> Matrix:
+    new_vals = _mapped(A.values, op)
+    out_dtype = op.result_type if op.result_type is not None else from_numpy_dtype(new_vals.dtype)
+    out = Matrix(A.nrows, A.ncols, out_dtype)
+    ka, _ = A.to_linear()
+    keys, vals = masked_accum_write(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=out_dtype.np_dtype),
+        ka,
+        new_vals.astype(out_dtype.np_dtype, copy=False),
+        out_dtype.np_dtype,
+        accum=accum,
+        mask=mask,
+        desc=desc,
+        shape=A.shape,
+    )
+    return finalize_matrix(out, keys, vals)
+
+
+def apply_vector(u: Vector, op: UnaryOp, *, mask=None, accum=None, desc=None) -> Vector:
+    new_vals = _mapped(u.values, op)
+    out_dtype = op.result_type if op.result_type is not None else from_numpy_dtype(new_vals.dtype)
+    out = Vector(u.size, out_dtype)
+    keys, vals = masked_accum_write(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=out_dtype.np_dtype),
+        u.indices,
+        new_vals.astype(out_dtype.np_dtype, copy=False),
+        out_dtype.np_dtype,
+        accum=accum,
+        mask=mask,
+        desc=desc,
+        shape=(u.size,),
+    )
+    return finalize_vector(out, keys, vals)
+
+
+def apply_bind_matrix(A: Matrix, op: BinaryOp, scalar, *, right: bool = True) -> Matrix:
+    """``C = A op s`` (right=True) or ``C = s op A`` — one bound argument."""
+    s = np.asarray(scalar)
+    new_vals = np.asarray(op(A.values, s) if right else op(s, A.values))
+    out_dtype = op.result_type if op.result_type is not None else from_numpy_dtype(new_vals.dtype)
+    return Matrix(
+        A.nrows,
+        A.ncols,
+        out_dtype,
+        indptr=A.indptr.copy(),
+        indices=A.indices.copy(),
+        values=new_vals.astype(out_dtype.np_dtype, copy=False),
+    )
+
+
+def apply_bind_vector(u: Vector, op: BinaryOp, scalar, *, right: bool = True) -> Vector:
+    s = np.asarray(scalar)
+    new_vals = np.asarray(op(u.values, s) if right else op(s, u.values))
+    out_dtype = op.result_type if op.result_type is not None else from_numpy_dtype(new_vals.dtype)
+    return Vector(
+        u.size,
+        out_dtype,
+        indices=u.indices.copy(),
+        values=new_vals.astype(out_dtype.np_dtype, copy=False),
+    )

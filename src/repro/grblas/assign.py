@@ -1,0 +1,101 @@
+"""``GrB_assign``: write a matrix/vector/scalar into a region of a larger
+container.  The graph layer uses these to clear rows/columns when nodes are
+deleted and to stamp label diagonals."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DimensionMismatch
+from repro.grblas import _kernels as K
+from repro.grblas.extract import IndexSpec, normalize_indices
+from repro.grblas.matrix import Matrix
+from repro.grblas.ops import BinaryOp
+from repro.grblas.vector import Vector
+
+__all__ = ["assign_submatrix", "assign_matrix_scalar", "assign_vector_scalar", "delete_rows_cols"]
+
+_I64 = np.int64
+
+
+def assign_submatrix(C: Matrix, A: Matrix, rows: IndexSpec, cols: IndexSpec, *, accum: Optional[BinaryOp] = None) -> Matrix:
+    """``C[rows, cols] = A`` (returns a new matrix; C is not mutated).
+
+    Without an accumulator the region is overwritten: existing C entries in
+    the region that A leaves implicit are deleted, per the GraphBLAS spec.
+    """
+    r = normalize_indices(rows, C.nrows)
+    c = normalize_indices(cols, C.ncols)
+    r = np.arange(C.nrows, dtype=_I64) if r is None else r
+    c = np.arange(C.ncols, dtype=_I64) if c is None else c
+    if A.shape != (len(r), len(c)):
+        raise DimensionMismatch(f"assign: A shape {A.shape} != region shape {(len(r), len(c))}")
+
+    a_rows, a_cols, a_vals = A.to_coo()
+    new_rows = r[a_rows]
+    new_cols = c[a_cols]
+    t_keys = K.linear_keys(new_rows, new_cols, C.ncols)
+    t_order = np.argsort(t_keys, kind="stable")
+    t_keys = t_keys[t_order]
+    t_vals = a_vals[t_order].astype(C.dtype.np_dtype, copy=False)
+
+    c_keys, c_vals = C.to_linear()
+    if accum is None:
+        # drop every existing entry inside the region, then splice in A
+        c_rows_all, c_cols_all = K.split_keys(c_keys, C.ncols)
+        in_r = np.isin(c_rows_all, r)
+        in_c = np.isin(c_cols_all, c)
+        outside = ~(in_r & in_c)
+        keys, vals = K.merge_union(c_keys[outside], c_vals[outside], t_keys, t_vals, None, C.dtype.np_dtype)
+    else:
+        keys, vals = K.merge_union(c_keys, c_vals, t_keys, t_vals, accum, C.dtype.np_dtype)
+
+    out = Matrix(C.nrows, C.ncols, C.dtype)
+    rows_out, cols_out = K.split_keys(keys, C.ncols)
+    out.indptr = K.rows_to_indptr(rows_out, C.nrows)
+    out.indices = cols_out
+    out.values = vals
+    return out
+
+
+def assign_matrix_scalar(C: Matrix, value, rows: IndexSpec, cols: IndexSpec, *, accum: Optional[BinaryOp] = None) -> Matrix:
+    """``C[rows, cols] = s`` — dense fill of the region with one value."""
+    r = normalize_indices(rows, C.nrows)
+    c = normalize_indices(cols, C.ncols)
+    r = np.arange(C.nrows, dtype=_I64) if r is None else r
+    c = np.arange(C.ncols, dtype=_I64) if c is None else c
+    rr = np.repeat(r, len(c))
+    cc = np.tile(c, len(r))
+    block = Matrix.from_coo(
+        np.arange(len(r), dtype=_I64).repeat(len(c)),
+        np.tile(np.arange(len(c), dtype=_I64), len(r)),
+        value,
+        nrows=len(r),
+        ncols=len(c),
+        dtype=C.dtype,
+    )
+    return assign_submatrix(C, block, r, c, accum=accum)
+
+
+def assign_vector_scalar(u: Vector, value, indices: IndexSpec = None) -> Vector:
+    """``u[indices] = s`` (returns a new vector)."""
+    idx = normalize_indices(indices, u.size)
+    idx = np.arange(u.size, dtype=_I64) if idx is None else np.unique(idx)
+    fill = np.full(len(idx), value, dtype=u.dtype.np_dtype)
+    keys, vals = K.merge_union(u.indices, u.values, idx, fill, None, u.dtype.np_dtype)
+    return Vector(u.size, u.dtype, indices=keys, values=vals)
+
+
+def delete_rows_cols(C: Matrix, rows: Optional[np.ndarray] = None, cols: Optional[np.ndarray] = None) -> Matrix:
+    """Remove every entry in the given rows and/or columns (node deletion:
+    clearing row *and* column ``i`` of each adjacency matrix)."""
+    c_rows, c_cols, c_vals = C.to_coo()
+    keep = np.ones(len(c_rows), dtype=bool)
+    if rows is not None and len(rows):
+        keep &= ~np.isin(c_rows, rows)
+    if cols is not None and len(cols):
+        keep &= ~np.isin(c_cols, cols)
+    indptr = K.rows_to_indptr(c_rows[keep], C.nrows)
+    return Matrix(C.nrows, C.ncols, C.dtype, indptr=indptr, indices=c_cols[keep], values=c_vals[keep])

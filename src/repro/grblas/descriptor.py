@@ -1,0 +1,58 @@
+"""Operation descriptors (GrB_Descriptor).
+
+A descriptor modifies how an operation treats its inputs, mask and output:
+
+* ``transpose_a`` / ``transpose_b`` — use the transpose of input 0 / 1
+  (``GrB_INP0``/``GrB_INP1`` with ``GrB_TRAN``).
+* ``mask_complement`` — compute where the mask is *absent/false*
+  (``GrB_COMP``).
+* ``mask_structural`` — mask by structure (presence) rather than value
+  (``GrB_STRUCTURE``).
+* ``replace`` — clear the output's untouched entries (``GrB_REPLACE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+__all__ = ["Descriptor", "NULL", "T0", "T1", "T0T1", "R", "C", "S", "RC", "CS", "RSC"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    transpose_a: bool = False
+    transpose_b: bool = False
+    mask_complement: bool = False
+    mask_structural: bool = False
+    replace: bool = False
+
+    def with_(self, **kwargs) -> "Descriptor":
+        """Return a copy with the given flags overridden."""
+        return _dc_replace(self, **kwargs)
+
+    def __repr__(self) -> str:
+        flags = [
+            name
+            for name, on in [
+                ("T0", self.transpose_a),
+                ("T1", self.transpose_b),
+                ("COMP", self.mask_complement),
+                ("STRUCT", self.mask_structural),
+                ("REPLACE", self.replace),
+            ]
+            if on
+        ]
+        return f"Descriptor({'+'.join(flags) or 'NULL'})"
+
+
+# Common pre-built descriptors, named after the SuiteSparse shorthands.
+NULL = Descriptor()
+T0 = Descriptor(transpose_a=True)
+T1 = Descriptor(transpose_b=True)
+T0T1 = Descriptor(transpose_a=True, transpose_b=True)
+R = Descriptor(replace=True)
+C = Descriptor(mask_complement=True)
+S = Descriptor(mask_structural=True)
+RC = Descriptor(replace=True, mask_complement=True)
+CS = Descriptor(mask_complement=True, mask_structural=True)
+RSC = Descriptor(replace=True, mask_complement=True, mask_structural=True)

@@ -1,0 +1,110 @@
+"""``GrB_extract``: submatrix / subvector / row / column extraction.
+
+Row extraction is a pure gather over CSR ranges (``concat_ranges``); column
+renumbering is a sorted-membership lookup.  ``rows``/``cols`` accept
+``None`` (GrB_ALL), a slice, or an integer array whose *order defines the
+output numbering* (GraphBLAS semantics — this is what lets the traversal
+engine pick an arbitrary batch of frontier nodes as matrix rows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import IndexOutOfBounds, InvalidValue
+from repro.grblas import _kernels as K
+from repro.grblas.matrix import Matrix
+from repro.grblas.vector import Vector
+
+__all__ = ["extract_submatrix", "extract_row", "extract_col", "extract_subvector", "normalize_indices"]
+
+_I64 = np.int64
+IndexSpec = Union[None, slice, Sequence[int], np.ndarray]
+
+
+def normalize_indices(spec: IndexSpec, dim: int) -> Optional[np.ndarray]:
+    """Resolve an index spec against a dimension; None means ALL."""
+    if spec is None:
+        return None
+    if isinstance(spec, slice):
+        return np.arange(*spec.indices(dim), dtype=_I64)
+    idx = np.asarray(spec, dtype=_I64)
+    if idx.ndim != 1:
+        raise InvalidValue("index arrays must be 1-D")
+    if len(idx) and (idx.min() < 0 or idx.max() >= dim):
+        raise IndexOutOfBounds(f"index out of range for dimension {dim}")
+    return idx
+
+
+def _gather_rows(A: Matrix, rows: np.ndarray):
+    """Return COO of the selected rows, renumbered 0..len(rows)-1."""
+    lens = np.diff(A.indptr)[rows]
+    gather = K.concat_ranges(A.indptr[rows], lens)
+    out_rows = np.repeat(np.arange(len(rows), dtype=_I64), lens)
+    return out_rows, A.indices[gather], A.values[gather]
+
+
+def extract_submatrix(A: Matrix, rows: IndexSpec, cols: IndexSpec) -> Matrix:
+    """``C = A[rows, cols]`` with output axes ordered as given."""
+    r = normalize_indices(rows, A.nrows)
+    c = normalize_indices(cols, A.ncols)
+
+    if r is None:
+        out_rows = np.repeat(np.arange(A.nrows, dtype=_I64), np.diff(A.indptr))
+        out_cols = A.indices
+        out_vals = A.values
+        nrows = A.nrows
+    else:
+        out_rows, out_cols, out_vals = _gather_rows(A, r)
+        nrows = len(r)
+
+    if c is None:
+        ncols = A.ncols
+        indptr = K.rows_to_indptr(out_rows, nrows)
+        return Matrix(nrows, ncols, A.dtype, indptr=indptr, indices=out_cols.copy(), values=out_vals.copy())
+
+    # column filter + renumber (c may be in arbitrary order; must be unique)
+    order = np.argsort(c, kind="stable")
+    sorted_c = c[order]
+    if len(sorted_c) > 1 and np.any(np.diff(sorted_c) == 0):
+        raise InvalidValue("duplicate column indices in extract are not supported")
+    present, pos = K.membership(sorted_c, out_cols)
+    keep = np.flatnonzero(present)
+    new_cols = order[pos[keep]]
+    rows_k = out_rows[keep]
+    vals_k = out_vals[keep]
+    # renumbering can break intra-row sortedness when c is unordered
+    indptr, indices, values = K.coo_to_csr(rows_k, new_cols, vals_k, nrows, len(c), None)
+    return Matrix(nrows, len(c), A.dtype, indptr=indptr, indices=indices, values=values)
+
+
+def extract_row(A: Matrix, i: int) -> Vector:
+    """Row ``i`` as a vector of length ncols."""
+    cols, vals = A.row(int(i))
+    return Vector(A.ncols, A.dtype, indices=cols.copy(), values=vals.copy())
+
+
+def extract_col(A: Matrix, j: int) -> Vector:
+    """Column ``j`` as a vector of length nrows (O(nnz) scan)."""
+    if not 0 <= j < A.ncols:
+        raise IndexOutOfBounds(f"column {j} out of range [0, {A.ncols})")
+    hit = A.indices == j
+    rows = np.repeat(np.arange(A.nrows, dtype=_I64), np.diff(A.indptr))[hit]
+    return Vector(A.nrows, A.dtype, indices=rows, values=A.values[hit].copy())
+
+
+def extract_subvector(u: Vector, indices: IndexSpec) -> Vector:
+    """``w = u[indices]``, output ordered as the index spec."""
+    idx = normalize_indices(indices, u.size)
+    if idx is None:
+        return u.dup()
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    present, pos = K.membership(u.indices, sorted_idx)
+    keep = np.flatnonzero(present)
+    new_idx = order[keep]
+    vals = u.values[pos[keep]]
+    reorder = np.argsort(new_idx, kind="stable")
+    return Vector(len(idx), u.dtype, indices=new_idx[reorder], values=vals[reorder])

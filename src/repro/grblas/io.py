@@ -1,0 +1,99 @@
+"""Matrix-Market (coordinate) text I/O for matrices.
+
+Supports ``real``, ``integer`` and ``pattern`` fields with the ``general``
+symmetry, which covers every dataset the benchmark harness materializes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.grblas.matrix import Matrix
+from repro.grblas.types import BOOL, FP64, INT64
+
+__all__ = ["mm_read", "mm_write"]
+
+
+def mm_write(target: Union[str, Path, TextIO], A: Matrix, comment: str = "") -> None:
+    """Write ``A`` in MatrixMarket coordinate format (1-based indices)."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target
+    try:
+        if A.dtype.is_bool:
+            field = "pattern"
+        elif A.dtype.is_integer:
+            field = "integer"
+        else:
+            field = "real"
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        rows, cols, vals = A.to_coo()
+        fh.write(f"{A.nrows} {A.ncols} {A.nvals}\n")
+        if field == "pattern":
+            for r, c in zip(rows, cols):
+                fh.write(f"{r + 1} {c + 1}\n")
+        elif field == "integer":
+            for r, c, v in zip(rows, cols, vals):
+                fh.write(f"{r + 1} {c + 1} {int(v)}\n")
+        else:
+            for r, c, v in zip(rows, cols, vals):
+                fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def mm_read(source: Union[str, Path, TextIO]) -> Matrix:
+    """Read a MatrixMarket coordinate file into a Matrix."""
+    own = isinstance(source, (str, Path))
+    fh: TextIO = open(source) if own else source
+    try:
+        header = fh.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
+            raise InvalidValue("not a MatrixMarket file")
+        fmt, field, symmetry = header[2], header[3], header[4]
+        if fmt != "coordinate":
+            raise InvalidValue(f"unsupported MatrixMarket format: {fmt}")
+        if symmetry not in ("general", "symmetric"):
+            raise InvalidValue(f"unsupported symmetry: {symmetry}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(x) for x in line.split())
+        data = fh.read().split()
+    finally:
+        if own:
+            fh.close()
+
+    if field == "pattern":
+        arr = np.array(data, dtype=np.int64).reshape(nnz, 2) if nnz else np.empty((0, 2), dtype=np.int64)
+        rows, cols = arr[:, 0] - 1, arr[:, 1] - 1
+        vals = None
+        dtype = BOOL
+    else:
+        raw = np.array(data, dtype=np.float64).reshape(nnz, 3) if nnz else np.empty((0, 3), dtype=np.float64)
+        rows = raw[:, 0].astype(np.int64) - 1
+        cols = raw[:, 1].astype(np.int64) - 1
+        if field == "integer":
+            vals = raw[:, 2].astype(np.int64)
+            dtype = INT64
+        else:
+            vals = raw[:, 2]
+            dtype = FP64
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows, cols = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+        )
+        if vals is not None:
+            vals = np.concatenate([vals, vals[off]])
+    return Matrix.from_coo(rows, cols, vals, nrows=nrows, ncols=ncols, dtype=dtype)

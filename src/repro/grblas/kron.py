@@ -1,0 +1,40 @@
+"""``GrB_kronecker``: the Kronecker product, the generator primitive behind
+Graph500/RMAT graphs (a Kronecker power of a small seed matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grblas import _kernels as K
+from repro.grblas.matrix import Matrix
+from repro.grblas.ops import BinaryOp
+from repro.grblas.types import promote
+
+__all__ = ["kronecker"]
+
+_I64 = np.int64
+
+
+def kronecker(A: Matrix, B: Matrix, op: BinaryOp) -> Matrix:
+    """``C[ia*Bn + ib, ja*Bm + jb] = op(A[ia,ja], B[ib,jb])`` over stored
+    entries; output shape ``(A.nrows*B.nrows, A.ncols*B.ncols)``."""
+    a_rows, a_cols, a_vals = A.to_coo()
+    b_rows, b_cols, b_vals = B.to_coo()
+    na, nb = len(a_rows), len(b_rows)
+    out_dtype = op.result_type if op.result_type is not None else promote(A.dtype, B.dtype)
+    nrows = A.nrows * B.nrows
+    ncols = A.ncols * B.ncols
+    if na == 0 or nb == 0:
+        return Matrix(nrows, ncols, out_dtype)
+    rows = np.repeat(a_rows, nb) * _I64(B.nrows) + np.tile(b_rows, na)
+    cols = np.repeat(a_cols, nb) * _I64(B.ncols) + np.tile(b_cols, na)
+    if op.positional == "first":
+        vals = np.repeat(a_vals, nb)
+    elif op.positional == "second":
+        vals = np.tile(b_vals, na)
+    elif op.positional == "one":
+        vals = np.ones(na * nb, dtype=out_dtype.np_dtype)
+    else:
+        vals = np.asarray(op(np.repeat(a_vals, nb), np.tile(b_vals, na)))
+    indptr, indices, values = K.coo_to_csr(rows, cols, vals.astype(out_dtype.np_dtype, copy=False), nrows, ncols, None)
+    return Matrix(nrows, ncols, out_dtype, indptr=indptr, indices=indices, values=values)

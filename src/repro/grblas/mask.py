@@ -1,0 +1,79 @@
+"""Write masks.
+
+A mask restricts which output locations an operation may write.  It wraps a
+Matrix or Vector plus the two mask-interpretation flags; descriptor flags OR
+into these at operation time.  ``Mask.true_keys`` resolves the mask to the
+sorted set of writable linear keys (value masks drop falsy entries;
+structural masks keep every stored entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import DimensionMismatch
+
+__all__ = ["Mask", "resolve_mask"]
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A mask object: ``Mask(M)``, ``Mask(M, complement=True)``, ...
+
+    ``structure=True`` masks by presence; otherwise by truthiness of the
+    stored values.  ``complement=True`` inverts the writable region.
+    """
+
+    obj: object  # Matrix or Vector (duck-typed to avoid an import cycle)
+    complement: bool = False
+    structure: bool = False
+
+    def __invert__(self) -> "Mask":
+        return Mask(self.obj, complement=not self.complement, structure=self.structure)
+
+
+def resolve_mask(mask, desc) -> "tuple[np.ndarray, bool] | None":
+    """Normalize a mask argument to ``(sorted true-keys, complement?)``.
+
+    ``mask`` may be None, a Mask, or a bare Matrix/Vector (treated as a
+    value mask).  Descriptor complement/structural flags are OR-ed in.
+    Returns None when no mask restricts the write.
+    """
+    if mask is None:
+        if desc is not None and desc.mask_complement:
+            # complement of "no mask" = write nowhere
+            return np.empty(0, dtype=np.int64), True
+        return None
+    if isinstance(mask, Mask):
+        obj = mask.obj
+        complement = mask.complement
+        structure = mask.structure
+    else:
+        obj = mask
+        complement = False
+        structure = False
+    if desc is not None:
+        complement = complement or desc.mask_complement
+        structure = structure or desc.mask_structural
+    keys, values = obj.to_linear() if hasattr(obj, "to_linear") else (obj.indices, obj.values)
+    if structure:
+        true_keys = np.asarray(keys, dtype=np.int64)
+    else:
+        truthy = np.asarray(values, dtype=bool)
+        true_keys = np.asarray(keys, dtype=np.int64)[truthy]
+    return true_keys, complement
+
+
+def check_mask_shape(mask, shape) -> None:
+    """Validate that a mask's container matches the output shape."""
+    if mask is None:
+        return
+    obj = mask.obj if isinstance(mask, Mask) else mask
+    obj_shape = getattr(obj, "shape", None)
+    if obj_shape is None:
+        obj_shape = (getattr(obj, "size"),)
+    if tuple(obj_shape) != tuple(shape):
+        raise DimensionMismatch(f"mask shape {obj_shape} does not match output shape {shape}")

@@ -1,0 +1,48 @@
+"""``GrB_reduce``: fold a matrix into a vector (per row/column) or a
+matrix/vector into a scalar, using a monoid.
+
+Row reduction exploits CSR adjacency: stored entries of one row are already
+contiguous, so a single ``reduceat`` over the non-empty rows' start offsets
+folds everything without any sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grblas.matrix import Matrix
+from repro.grblas.monoid import Monoid
+from repro.grblas.scalar import Scalar
+from repro.grblas.vector import Vector
+
+__all__ = ["reduce_rows", "reduce_cols", "reduce_matrix_scalar", "reduce_vector_scalar"]
+
+
+def reduce_rows(A: Matrix, mon: Monoid) -> Vector:
+    """``w[i] = ⊕_j A[i,j]`` over stored entries; empty rows stay empty."""
+    rowlen = np.diff(A.indptr)
+    nonempty = np.flatnonzero(rowlen > 0)
+    if len(nonempty) == 0:
+        return Vector(A.nrows, A.dtype)
+    starts = A.indptr[nonempty]
+    reduced = mon.segment_reduce(A.values, starts)
+    return Vector(A.nrows, A.dtype, indices=nonempty, values=np.asarray(reduced, dtype=A.dtype.np_dtype))
+
+
+def reduce_cols(A: Matrix, mon: Monoid) -> Vector:
+    """``w[j] = ⊕_i A[i,j]``; implemented as a row-reduce of the transpose."""
+    return reduce_rows(A.transpose(), mon)
+
+
+def reduce_matrix_scalar(A: Matrix, mon: Monoid) -> Scalar:
+    out = Scalar(A.dtype)
+    if A.nvals:
+        out.set(mon.reduce_all(A.values))
+    return out
+
+
+def reduce_vector_scalar(u: Vector, mon: Monoid) -> Scalar:
+    out = Scalar(u.dtype)
+    if u.nvals:
+        out.set(mon.reduce_all(u.values))
+    return out

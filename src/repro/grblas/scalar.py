@@ -1,0 +1,64 @@
+"""GrB_Scalar: a 0-or-1 entry container used by reductions and extracts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EmptyObject
+from repro.grblas.types import GrBType, lookup_type
+
+__all__ = ["Scalar"]
+
+
+class Scalar:
+    """A typed scalar that may be *empty* (no stored value)."""
+
+    __slots__ = ("dtype", "_value")
+
+    def __init__(self, dtype: "GrBType | str | np.dtype | type", value=None) -> None:
+        self.dtype = lookup_type(dtype)
+        self._value: Optional[np.generic] = None
+        if value is not None:
+            self.set(value)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._value is None
+
+    @property
+    def nvals(self) -> int:
+        return 0 if self._value is None else 1
+
+    def set(self, value) -> None:
+        self._value = self.dtype.np_dtype.type(value)
+
+    def clear(self) -> None:
+        self._value = None
+
+    def get(self, default=None):
+        """The stored value as a Python scalar, or ``default`` when empty."""
+        return default if self._value is None else self._value.item()
+
+    def value(self):
+        """The stored value; raises :class:`EmptyObject` when empty."""
+        if self._value is None:
+            raise EmptyObject("scalar holds no value")
+        return self._value.item()
+
+    def __bool__(self) -> bool:
+        return self._value is not None and bool(self._value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Scalar):
+            return self._value == other._value
+        if self._value is None:
+            return other is None
+        return self._value.item() == other
+
+    def __hash__(self):  # pragma: no cover
+        return hash((self.dtype.name, None if self._value is None else self._value.item()))
+
+    def __repr__(self) -> str:
+        return f"<Scalar {self.dtype.name} {'empty' if self.is_empty else self._value.item()}>"

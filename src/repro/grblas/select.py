@@ -1,0 +1,65 @@
+"""``GrB_select``: keep the entries satisfying a predicate.
+
+Named predicates follow SuiteSparse: positional (``tril``, ``triu``,
+``diag``, ``offdiag``) and value comparisons (``valueeq`` .. ``valuegt``).
+A callable predicate receives ``(rows, cols, values)`` arrays and returns a
+Boolean keep-mask, enabling arbitrary structural filters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.grblas import _kernels as K
+from repro.grblas.matrix import Matrix
+from repro.grblas.vector import Vector
+
+__all__ = ["select_matrix", "select_vector"]
+
+Predicate = Union[str, Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]]
+
+_VALUE_PREDICATES = {
+    "valueeq": lambda v, t: v == t,
+    "valuene": lambda v, t: v != t,
+    "valuelt": lambda v, t: v < t,
+    "valuele": lambda v, t: v <= t,
+    "valuegt": lambda v, t: v > t,
+    "valuege": lambda v, t: v >= t,
+    "nonzero": lambda v, t: v != 0,
+}
+
+_POSITIONAL_PREDICATES = {
+    "tril": lambda r, c, t: c <= r + t,
+    "triu": lambda r, c, t: c >= r + t,
+    "diag": lambda r, c, t: c == r + t,
+    "offdiag": lambda r, c, t: c != r + t,
+}
+
+
+def _keep_mask(rows, cols, vals, predicate: Predicate, value) -> np.ndarray:
+    if callable(predicate):
+        return np.asarray(predicate(rows, cols, vals), dtype=bool)
+    name = predicate.lower()
+    if name in _VALUE_PREDICATES:
+        thunk = 0 if value is None else value
+        return np.asarray(_VALUE_PREDICATES[name](vals, thunk), dtype=bool)
+    if name in _POSITIONAL_PREDICATES:
+        thunk = 0 if value is None else int(value)
+        return np.asarray(_POSITIONAL_PREDICATES[name](rows, cols, thunk), dtype=bool)
+    raise InvalidValue(f"unknown select predicate: {predicate!r}")
+
+
+def select_matrix(A: Matrix, predicate: Predicate, value=None) -> Matrix:
+    rows, cols, vals = A.to_coo()
+    keep = _keep_mask(rows, cols, vals, predicate, value)
+    indptr = K.rows_to_indptr(rows[keep], A.nrows)
+    return Matrix(A.nrows, A.ncols, A.dtype, indptr=indptr, indices=cols[keep], values=vals[keep])
+
+
+def select_vector(u: Vector, predicate: Predicate, value=None) -> Vector:
+    zeros = np.zeros(u.nvals, dtype=np.int64)
+    keep = _keep_mask(zeros, u.indices, u.values, predicate, value)
+    return Vector(u.size, u.dtype, indices=u.indices[keep], values=u.values[keep])

@@ -1,0 +1,86 @@
+"""Semirings: (add monoid, multiply operator) pairs driving ``mxm``.
+
+The registry covers the semirings RedisGraph and classic GraphBLAS
+algorithms use:
+
+* ``lor_land`` / ``any_pair`` — Boolean reachability (graph traversal);
+  ``any_pair`` is the *structural* semiring: kernels never touch values.
+* ``plus_times`` — conventional arithmetic (PageRank, counting walks).
+* ``plus_pair`` — counting set intersections (triangle counting).
+* ``min_plus`` / ``min_first`` / ``min_second`` — shortest paths / BFS parent.
+* ``plus_first`` / ``plus_second`` — weighted aggregation along one side.
+* ``max_second`` / ``any_second`` — label/value propagation (components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grblas.monoid import Monoid, monoid
+from repro.grblas.ops import BinaryOp, _Namespace, binary
+
+__all__ = ["Semiring", "semiring"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring ``(⊕ monoid, ⊗ binary op)``.
+
+    ``C = A ⊕.⊗ B`` computes ``C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]`` over the
+    stored (structurally present) entries only.
+    """
+
+    name: str
+    add: Monoid = field(compare=False)
+    mult: BinaryOp = field(compare=False)
+
+    @property
+    def is_structural(self) -> bool:
+        """True when every output value is the constant one/True regardless
+        of operand values: the multiply produces a constant 1 and the add
+        monoid of all-ones is 1.  Kernels then skip value arithmetic and
+        only deduplicate output coordinates (the BFS fast path).
+
+        ``plus_pair`` is *not* structural: its outputs count intersections.
+        """
+        return self.mult.positional == "one" and self.add.name not in ("plus", "lxor")
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+
+semiring = _Namespace("semiring")
+
+
+def _make(add_name: str, mult_name: str) -> Semiring:
+    s = Semiring(f"{add_name}_{mult_name}", monoid[add_name], binary[mult_name])
+    semiring._register(s)
+    return s
+
+
+# Boolean / structural
+_make("lor", "land")
+_make("any", "pair")
+_make("lor", "pair")
+_make("land", "lor")
+# Arithmetic
+_make("plus", "times")
+_make("plus", "pair")
+_make("plus", "first")
+_make("plus", "second")
+_make("plus", "min")
+_make("times", "times")
+# Tropical (shortest path)
+_make("min", "plus")
+_make("min", "times")
+_make("min", "first")
+_make("min", "second")
+_make("min", "max")
+_make("max", "plus")
+_make("max", "second")
+_make("max", "first")
+_make("max", "times")
+# Selection / propagation
+_make("any", "second")
+_make("any", "first")
+_make("min", "pair")

@@ -1,0 +1,153 @@
+"""GraphBLAS domain (type) objects.
+
+A :class:`GrBType` wraps a NumPy dtype and carries the GraphBLAS-style name
+(``BOOL``, ``INT64``, ``FP64``, ...).  All stored values in matrices and
+vectors are kept in contiguous NumPy arrays of the wrapped dtype; type
+promotion between operands follows NumPy's promotion rules, which agree
+with the GraphBLAS spec for the types implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DomainMismatch
+
+__all__ = [
+    "GrBType",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "lookup_type",
+    "promote",
+    "from_numpy_dtype",
+]
+
+
+@dataclass(frozen=True)
+class GrBType:
+    """A GraphBLAS scalar domain.
+
+    Attributes
+    ----------
+    name:
+        GraphBLAS-style type name, e.g. ``"FP64"``.
+    np_dtype:
+        The NumPy dtype values of this domain are stored in.
+    """
+
+    name: str
+    np_dtype: np.dtype = field(compare=False)
+
+    def __post_init__(self) -> None:  # normalize to a true np.dtype instance
+        object.__setattr__(self, "np_dtype", np.dtype(self.np_dtype))
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def is_bool(self) -> bool:
+        return self.np_dtype == np.bool_
+
+    @property
+    def is_integer(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.integer)
+
+    @property
+    def is_signed(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.signedinteger)
+
+    @property
+    def is_float(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.floating)
+
+    def coerce(self, values: np.ndarray) -> np.ndarray:
+        """Cast ``values`` into this domain (no copy when already right)."""
+        return np.asarray(values, dtype=self.np_dtype)
+
+    def __repr__(self) -> str:
+        return f"GrBType({self.name})"
+
+
+BOOL = GrBType("BOOL", np.bool_)
+INT8 = GrBType("INT8", np.int8)
+INT16 = GrBType("INT16", np.int16)
+INT32 = GrBType("INT32", np.int32)
+INT64 = GrBType("INT64", np.int64)
+UINT8 = GrBType("UINT8", np.uint8)
+UINT16 = GrBType("UINT16", np.uint16)
+UINT32 = GrBType("UINT32", np.uint32)
+UINT64 = GrBType("UINT64", np.uint64)
+FP32 = GrBType("FP32", np.float32)
+FP64 = GrBType("FP64", np.float64)
+
+_ALL_TYPES = [
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+]
+
+_BY_NAME = {t.name: t for t in _ALL_TYPES}
+_BY_DTYPE = {t.np_dtype: t for t in _ALL_TYPES}
+
+
+def lookup_type(spec: "GrBType | str | np.dtype | type") -> GrBType:
+    """Resolve a type spec (name, NumPy dtype, Python type) to a GrBType.
+
+    >>> lookup_type("FP64") is FP64
+    True
+    >>> lookup_type(bool) is BOOL
+    True
+    """
+    if isinstance(spec, GrBType):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec.upper()]
+        except KeyError:
+            raise DomainMismatch(f"unknown GraphBLAS type name: {spec!r}") from None
+    try:
+        dt = np.dtype(spec)
+    except TypeError:
+        raise DomainMismatch(f"cannot interpret {spec!r} as a GraphBLAS type") from None
+    return from_numpy_dtype(dt)
+
+
+def from_numpy_dtype(dt: np.dtype) -> GrBType:
+    """Map a NumPy dtype onto the corresponding GraphBLAS domain."""
+    try:
+        return _BY_DTYPE[np.dtype(dt)]
+    except KeyError:
+        raise DomainMismatch(f"unsupported dtype for GraphBLAS: {dt!r}") from None
+
+
+def promote(a: GrBType, b: GrBType) -> GrBType:
+    """Result domain of combining values from domains ``a`` and ``b``."""
+    return from_numpy_dtype(np.promote_types(a.np_dtype, b.np_dtype))
+
+
+def type_of_scalar(value: object) -> GrBType:
+    """Infer the GraphBLAS domain of a Python/NumPy scalar."""
+    if isinstance(value, (bool, np.bool_)):
+        return BOOL
+    if isinstance(value, (int, np.integer)):
+        return INT64
+    if isinstance(value, (float, np.floating)):
+        return FP64
+    raise DomainMismatch(f"cannot infer GraphBLAS type of {value!r}")

@@ -1,0 +1,33 @@
+"""repro.rediskv — a Redis-like server hosting the graph module.
+
+Architecture (paper §II):
+
+* a **single-threaded event loop** (:mod:`repro.rediskv.server`) owns the
+  sockets and the keyspace; plain key-value commands execute inline on the
+  main thread, exactly like Redis,
+* the graph module registers the ``GRAPH.*`` command family and owns a
+  **thread pool sized at load time**; every graph query is received on the
+  main thread and *executed on exactly one pool thread* — reads scale by
+  running many single-threaded queries concurrently, never by
+  parallelizing one query across cores,
+* replies are delivered in per-connection request order even when pool
+  executions complete out of order,
+* the wire format is RESP2 (:mod:`repro.rediskv.resp`), so the bundled
+  :class:`~repro.rediskv.client.RedisClient` mirrors ``redis-cli`` usage.
+"""
+
+from repro.rediskv.client import RedisClient
+from repro.rediskv.keyspace import Keyspace
+from repro.rediskv.resp import encode, RespParser, SimpleString
+from repro.rediskv.server import RedisLikeServer
+from repro.rediskv.threadpool import ThreadPool
+
+__all__ = [
+    "RedisClient",
+    "Keyspace",
+    "encode",
+    "RespParser",
+    "SimpleString",
+    "RedisLikeServer",
+    "ThreadPool",
+]

@@ -1,0 +1,147 @@
+"""A blocking RESP client (the shape of redis-py's API surface we need).
+
+``GraphResult`` re-materializes GRAPH.QUERY replies into columns/rows/
+statistics so application code reads the same fields whether it queries an
+embedded :class:`~repro.api.GraphDB` or a server over the wire.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ResponseError
+from repro.rediskv.resp import NEED_MORE, RespError, RespParser, encode
+
+__all__ = ["RedisClient", "GraphResult"]
+
+
+class GraphResult:
+    """Decoded GRAPH.QUERY reply: columns, rows, statistics lines."""
+
+    def __init__(self, reply: list) -> None:
+        self.columns: List[str] = list(reply[0])
+        self.rows: List[tuple] = [tuple(row) for row in reply[1]]
+        self.statistics: List[str] = list(reply[2])
+
+    def scalar(self):
+        assert len(self.rows) == 1 and len(self.rows[0]) == 1
+        return self.rows[0][0]
+
+    def stat(self, prefix: str) -> Optional[str]:
+        for line in self.statistics:
+            if line.startswith(prefix):
+                return line.split(":", 1)[1].strip()
+        return None
+
+    def __repr__(self) -> str:
+        return f"<GraphResult {self.columns} rows={len(self.rows)}>"
+
+
+class RedisClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 6379, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._parser = RespParser()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "RedisClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def execute(self, *args: Any) -> Any:
+        """Send one command and block for its reply."""
+        self._sock.sendall(encode([str(a) for a in args]))
+        return self._read_reply()
+
+    def _read_reply(self) -> Any:
+        while True:
+            value = self._parser.parse_one()
+            if value is not NEED_MORE:
+                if isinstance(value, RespError):
+                    raise ResponseError(str(value))
+                return value
+            data = self._sock.recv(65536)
+            if not data:
+                raise ResponseError("connection closed by server")
+            self._parser.feed(data)
+
+    # ------------------------------------------------------------------
+    # Convenience commands
+    # ------------------------------------------------------------------
+    def ping(self) -> str:
+        return str(self.execute("PING"))
+
+    def set(self, key: str, value: str) -> str:
+        return str(self.execute("SET", key, value))
+
+    def get(self, key: str) -> Optional[str]:
+        return self.execute("GET", key)
+
+    def delete(self, *keys: str) -> int:
+        return int(self.execute("DEL", *keys))
+
+    def keys(self, pattern: str = "*") -> List[str]:
+        return list(self.execute("KEYS", pattern))
+
+    def info(self) -> Dict[str, str]:
+        raw = str(self.execute("INFO"))
+        out: Dict[str, str] = {}
+        for line in raw.splitlines():
+            if ":" in line and not line.startswith("#"):
+                k, v = line.split(":", 1)
+                out[k] = v.strip()
+        return out
+
+    # -- graph ----------------------------------------------------------
+    def graph_query(self, key: str, query: str, params: Optional[Dict[str, Any]] = None) -> GraphResult:
+        text = _with_params(query, params)
+        return GraphResult(self.execute("GRAPH.QUERY", key, text))
+
+    def graph_ro_query(self, key: str, query: str, params: Optional[Dict[str, Any]] = None) -> GraphResult:
+        text = _with_params(query, params)
+        return GraphResult(self.execute("GRAPH.RO_QUERY", key, text))
+
+    def graph_explain(self, key: str, query: str) -> List[str]:
+        return list(self.execute("GRAPH.EXPLAIN", key, query))
+
+    def graph_profile(self, key: str, query: str) -> List[str]:
+        return list(self.execute("GRAPH.PROFILE", key, query))
+
+    def graph_delete(self, key: str) -> str:
+        return str(self.execute("GRAPH.DELETE", key))
+
+    def graph_list(self) -> List[str]:
+        return list(self.execute("GRAPH.LIST"))
+
+
+def _with_params(query: str, params: Optional[Dict[str, Any]]) -> str:
+    if not params:
+        return query
+    parts = []
+    for name, value in params.items():
+        parts.append(f"{name}={_param_literal(value)}")
+    return "CYPHER " + " ".join(parts) + " " + query
+
+
+def _param_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, list):
+        return "[" + ", ".join(_param_literal(v) for v in value) + "]"
+    raise ResponseError(f"cannot encode parameter of type {type(value).__name__}")

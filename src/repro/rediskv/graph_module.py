@@ -1,0 +1,186 @@
+"""The graph module: the ``GRAPH.*`` command family.
+
+Commands (mirroring RedisGraph):
+
+* ``GRAPH.QUERY <key> <query>`` — run a Cypher query against the graph at
+  ``key`` (created on first use).  Replies with a 3-element array:
+  ``[header, rows, statistics]``.
+* ``GRAPH.RO_QUERY`` — same, rejecting update clauses.
+* ``GRAPH.EXPLAIN`` / ``GRAPH.PROFILE`` — plan text / executed plan text.
+* ``GRAPH.DELETE <key>`` — drop the graph.
+* ``GRAPH.LIST`` — names of graph keys.
+
+Queries may carry parameters with the RedisGraph convention of a
+``CYPHER name=value [name=value ...]`` prefix.
+
+Value encoding in replies: scalars map to RESP directly; nodes encode as
+``["node", id, [labels...], [[k, v]...]]`` and relationships as
+``["relationship", id, type, src, dst, [[k, v]...]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import GraphDB
+from repro.errors import ReproError, ResponseError
+from repro.execplan.resultset import ResultSet
+from repro.graph.config import GraphConfig
+from repro.graph.entities import Edge, Node
+from repro.rediskv.keyspace import Keyspace
+
+__all__ = ["GraphModule", "parse_cypher_params", "encode_value"]
+
+
+def parse_cypher_params(query: str) -> Tuple[str, Dict[str, Any]]:
+    """Split an optional ``CYPHER k=v ...`` prefix off a query string."""
+    stripped = query.lstrip()
+    if not stripped[:7].upper() == "CYPHER ":
+        return query, {}
+    rest = stripped[7:]
+    params: Dict[str, Any] = {}
+    pos = 0
+    n = len(rest)
+    while True:
+        while pos < n and rest[pos].isspace():
+            pos += 1
+        start = pos
+        while pos < n and (rest[pos].isalnum() or rest[pos] == "_"):
+            pos += 1
+        name = rest[start:pos]
+        if not name or pos >= n or rest[pos] != "=":
+            pos = start  # not a k=v pair: the query text starts here
+            break
+        pos += 1
+        value, pos = _parse_param_value(rest, pos)
+        params[name] = value
+    return rest[pos:], params
+
+
+def _parse_param_value(text: str, pos: int) -> Tuple[Any, int]:
+    n = len(text)
+    if pos < n and text[pos] in "'\"":
+        quote = text[pos]
+        end = pos + 1
+        buf = []
+        while end < n and text[end] != quote:
+            if text[end] == "\\" and end + 1 < n:
+                buf.append(text[end + 1])
+                end += 2
+                continue
+            buf.append(text[end])
+            end += 1
+        return "".join(buf), end + 1
+    if text[pos : pos + 1] == "[":
+        items: List[Any] = []
+        pos += 1
+        while pos < n and text[pos] != "]":
+            if text[pos] in ", ":
+                pos += 1
+                continue
+            value, pos = _parse_param_value(text, pos)
+            items.append(value)
+        return items, pos + 1
+    start = pos
+    while pos < n and not text[pos].isspace() and text[pos] not in ",]":
+        pos += 1
+    token = text[start:pos]
+    low = token.lower()
+    if low == "true":
+        return True, pos
+    if low == "false":
+        return False, pos
+    if low == "null":
+        return None, pos
+    try:
+        return int(token), pos
+    except ValueError:
+        pass
+    try:
+        return float(token), pos
+    except ValueError:
+        return token, pos
+
+
+def encode_value(value: Any) -> Any:
+    """Runtime value → RESP-encodable structure."""
+    if isinstance(value, Node):
+        return [
+            "node",
+            value.id,
+            list(value.labels),
+            [[k, encode_value(v)] for k, v in sorted(value.properties.items())],
+        ]
+    if isinstance(value, Edge):
+        return [
+            "relationship",
+            value.id,
+            value.type,
+            value.src,
+            value.dst,
+            [[k, encode_value(v)] for k, v in sorted(value.properties.items())],
+        ]
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return [[k, encode_value(v)] for k, v in sorted(value.items())]
+    return value
+
+
+class GraphModule:
+    """Owns the per-key GraphDB instances reachable through a keyspace."""
+
+    def __init__(self, keyspace: Keyspace, config: Optional[GraphConfig] = None) -> None:
+        self.keyspace = keyspace
+        self.config = config or GraphConfig()
+
+    # ------------------------------------------------------------------
+    def _graph(self, key: str, *, create: bool = True) -> GraphDB:
+        db = self.keyspace.get_graph(key)
+        if db is None:
+            if not create:
+                raise ResponseError(f"ERR graph key {key!r} does not exist")
+            db = GraphDB(key, self.config)
+            self.keyspace.set_graph(key, db)
+        return db
+
+    @staticmethod
+    def _result_reply(result: ResultSet) -> list:
+        header = list(result.columns)
+        rows = [[encode_value(v) for v in row] for row in result.rows]
+        return [header, rows, result.stats.summary()]
+
+    # ------------------------------------------------------------------
+    # Command handlers (each runs on ONE pool thread)
+    # ------------------------------------------------------------------
+    def query(self, key: str, query_text: str) -> list:
+        text, params = parse_cypher_params(query_text)
+        result = self._graph(key).query(text, params)
+        return self._result_reply(result)
+
+    def ro_query(self, key: str, query_text: str) -> list:
+        text, params = parse_cypher_params(query_text)
+        db = self._graph(key, create=False)
+        plans, writes, _ = db.engine.compile(text)
+        if writes:
+            raise ResponseError("ERR graph.RO_QUERY is to be executed only on read-only queries")
+        result = db.query(text, params)
+        return self._result_reply(result)
+
+    def explain(self, key: str, query_text: str) -> List[str]:
+        text, params = parse_cypher_params(query_text)
+        return self._graph(key).explain(text).splitlines()
+
+    def profile(self, key: str, query_text: str) -> List[str]:
+        text, params = parse_cypher_params(query_text)
+        _, report = self._graph(key).profile(text, params)
+        return report.splitlines()
+
+    def delete(self, key: str) -> str:
+        if self.keyspace.get_graph(key) is None:
+            raise ResponseError(f"ERR graph key {key!r} does not exist")
+        self.keyspace.delete(key)
+        return "OK"
+
+    def list_graphs(self) -> List[str]:
+        return self.keyspace.graph_keys()

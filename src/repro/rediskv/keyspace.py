@@ -1,0 +1,71 @@
+"""The key → typed-value store behind the server (a minimal Redis keyspace)."""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import WrongTypeError
+
+__all__ = ["Keyspace"]
+
+
+class Keyspace:
+    """Keys hold (type_tag, value); graph keys hold GraphDB instances."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Tuple[str, Any]] = {}
+
+    def set_string(self, key: str, value: str) -> None:
+        existing = self._data.get(key)
+        if existing is not None and existing[0] != "string":
+            raise WrongTypeError()
+        self._data[key] = ("string", value)
+
+    def get_string(self, key: str) -> Optional[str]:
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        if entry[0] != "string":
+            raise WrongTypeError()
+        return entry[1]
+
+    def set_graph(self, key: str, graph) -> None:
+        existing = self._data.get(key)
+        if existing is not None and existing[0] != "graph":
+            raise WrongTypeError()
+        self._data[key] = ("graph", graph)
+
+    def get_graph(self, key: str):
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        if entry[0] != "graph":
+            raise WrongTypeError()
+        return entry[1]
+
+    def delete(self, *keys: str) -> int:
+        removed = 0
+        for key in keys:
+            if self._data.pop(key, None) is not None:
+                removed += 1
+        return removed
+
+    def exists(self, *keys: str) -> int:
+        return sum(1 for k in keys if k in self._data)
+
+    def type_of(self, key: str) -> str:
+        entry = self._data.get(key)
+        return "none" if entry is None else entry[0]
+
+    def keys(self, pattern: str = "*") -> List[str]:
+        return sorted(k for k in self._data if fnmatch.fnmatchcase(k, pattern))
+
+    def graph_keys(self) -> List[str]:
+        return sorted(k for k, (t, _) in self._data.items() if t == "graph")
+
+    def flush(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,156 @@
+"""RESP2 (REdis Serialization Protocol) encoding and incremental decoding.
+
+Covers the five RESP2 types: simple strings (``+``), errors (``-``),
+integers (``:``), bulk strings (``$``, including the ``$-1`` null) and
+arrays (``*``, including nested and ``*-1`` null arrays).  Doubles are
+transported as bulk strings, matching Redis 6 behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+
+__all__ = ["SimpleString", "RespError", "encode", "RespParser", "NEED_MORE"]
+
+CRLF = b"\r\n"
+
+
+class SimpleString(str):
+    """Marks a string to be encoded as ``+value`` instead of a bulk string."""
+
+
+class RespError(Exception):
+    """An error reply (``-PREFIX message``); also decodable."""
+
+
+def encode(value: Any) -> bytes:
+    """Encode a Python value as RESP2 bytes."""
+    if isinstance(value, SimpleString):
+        return b"+" + str(value).encode() + CRLF
+    if isinstance(value, (RespError,)):
+        return b"-" + str(value).encode() + CRLF
+    if isinstance(value, Exception):
+        return b"-ERR " + str(value).encode().replace(b"\r\n", b" ") + CRLF
+    if isinstance(value, bool):
+        # Redis has no boolean in RESP2; integers 1/0 by convention
+        return b":" + (b"1" if value else b"0") + CRLF
+    if isinstance(value, int):
+        return b":" + str(value).encode() + CRLF
+    if isinstance(value, float):
+        data = repr(value).encode()
+        return b"$" + str(len(data)).encode() + CRLF + data + CRLF
+    if isinstance(value, str):
+        data = value.encode()
+        return b"$" + str(len(data)).encode() + CRLF + data + CRLF
+    if isinstance(value, bytes):
+        return b"$" + str(len(value)).encode() + CRLF + value + CRLF
+    if value is None:
+        return b"$-1" + CRLF
+    if isinstance(value, (list, tuple)):
+        out = b"*" + str(len(value)).encode() + CRLF
+        for item in value:
+            out += encode(item)
+        return out
+    raise ProtocolError(f"cannot encode {type(value).__name__} as RESP")
+
+
+NEED_MORE = object()  # sentinel: the buffer does not yet hold a full value
+
+
+class RespParser:
+    """Incremental RESP2 parser.
+
+    Feed raw socket bytes with :meth:`feed`; :meth:`parse_one` returns a
+    decoded value or :data:`NEED_MORE`.  Bulk strings decode to ``str``
+    (graph traffic is textual), errors decode to :class:`RespError`
+    instances (not raised).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+    def parse_one(self) -> Any:
+        result, consumed = self._parse(0)
+        if result is NEED_MORE:
+            return NEED_MORE
+        del self._buf[:consumed]
+        return result
+
+    def parse_all(self) -> List[Any]:
+        out = []
+        while True:
+            value = self.parse_one()
+            if value is NEED_MORE:
+                return out
+            out.append(value)
+
+    # ------------------------------------------------------------------
+    def _line(self, pos: int) -> Tuple[Union[bytes, object], int]:
+        idx = self._buf.find(CRLF, pos)
+        if idx < 0:
+            return NEED_MORE, pos
+        return bytes(self._buf[pos:idx]), idx + 2
+
+    def _parse(self, pos: int) -> Tuple[Any, int]:
+        if pos >= len(self._buf):
+            return NEED_MORE, pos
+        kind = self._buf[pos : pos + 1]
+        line, after = self._line(pos + 1)
+        if line is NEED_MORE:
+            return NEED_MORE, pos
+        assert isinstance(line, bytes)
+        if kind == b"+":
+            return SimpleString(line.decode()), after
+        if kind == b"-":
+            return RespError(line.decode()), after
+        if kind == b":":
+            try:
+                return int(line), after
+            except ValueError:
+                raise ProtocolError(f"invalid integer reply: {line!r}") from None
+        if kind == b"$":
+            try:
+                n = int(line)
+            except ValueError:
+                raise ProtocolError(f"invalid bulk length: {line!r}") from None
+            if n == -1:
+                return None, after
+            if n < 0:
+                raise ProtocolError(f"negative bulk length: {n}")
+            end = after + n + 2
+            if len(self._buf) < end:
+                return NEED_MORE, pos
+            data = bytes(self._buf[after : after + n])
+            if bytes(self._buf[after + n : end]) != CRLF:
+                raise ProtocolError("bulk string missing CRLF terminator")
+            try:
+                return data.decode(), end
+            except UnicodeDecodeError:
+                return data, end
+        if kind == b"*":
+            try:
+                n = int(line)
+            except ValueError:
+                raise ProtocolError(f"invalid array length: {line!r}") from None
+            if n == -1:
+                return None, after
+            if n < 0:
+                raise ProtocolError(f"negative array length: {n}")
+            items = []
+            cursor = after
+            for _ in range(n):
+                value, cursor = self._parse(cursor)
+                if value is NEED_MORE:
+                    return NEED_MORE, pos
+                items.append(value)
+            return items, cursor
+        raise ProtocolError(f"unknown RESP type byte: {kind!r}")

@@ -1,0 +1,338 @@
+"""The Redis-like server: a single-threaded event loop plus the module pool.
+
+Faithful to the paper's architecture:
+
+* one ``selectors``-based main thread parses RESP commands and executes
+  plain key-value commands inline (Redis is single-threaded by default),
+* ``GRAPH.*`` commands are handed to the module's :class:`ThreadPool`;
+  the worker computes the reply and wakes the loop through a self-pipe,
+* replies are flushed strictly in per-connection request order, so a slow
+  graph query never reorders a connection's replies (Redis semantics).
+
+Run standalone::
+
+    python -m repro.rediskv.server --port 6379 --threads 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import selectors
+import socket
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.errors import ReproError, WrongTypeError
+from repro.graph.config import GraphConfig
+from repro.rediskv.graph_module import GraphModule
+from repro.rediskv.keyspace import Keyspace
+from repro.rediskv.resp import NEED_MORE, RespParser, SimpleString, encode
+from repro.rediskv.threadpool import Job, ThreadPool
+
+__all__ = ["RedisLikeServer", "main"]
+
+
+class _PendingReply:
+    """A reply slot keeping request order; filled inline or by a worker."""
+
+    __slots__ = ("data", "ready")
+
+    def __init__(self) -> None:
+        self.data: bytes = b""
+        self.ready = False
+
+
+class _Connection:
+    __slots__ = ("sock", "parser", "outbox", "write_buffer", "closing")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.parser = RespParser()
+        self.outbox: Deque[_PendingReply] = deque()
+        self.write_buffer = bytearray()
+        self.closing = False
+
+
+class RedisLikeServer:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        config: Optional[GraphConfig] = None,
+    ) -> None:
+        self.config = (config or GraphConfig()).validate()
+        self.keyspace = Keyspace()
+        self.module = GraphModule(self.keyspace, self.config)
+        self.pool = ThreadPool(self.config.thread_count)
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((host, port))
+        self._listen.listen(128)
+        self._listen.setblocking(False)
+        self.host, self.port = self._listen.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listen, selectors.EVENT_READ, "accept")
+        # self-pipe: workers wake the loop when an async reply is ready
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self._conns: Dict[socket.socket, _Connection] = {}
+        self._lock = threading.Lock()  # guards cross-thread wake bookkeeping
+        self.commands_processed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RedisLikeServer":
+        """Run the event loop on a background thread (for tests/embedding)."""
+        self._running = True
+        self._thread = threading.Thread(target=self.serve_forever, name="redis-main", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._running = True
+        while self._running:
+            events = self._selector.select(timeout=0.2)
+            for key, mask in events:
+                tag = key.data
+                if tag == "accept":
+                    self._accept()
+                elif tag == "wake":
+                    try:
+                        self._wake_r.recv(4096)
+                    except BlockingIOError:  # pragma: no cover
+                        pass
+                elif isinstance(tag, _Connection):
+                    if mask & selectors.EVENT_READ:
+                        self._read(tag)
+            self._flush_ready()
+        self._teardown()
+
+    def stop(self) -> None:
+        self._running = False
+        with self._lock:
+            try:
+                self._wake_w.send(b"x")
+            except OSError:  # pragma: no cover
+                pass
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+
+    def _teardown(self) -> None:
+        self.pool.shutdown()
+        for conn in list(self._conns.values()):
+            self._close(conn)
+        self._selector.close()
+        self._listen.close()
+        self._wake_r.close()
+        self._wake_w.close()
+
+    # ------------------------------------------------------------------
+    # Event handling (main thread only)
+    # ------------------------------------------------------------------
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listen.accept()
+        except BlockingIOError:  # pragma: no cover
+            return
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(sock)
+        self._conns[sock] = conn
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _close(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        self._conns.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):  # pragma: no cover
+            return
+        except ConnectionError:
+            self._close(conn)
+            return
+        if not data:
+            self._close(conn)
+            return
+        conn.parser.feed(data)
+        while True:
+            command = conn.parser.parse_one()
+            if command is NEED_MORE:
+                break
+            self._dispatch(conn, command)
+
+    def _dispatch(self, conn: _Connection, command: Any) -> None:
+        self.commands_processed += 1
+        slot = _PendingReply()
+        conn.outbox.append(slot)
+        if not isinstance(command, list) or not command:
+            slot.data = encode(Exception("protocol error: expected a command array"))
+            slot.ready = True
+            return
+        name = str(command[0]).upper()
+        args = [str(a) for a in command[1:]]
+
+        if name.startswith("GRAPH."):
+            # module command: compute the reply on one pool thread
+            def run() -> bytes:
+                try:
+                    return encode(self._graph_command(name, args))
+                except ReproError as exc:
+                    return encode(exc)
+                except Exception as exc:  # noqa: BLE001 - reply, don't kill the worker
+                    return encode(exc)
+
+            def done(job: Job, _slot=slot) -> None:
+                _slot.data = job.result()
+                _slot.ready = True
+                with self._lock:
+                    try:
+                        self._wake_w.send(b"x")
+                    except OSError:  # pragma: no cover
+                        pass
+
+            self.pool.submit(run, callback=done)
+            return
+
+        # plain commands execute inline on the main thread, like Redis
+        try:
+            slot.data = encode(self._plain_command(name, args))
+        except ReproError as exc:
+            slot.data = encode(exc)
+        except Exception as exc:  # noqa: BLE001
+            slot.data = encode(exc)
+        slot.ready = True
+
+    def _flush_ready(self) -> None:
+        for conn in list(self._conns.values()):
+            changed = False
+            while conn.outbox and conn.outbox[0].ready:
+                conn.write_buffer.extend(conn.outbox.popleft().data)
+                changed = True
+            if conn.write_buffer:
+                try:
+                    sent = conn.sock.send(conn.write_buffer)
+                    del conn.write_buffer[:sent]
+                except (BlockingIOError, InterruptedError):  # pragma: no cover
+                    pass
+                except (ConnectionError, OSError):
+                    self._close(conn)
+                    continue
+            if conn.closing and not conn.outbox and not conn.write_buffer:
+                self._close(conn)
+
+    # ------------------------------------------------------------------
+    # Command implementations
+    # ------------------------------------------------------------------
+    def _graph_command(self, name: str, args: List[str]):
+        if name == "GRAPH.QUERY":
+            if len(args) < 2:
+                raise WrongArity(name)
+            return self.module.query(args[0], args[1])
+        if name == "GRAPH.RO_QUERY":
+            if len(args) < 2:
+                raise WrongArity(name)
+            return self.module.ro_query(args[0], args[1])
+        if name == "GRAPH.EXPLAIN":
+            if len(args) < 2:
+                raise WrongArity(name)
+            return self.module.explain(args[0], args[1])
+        if name == "GRAPH.PROFILE":
+            if len(args) < 2:
+                raise WrongArity(name)
+            return self.module.profile(args[0], args[1])
+        if name == "GRAPH.DELETE":
+            if len(args) != 1:
+                raise WrongArity(name)
+            return SimpleString(self.module.delete(args[0]))
+        if name == "GRAPH.LIST":
+            return self.module.list_graphs()
+        raise Exception(f"unknown command '{name}'")
+
+    def _plain_command(self, name: str, args: List[str]):
+        if name == "PING":
+            return SimpleString(args[0]) if args else SimpleString("PONG")
+        if name == "ECHO":
+            if len(args) != 1:
+                raise WrongArity(name)
+            return args[0]
+        if name == "SET":
+            if len(args) != 2:
+                raise WrongArity(name)
+            self.keyspace.set_string(args[0], args[1])
+            return SimpleString("OK")
+        if name == "GET":
+            if len(args) != 1:
+                raise WrongArity(name)
+            return self.keyspace.get_string(args[0])
+        if name == "DEL":
+            if not args:
+                raise WrongArity(name)
+            return self.keyspace.delete(*args)
+        if name == "EXISTS":
+            if not args:
+                raise WrongArity(name)
+            return self.keyspace.exists(*args)
+        if name == "TYPE":
+            if len(args) != 1:
+                raise WrongArity(name)
+            return SimpleString(self.keyspace.type_of(args[0]))
+        if name == "KEYS":
+            return self.keyspace.keys(args[0] if args else "*")
+        if name == "FLUSHALL":
+            self.keyspace.flush()
+            return SimpleString("OK")
+        if name == "INFO":
+            return (
+                f"# Server\r\nrepro_version:{__version__}\r\n"
+                f"graph_thread_count:{self.pool.size}\r\n"
+                f"commands_processed:{self.commands_processed}\r\n"
+                f"keys:{len(self.keyspace)}\r\n"
+            )
+        if name == "COMMAND":
+            return []
+        if name == "SHUTDOWN":
+            self._running = False
+            return SimpleString("OK")
+        raise Exception(f"unknown command '{name}'")
+
+
+class WrongArity(Exception):
+    def __init__(self, command: str) -> None:
+        super().__init__(f"wrong number of arguments for '{command.lower()}' command")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="repro Redis-like graph server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=6379)
+    parser.add_argument("--threads", type=int, default=None, help="graph module thread pool size")
+    args = parser.parse_args(argv)
+    config = GraphConfig()
+    if args.threads is not None:
+        config.thread_count = args.threads
+    server = RedisLikeServer(args.host, args.port, config=config.validate())
+    print(f"repro server listening on {server.host}:{server.port} (pool={server.pool.size})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

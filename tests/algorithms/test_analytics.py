@@ -1,0 +1,157 @@
+"""SSSP, PageRank, triangles, k-truss, components vs networkx references."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    connected_components,
+    ktruss,
+    pagerank,
+    sssp_bellman_ford,
+    triangle_count,
+)
+from repro.errors import InvalidValue
+from repro.grblas import FP64, Matrix
+
+
+def random_weighted_digraph(n, p, seed, wmin=1.0, wmax=9.0):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) < p
+    np.fill_diagonal(dense, False)
+    src, dst = np.nonzero(dense)
+    w = rng.uniform(wmin, wmax, len(src)).round(2)
+    A = Matrix.from_coo(src, dst, w, nrows=n, ncols=n, dtype=FP64)
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for s, d, ww in zip(src.tolist(), dst.tolist(), w.tolist()):
+        G.add_edge(s, d, weight=ww)
+    return A, G
+
+
+def random_undirected(n, p, seed):
+    rng = np.random.default_rng(seed)
+    dense = np.triu(rng.random((n, n)) < p, 1)
+    src, dst = np.nonzero(dense)
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    A = Matrix.from_edges(all_src, all_dst, nrows=n)
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return A, G
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        A, G = random_weighted_digraph(25, 0.15, seed)
+        expected = nx.single_source_bellman_ford_path_length(G, 0)
+        got = sssp_bellman_ford(A, 0)
+        got_map = {int(i): float(v) for i, v in zip(got.indices, got.values)}
+        assert set(got_map) == set(expected)
+        for k in expected:
+            assert got_map[k] == pytest.approx(expected[k])
+
+    def test_negative_edges_ok_without_cycle(self):
+        A = Matrix.from_coo([0, 1], [1, 2], [5.0, -3.0], nrows=3, ncols=3, dtype=FP64)
+        d = sssp_bellman_ford(A, 0)
+        assert d[2] == 2.0
+
+    def test_negative_cycle_detected(self):
+        A = Matrix.from_coo([0, 1, 2], [1, 2, 1], [1.0, -2.0, 1.0], nrows=3, ncols=3, dtype=FP64)
+        with pytest.raises(InvalidValue):
+            sssp_bellman_ford(A, 0)
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        A, G = random_weighted_digraph(30, 0.1, seed)
+        expected = nx.pagerank(G.copy(), alpha=0.85, weight=None, tol=1e-10)
+        got = pagerank(A.pattern(), damping=0.85, tol=1e-12).to_dense()
+        for node, val in expected.items():
+            assert got[node] == pytest.approx(val, abs=1e-6)
+
+    def test_sums_to_one(self):
+        A, _ = random_weighted_digraph(40, 0.05, 3)
+        assert pagerank(A).to_dense().sum() == pytest.approx(1.0)
+
+    def test_dangling_nodes_handled(self):
+        # 0 -> 1, node 1 dangles
+        A = Matrix.from_edges([0], [1], nrows=2)
+        r = pagerank(A).to_dense()
+        assert r.sum() == pytest.approx(1.0)
+        assert r[1] > r[0]
+
+    def test_empty_graph(self):
+        assert pagerank(Matrix.new(FP64, 0, 0)).size == 0
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        A, G = random_undirected(25, 0.25, seed)
+        expected = sum(nx.triangles(G).values()) // 3
+        assert triangle_count(A) == expected
+
+    def test_k4_has_four_triangles(self):
+        G = nx.complete_graph(4)
+        src, dst = zip(*G.to_directed().edges())
+        A = Matrix.from_edges(src, dst, nrows=4)
+        assert triangle_count(A) == 4
+
+    def test_triangle_free(self):
+        A = Matrix.from_edges([0, 1, 1, 2], [1, 0, 2, 1], nrows=3)
+        assert triangle_count(A) == 0
+
+    def test_directed_input_symmetrized(self):
+        # one-directional triangle edges still form one undirected triangle
+        A = Matrix.from_edges([0, 1, 2], [1, 2, 0], nrows=3)
+        assert triangle_count(A) == 1
+
+
+class TestKTruss:
+    @pytest.mark.parametrize("k", [3, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, k, seed):
+        A, G = random_undirected(20, 0.3, seed)
+        expected = nx.k_truss(G, k)
+        got = ktruss(A, k)
+        got_edges = set()
+        rows, cols, _ = got.to_coo()
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            if r < c:
+                got_edges.add((r, c))
+        exp_edges = {(min(u, v), max(u, v)) for u, v in expected.edges()}
+        assert got_edges == exp_edges
+
+    def test_k2_returns_graph(self):
+        A, _ = random_undirected(10, 0.3, 5)
+        assert ktruss(A, 2).nvals == A.nvals
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidValue):
+            ktruss(Matrix.new(FP64, 2, 2), 1)
+
+
+class TestComponents:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        A, G = random_undirected(30, 0.05, seed)
+        labels = connected_components(A).to_dense()
+        for comp in nx.connected_components(G):
+            comp = sorted(comp)
+            assert len({labels[c] for c in comp}) == 1, "one label per component"
+            assert labels[comp[0]] == comp[0], "label is the min node id"
+
+    def test_directed_weak_components(self):
+        A = Matrix.from_edges([0, 2], [1, 3], nrows=5)
+        labels = connected_components(A).to_dense()
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == labels[3] == 2
+        assert labels[4] == 4
+
+    def test_fully_connected(self):
+        A = Matrix.from_edges([0, 1, 2], [1, 2, 0], nrows=3)
+        assert set(connected_components(A).to_dense().tolist()) == {0}

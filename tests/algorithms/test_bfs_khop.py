@@ -1,0 +1,107 @@
+"""BFS / k-hop algorithms validated against networkx references."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs_levels, bfs_parents, khop_counts, khop_frontiers
+from repro.grblas import Matrix
+
+
+def random_digraph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) < p
+    np.fill_diagonal(dense, False)
+    src, dst = np.nonzero(dense)
+    A = Matrix.from_edges(src, dst, nrows=n)
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return A, G
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("p", [0.05, 0.2])
+def test_bfs_levels_matches_networkx(seed, p):
+    A, G = random_digraph(30, p, seed)
+    expected = nx.single_source_shortest_path_length(G, 0)
+    got = bfs_levels(A, 0)
+    got_map = {int(i): int(v) for i, v in zip(got.indices, got.values)}
+    assert got_map == expected
+
+
+@pytest.mark.parametrize("direction_optimized", [False, True])
+def test_bfs_direction_optimization_equivalent(direction_optimized):
+    A, G = random_digraph(60, 0.15, seed=7)
+    base = bfs_levels(A, 0, direction_optimized=False)
+    got = bfs_levels(A, 0, direction_optimized=direction_optimized)
+    assert got == base
+
+
+def test_bfs_levels_max_level_truncates():
+    A, _ = random_digraph(30, 0.1, seed=5)
+    full = bfs_levels(A, 0)
+    capped = bfs_levels(A, 0, max_level=1)
+    assert capped.nvals <= full.nvals
+    assert int(capped.values.max(initial=0)) <= 1
+
+
+def test_bfs_levels_isolated_source():
+    A = Matrix.from_edges([1], [2], nrows=3)
+    levels = bfs_levels(A, 0)
+    assert levels.nvals == 1 and levels[0] == 0
+
+
+def test_bfs_parents_valid_tree():
+    A, G = random_digraph(40, 0.1, seed=9)
+    parents = bfs_parents(A, 0)
+    levels = bfs_levels(A, 0)
+    # same reachable set
+    assert np.array_equal(parents.indices, levels.indices)
+    for node, parent in zip(parents.indices, parents.values):
+        node, parent = int(node), int(parent)
+        if node == 0:
+            assert parent == 0
+            continue
+        assert A[parent, node] is not None, "parent edge must exist"
+        assert levels[parent] == levels[node] - 1, "parent one level up"
+
+
+class TestKhop:
+    def nx_khop(self, G, seed, k):
+        lengths = nx.single_source_shortest_path_length(G, seed, cutoff=k)
+        return len(lengths) - 1  # exclude the seed itself
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 6])
+    @pytest.mark.parametrize("seed_graph", [0, 1])
+    def test_within_matches_networkx(self, k, seed_graph):
+        A, G = random_digraph(40, 0.08, seed_graph)
+        for s in (0, 5, 17):
+            assert khop_counts(A, s, k) == self.nx_khop(G, s, k)
+
+    def test_exact_mode(self):
+        # path graph 0 -> 1 -> 2 -> 3
+        A = Matrix.from_edges([0, 1, 2], [1, 2, 3], nrows=4)
+        assert khop_counts(A, 0, 2, mode="exact") == 1
+        assert khop_counts(A, 0, 2, mode="within") == 2
+        assert khop_counts(A, 0, 9, mode="exact") == 0
+
+    def test_frontiers_disjoint_and_exclude_seed(self):
+        A, _ = random_digraph(30, 0.15, seed=3)
+        frontiers = khop_frontiers(A, 0, 4)
+        seen = {0}
+        for f in frontiers:
+            ids = set(int(i) for i in f.indices)
+            assert not (ids & seen), "frontiers must be disjoint from visited"
+            seen |= ids
+
+    def test_khop_on_cycle_saturates(self):
+        A = Matrix.from_edges([0, 1, 2], [1, 2, 0], nrows=3)
+        assert khop_counts(A, 0, 6) == 2  # whole cycle minus the seed
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+    def test_within_count_monotone_in_k(self, seed, k):
+        A, _ = random_digraph(25, 0.1, seed % 100)
+        assert khop_counts(A, 0, k) <= khop_counts(A, 0, k + 1)

@@ -1,0 +1,87 @@
+"""k-core / core numbers / clustering coefficient vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import clustering_coefficient, core_numbers, kcore
+from repro.errors import InvalidValue
+from repro.grblas import Matrix
+
+
+def random_undirected(n, p, seed):
+    rng = np.random.default_rng(seed)
+    dense = np.triu(rng.random((n, n)) < p, 1)
+    src, dst = np.nonzero(dense)
+    A = Matrix.from_edges(np.concatenate([src, dst]), np.concatenate([dst, src]), nrows=n)
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return A, G
+
+
+class TestKCore:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, k, seed):
+        A, G = random_undirected(25, 0.2, seed)
+        expected = nx.k_core(G, k)
+        got = kcore(A, k)
+        got_edges = set()
+        rows, cols, _ = got.to_coo()
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            if r < c:
+                got_edges.add((r, c))
+        exp_edges = {(min(u, v), max(u, v)) for u, v in expected.edges()}
+        assert got_edges == exp_edges
+
+    def test_k0_is_graph(self):
+        A, _ = random_undirected(10, 0.3, 4)
+        assert kcore(A, 0).nvals == A.nvals
+
+    def test_negative_k(self):
+        with pytest.raises(InvalidValue):
+            kcore(Matrix.new("BOOL", 2, 2), -1)
+
+    def test_triangle_is_2core(self):
+        A = Matrix.from_edges([0, 1, 2, 1, 2, 0], [1, 2, 0, 0, 1, 2], nrows=4)
+        assert kcore(A, 2).nvals == 6
+        assert kcore(A, 3).nvals == 0
+
+
+class TestCoreNumbers:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        A, G = random_undirected(30, 0.15, seed)
+        expected = nx.core_number(G)
+        got = core_numbers(A).to_dense()
+        for node, core in expected.items():
+            assert got[node] == core, f"node {node}"
+
+    def test_isolated_vertices_zero(self):
+        A = Matrix.from_edges([0, 1], [1, 0], nrows=5)
+        got = core_numbers(A).to_dense()
+        assert got[4] == 0 and got[0] == 1
+
+
+class TestClusteringCoefficient:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        A, G = random_undirected(20, 0.3, seed)
+        expected = nx.clustering(G)
+        got = clustering_coefficient(A).to_dense()
+        for node, coeff in expected.items():
+            assert got[node] == pytest.approx(coeff), f"node {node}"
+
+    def test_complete_graph_all_ones(self):
+        G = nx.complete_graph(5).to_directed()
+        src, dst = zip(*G.edges())
+        A = Matrix.from_edges(src, dst, nrows=5)
+        assert np.allclose(clustering_coefficient(A).to_dense(), 1.0)
+
+    def test_star_graph_zero(self):
+        # hub connected to 4 leaves: no triangles anywhere
+        src = [0, 0, 0, 0, 1, 2, 3, 4]
+        dst = [1, 2, 3, 4, 0, 0, 0, 0]
+        A = Matrix.from_edges(src, dst, nrows=5)
+        assert np.allclose(clustering_coefficient(A).to_dense(), 0.0)

@@ -1,0 +1,163 @@
+"""Benchmark harness tests: engine agreement, seed picking, reporting,
+claim evaluation on synthetic measurements."""
+
+import numpy as np
+import pytest
+
+from repro.bench.engines import (
+    CSRBaselineEngine,
+    MatrixEngine,
+    PointerChasingEngine,
+    RedisGraphEngine,
+    make_engines,
+)
+from repro.bench.harness import BenchmarkSuite, DatasetSpec
+from repro.bench.khop import KhopMeasurement, pick_seeds, run_khop
+from repro.bench.paper import check_claims
+from repro.bench.report import format_fig1_chart, format_table, to_csv
+from repro.datasets import graph500_edges
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return graph500_edges(scale=8, edge_factor=8, seed=3)
+
+
+class TestEngineAgreement:
+    """All four engines must produce identical k-hop counts — the paper's
+    benchmark is only meaningful if every system answers the same query."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 6])
+    def test_all_engines_agree(self, small_graph, k):
+        src, dst, n = small_graph
+        engines = make_engines()
+        for e in engines:
+            e.load(src, dst, n)
+        seeds = pick_seeds(src, n, 5, seed=1)
+        for s in seeds:
+            counts = {e.name: e.khop(s, k) for e in engines}
+            assert len(set(counts.values())) == 1, f"disagreement at seed {s}: {counts}"
+
+    def test_engine_names_unique(self):
+        names = [e.name for e in make_engines()]
+        assert len(set(names)) == len(names)
+
+    def test_make_engines_subset(self):
+        engines = make_engines(["matrix", "csr-baseline"])
+        assert [e.name for e in engines] == ["matrix", "csr-baseline"]
+
+
+class TestSeedPicking:
+    def test_seeds_have_outdegree(self, small_graph):
+        src, dst, n = small_graph
+        seeds = pick_seeds(src, n, 20, seed=5)
+        out_deg = np.bincount(src, minlength=n)
+        assert all(out_deg[s] > 0 for s in seeds)
+
+    def test_deterministic(self, small_graph):
+        src, dst, n = small_graph
+        assert pick_seeds(src, n, 10, seed=3) == pick_seeds(src, n, 10, seed=3)
+
+    def test_count_capped(self):
+        src = np.array([0, 0, 1])
+        seeds = pick_seeds(src, 10, 50, seed=1)
+        assert len(seeds) == 2
+
+    def test_empty_graph(self):
+        assert pick_seeds(np.empty(0, dtype=np.int64), 5, 10) == []
+
+
+class TestRunKhop:
+    def test_measurement_fields(self, small_graph):
+        src, dst, n = small_graph
+        e = MatrixEngine()
+        e.load(src, dst, n)
+        seeds = pick_seeds(src, n, 4, seed=2)
+        m = run_khop(e, "tiny", 2, seeds)
+        assert m.engine == "matrix" and m.k == 2
+        assert len(m.times_ms) == 4 and len(m.counts) == 4
+        assert m.avg_ms > 0 and m.p95_ms >= m.p50_ms
+        assert m.errors == 0
+
+    def test_errors_counted(self):
+        class Broken(MatrixEngine):
+            def khop(self, seed, k):
+                raise RuntimeError("boom")
+
+        e = Broken()
+        m = run_khop(e, "x", 1, [1, 2, 3], warmup=False)
+        assert m.errors == 3 and m.times_ms == []
+
+
+class TestSuiteAndReports:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        src, dst, n = graph500_edges(scale=7, edge_factor=8, seed=2)
+        suite = BenchmarkSuite(
+            [DatasetSpec("tiny", src, dst, n)],
+            make_engines(["matrix", "csr-baseline", "pointer-chasing", "redisgraph"]),
+            hops=[1, 2],
+            seed_fraction=0.02,
+            log=lambda s: None,
+        )
+        return suite.run()
+
+    def test_suite_covers_matrix(self, measurements):
+        combos = {(m.engine, m.k) for m in measurements}
+        assert ("matrix", 1) in combos and ("matrix", 2) in combos
+        assert ("redisgraph", 2) in combos
+
+    def test_counts_agree_across_engines(self, measurements):
+        by_k = {}
+        for m in measurements:
+            by_k.setdefault(m.k, set()).add(tuple(m.counts))
+        for k, variants in by_k.items():
+            assert len(variants) == 1, f"count mismatch at k={k}"
+
+    def test_format_table(self, measurements):
+        text = format_table(measurements, title="T")
+        assert "avg_ms" in text and "matrix" in text and text.startswith("T\n")
+
+    def test_fig1_chart(self, measurements):
+        chart = format_fig1_chart(measurements)
+        assert "#" in chart and "[tiny]" in chart
+
+    def test_csv(self, measurements):
+        csv = to_csv(measurements)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("dataset,engine,k")
+        assert len(lines) == len(measurements) + 1
+
+    def test_claims_structure(self, measurements):
+        checks = check_claims(measurements)
+        assert [c.claim for c in checks] == ["C1", "C2", "C3", "C4"]
+        c3 = checks[2]
+        assert c3.holds  # no errors in this run
+        for c in checks:
+            assert "measured" in c.line() or c.measured
+
+
+class TestClaimLogicSynthetic:
+    def _m(self, engine, dataset, k, avg_ms, errors=0):
+        return KhopMeasurement(engine, dataset, k, [0], [avg_ms], [1], errors)
+
+    def test_c1_pass_and_fail(self):
+        base = [
+            self._m("matrix", "d", 6, 1.0),
+            self._m("pointer-chasing", "d", 6, 50.0),
+            self._m("csr-baseline", "d", 6, 0.5),
+            self._m("redisgraph", "d", 6, 2.0),
+        ]
+        checks = {c.claim: c for c in check_claims(base)}
+        assert checks["C1"].holds
+        slow = [
+            self._m("matrix", "d", 6, 50.0),
+            self._m("pointer-chasing", "d", 6, 50.0),
+        ]
+        checks = {c.claim: c for c in check_claims(slow)}
+        assert not checks["C1"].holds
+
+    def test_c3_fails_on_errors(self):
+        ms = [self._m("matrix", "d", 1, 1.0, errors=2), self._m("matrix", "d", 2, 1.0)]
+        checks = {c.claim: c for c in check_claims(ms)}
+        assert not checks["C3"].holds

@@ -1,0 +1,119 @@
+"""Robustness fuzzing: arbitrary input must produce Cypher errors (or a
+valid parse), never an uncontrolled crash; well-formed generated queries
+must round-trip the full pipeline without internal errors."""
+
+import pytest
+from hypothesis import example, given
+from hypothesis import strategies as st
+
+from repro import GraphDB
+from repro.errors import CypherError, ReproError
+from repro.cypher import parse, validate
+from repro.cypher.lexer import tokenize
+
+
+class TestLexerFuzz:
+    @given(st.text(max_size=120))
+    @example("MATCH (n) RETURN n")
+    @example("'unterminated")
+    @example("/* unterminated")
+    @example("$")
+    def test_tokenize_never_crashes(self, text):
+        try:
+            tokens = tokenize(text)
+            assert tokens[-1].type.name == "EOF"
+        except CypherError:
+            pass  # controlled rejection is fine
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=120))
+    def test_parse_never_crashes(self, text):
+        try:
+            parse(text)
+        except CypherError:
+            pass
+
+    @given(
+        st.text(
+            alphabet=st.sampled_from(
+                list("()[]{}<>-:.,|*=ABCabc123 '\"\n$")
+            ),
+            max_size=80,
+        )
+    )
+    def test_parse_cypherish_soup(self, text):
+        """Soup built from Cypher's own character set."""
+        try:
+            parse(text)
+        except CypherError:
+            pass
+
+
+# -- generated well-formed queries -------------------------------------
+
+labels = st.sampled_from(["Person", "Robot", "City"])
+props = st.sampled_from(["name", "age", "x"])
+rels = st.sampled_from(["KNOWS", "LIKES"])
+vars_ = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def match_queries(draw):
+    """A generator of structurally valid MATCH...RETURN queries."""
+    v1 = draw(vars_)
+    label = draw(labels)
+    parts = [f"MATCH ({v1}:{label})"]
+    hops = draw(st.integers(0, 2))
+    prev = v1
+    bound = [v1]
+    for i in range(hops):
+        nxt = f"n{i}"
+        rel = draw(rels)
+        direction = draw(st.sampled_from(["-[:%s]->", "<-[:%s]-", "-[:%s]-"]))
+        parts.append(f"MATCH ({prev})" + (direction % rel) + f"({nxt})")
+        bound.append(nxt)
+        prev = nxt
+    if draw(st.booleans()):
+        target = draw(st.sampled_from(bound))
+        prop = draw(props)
+        op = draw(st.sampled_from(["=", "<>", "<", ">"]))
+        parts.append(f"WHERE {target}.{prop} {op} {draw(st.integers(0, 50))}")
+    ret = draw(st.sampled_from(bound))
+    agg = draw(st.booleans())
+    if agg:
+        parts.append(f"RETURN count({ret}) AS c")
+    else:
+        parts.append(f"RETURN {ret}.name AS v ORDER BY v LIMIT {draw(st.integers(1, 5))}")
+    return " ".join(parts)
+
+
+class TestGeneratedQueries:
+    @given(match_queries())
+    def test_full_pipeline_executes(self, query):
+        """Every generated query must parse, validate, plan and run on a
+        small populated graph without non-Cypher exceptions."""
+        db = _shared_db()
+        result = db.query(query)
+        assert isinstance(result.rows, list)
+
+    @given(match_queries())
+    def test_explain_always_renders(self, query):
+        db = _shared_db()
+        plan = db.explain(query)
+        assert "Results" in plan
+
+
+_DB = None
+
+
+def _shared_db():
+    global _DB
+    if _DB is None:
+        _DB = GraphDB("fuzz")
+        _DB.query(
+            "CREATE (a:Person {name:'A', age: 1, x: 2}), (b:Person {name:'B', age: 9}),"
+            " (c:Robot {name:'R'}), (d:City {name:'X', x: 5}),"
+            " (a)-[:KNOWS]->(b), (b)-[:LIKES]->(c), (c)-[:KNOWS]->(d), (d)-[:LIKES]->(a)"
+        )
+    return _DB

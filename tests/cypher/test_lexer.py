@@ -1,0 +1,103 @@
+"""Cypher tokenizer tests."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError
+from repro.cypher.lexer import tokenize
+from repro.cypher.tokens import TokenType
+
+
+def types(text):
+    return [t.type for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("match MATCH Match")
+        assert all(t.type is TokenType.KEYWORD and t.value == "MATCH" for t in toks[:-1])
+
+    def test_identifiers(self):
+        toks = tokenize("foo _bar baz123")
+        assert all(t.type is TokenType.IDENT for t in toks[:-1])
+        assert values("foo _bar") == ["foo", "_bar"]
+
+    def test_backquoted_identifier(self):
+        toks = tokenize("`weird name!`")
+        assert toks[0].type is TokenType.IDENT and toks[0].value == "weird name!"
+
+    def test_integers_and_floats(self):
+        assert types("42") == [TokenType.INTEGER]
+        assert types("3.14") == [TokenType.FLOAT]
+        assert types("1e5") == [TokenType.FLOAT]
+        assert types("2.5e-3") == [TokenType.FLOAT]
+
+    def test_range_not_float(self):
+        # "1..3" must lex as INTEGER RANGE INTEGER (variable-length hops)
+        assert types("1..3") == [TokenType.INTEGER, TokenType.RANGE, TokenType.INTEGER]
+
+    def test_strings_both_quotes(self):
+        assert values("'abc' \"def\"") == ["abc", "def"]
+
+    def test_string_escapes(self):
+        assert values(r"'a\'b\nc'") == ["a'b\nc"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_parameter(self):
+        toks = tokenize("$name")
+        assert toks[0].type is TokenType.PARAMETER and toks[0].value == "name"
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("$ x")
+
+
+class TestOperators:
+    def test_arrows(self):
+        assert types("-> <- -") == [TokenType.ARROW_RIGHT, TokenType.ARROW_LEFT, TokenType.DASH]
+
+    def test_comparison_ops(self):
+        assert values("<> <= >= < > =") == ["<>", "<=", ">=", "<", ">", "="]
+
+    def test_plus_equals(self):
+        assert values("+=") == ["+="]
+
+    def test_punctuation(self):
+        assert values("()[]{},:;|.") == list("()[]{},:;|.")
+
+    def test_edge_pattern_lexes(self):
+        toks = tokenize("(a)-[:KNOWS*1..2]->(b)")
+        kinds = [t.type for t in toks[:-1]]
+        assert TokenType.ARROW_RIGHT in kinds and TokenType.RANGE in kinds
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("/* never ends")
+
+    def test_positions_tracked(self):
+        toks = tokenize("ab\n cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 2)
+
+    def test_error_carries_position(self):
+        with pytest.raises(CypherSyntaxError) as exc:
+            tokenize("a\n  @")
+        assert exc.value.line == 2 and exc.value.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("~")

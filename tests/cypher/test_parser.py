@@ -1,0 +1,299 @@
+"""Parser tests: clause structure, patterns, expressions, precedence."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError
+from repro.cypher import ast_nodes as A
+from repro.cypher.parser import parse
+
+
+def single(text):
+    return parse(text).single
+
+
+def first_clause(text):
+    return single(text).clauses[0]
+
+
+class TestMatchPatterns:
+    def test_simple_match_return(self):
+        q = single("MATCH (n) RETURN n")
+        assert isinstance(q.clauses[0], A.MatchClause)
+        assert isinstance(q.clauses[1], A.ReturnClause)
+        node = q.clauses[0].patterns[0].nodes[0]
+        assert node.var == "n" and node.labels == ()
+
+    def test_labels_and_properties(self):
+        m = first_clause("MATCH (n:Person:Admin {name: 'Ann', age: 30}) RETURN n")
+        node = m.patterns[0].nodes[0]
+        assert node.labels == ("Person", "Admin")
+        props = dict(node.properties)
+        assert props["name"] == A.Literal("Ann") and props["age"] == A.Literal(30)
+
+    def test_anonymous_node(self):
+        m = first_clause("MATCH (:Person) RETURN 1")
+        assert m.patterns[0].nodes[0].var is None
+
+    def test_directed_out(self):
+        m = first_clause("MATCH (a)-[r:KNOWS]->(b) RETURN a")
+        rel = m.patterns[0].rels[0]
+        assert rel.var == "r" and rel.types == ("KNOWS",) and rel.direction == "out"
+
+    def test_directed_in(self):
+        m = first_clause("MATCH (a)<-[:KNOWS]-(b) RETURN a")
+        assert m.patterns[0].rels[0].direction == "in"
+
+    def test_undirected(self):
+        m = first_clause("MATCH (a)-[:KNOWS]-(b) RETURN a")
+        assert m.patterns[0].rels[0].direction == "any"
+
+    def test_bare_edges(self):
+        m = first_clause("MATCH (a)-->(b)<--(c) RETURN a")
+        assert m.patterns[0].rels[0].direction == "out"
+        assert m.patterns[0].rels[1].direction == "in"
+
+    def test_type_alternation(self):
+        m = first_clause("MATCH (a)-[:A|B|:C]->(b) RETURN a")
+        assert m.patterns[0].rels[0].types == ("A", "B", "C")
+
+    def test_long_path(self):
+        m = first_clause("MATCH (a)-[:X]->(b)-[:Y]->(c)-[:Z]->(d) RETURN a")
+        path = m.patterns[0]
+        assert len(path.nodes) == 4 and len(path.rels) == 3
+
+    def test_multiple_patterns(self):
+        m = first_clause("MATCH (a), (b)-[:R]->(c) RETURN a")
+        assert len(m.patterns) == 2
+
+    def test_named_path(self):
+        m = first_clause("MATCH p = (a)-[:R]->(b) RETURN p")
+        assert m.patterns[0].var == "p"
+
+    def test_where_attached(self):
+        m = first_clause("MATCH (n) WHERE n.age > 30 RETURN n")
+        assert isinstance(m.where, A.Comparison)
+
+    def test_optional_match(self):
+        m = first_clause("OPTIONAL MATCH (n) RETURN n")
+        assert m.optional
+
+
+class TestVariableLength:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("[*]", (1, -1)),
+            ("[*2]", (2, 2)),
+            ("[*1..3]", (1, 3)),
+            ("[*..4]", (1, 4)),
+            ("[*2..]", (2, -1)),
+            ("[:R*1..6]", (1, 6)),
+        ],
+    )
+    def test_hop_ranges(self, pattern, expected):
+        m = first_clause(f"MATCH (a)-{pattern}->(b) RETURN a")
+        rel = m.patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == expected
+        assert rel.variable_length
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)-[*3..2]->(b) RETURN a")
+
+    def test_fixed_single_hop_not_variable(self):
+        m = first_clause("MATCH (a)-[:R]->(b) RETURN a")
+        assert not m.patterns[0].rels[0].variable_length
+
+
+class TestOtherClauses:
+    def test_create(self):
+        c = first_clause("CREATE (:Person {name: 'Zed'})")
+        assert isinstance(c, A.CreateClause)
+
+    def test_merge(self):
+        c = first_clause("MERGE (n:Person {name: 'Zed'})")
+        assert isinstance(c, A.MergeClause)
+
+    def test_delete(self):
+        q = single("MATCH (n) DELETE n")
+        assert isinstance(q.clauses[1], A.DeleteClause) and not q.clauses[1].detach
+
+    def test_detach_delete(self):
+        q = single("MATCH (n) DETACH DELETE n")
+        assert q.clauses[1].detach
+
+    def test_set_property(self):
+        q = single("MATCH (n) SET n.age = 31")
+        item = q.clauses[1].items[0]
+        assert item.target == "n" and item.key == "age"
+
+    def test_set_merge_map(self):
+        q = single("MATCH (n) SET n += {a: 1}")
+        assert q.clauses[1].items[0].merge_map
+
+    def test_set_labels(self):
+        q = single("MATCH (n) SET n:Admin:Owner")
+        assert q.clauses[1].items[0].labels == ("Admin", "Owner")
+
+    def test_remove(self):
+        q = single("MATCH (n) REMOVE n.age")
+        assert q.clauses[1].items[0].key == "age"
+
+    def test_unwind(self):
+        c = first_clause("UNWIND [1,2,3] AS x RETURN x")
+        assert isinstance(c, A.UnwindClause) and c.alias == "x"
+
+    def test_with_pipeline(self):
+        q = single("MATCH (n) WITH n.age AS age WHERE age > 1 RETURN age")
+        w = q.clauses[1]
+        assert isinstance(w, A.WithClause)
+        assert w.projections[0].alias == "age" and w.where is not None
+
+    def test_return_modifiers(self):
+        q = single("MATCH (n) RETURN DISTINCT n ORDER BY n.age DESC SKIP 2 LIMIT 5")
+        r = q.clauses[1]
+        assert r.distinct and not r.order_by[0].ascending
+        assert r.skip == A.Literal(2) and r.limit == A.Literal(5)
+
+    def test_return_star(self):
+        q = single("MATCH (n) RETURN *")
+        assert q.clauses[1].projections[0].star
+
+    def test_union(self):
+        q = parse("RETURN 1 AS x UNION RETURN 2 AS x")
+        assert len(q.parts) == 2 and not q.union_all
+
+    def test_union_all(self):
+        q = parse("RETURN 1 AS x UNION ALL RETURN 1 AS x")
+        assert q.union_all
+
+    def test_create_index(self):
+        c = first_clause("CREATE INDEX ON :Person(name)")
+        assert isinstance(c, A.CreateIndexClause)
+        assert c.label == "Person" and c.attribute == "name"
+
+    def test_drop_index(self):
+        c = first_clause("DROP INDEX ON :Person(name)")
+        assert isinstance(c, A.DropIndexClause)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return first_clause(f"RETURN {text} AS x").projections[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_power_right_assoc(self):
+        e = self.expr("2 ^ 3 ^ 2")
+        assert e.op == "^" and isinstance(e.right, A.Binary) and e.right.op == "^"
+
+    def test_parens_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, A.Binary)
+
+    def test_unary_minus(self):
+        e = self.expr("-n")
+        assert isinstance(e, A.Unary) and e.op == "-"
+
+    def test_bool_precedence(self):
+        e = self.expr("a OR b AND c")
+        assert isinstance(e, A.BoolOp) and e.op == "OR"
+        assert isinstance(e.right, A.BoolOp) and e.right.op == "AND"
+
+    def test_not(self):
+        e = self.expr("NOT a")
+        assert isinstance(e, A.Not)
+
+    def test_comparison_chain_desugars_to_and(self):
+        e = self.expr("1 < x < 10")
+        assert isinstance(e, A.BoolOp) and e.op == "AND"
+
+    def test_is_null(self):
+        e = self.expr("n.x IS NULL")
+        assert isinstance(e, A.IsNull) and not e.negated
+        e2 = self.expr("n.x IS NOT NULL")
+        assert e2.negated
+
+    def test_in_list(self):
+        e = self.expr("x IN [1, 2]")
+        assert isinstance(e, A.InList)
+
+    def test_string_predicates(self):
+        assert self.expr("s STARTS WITH 'a'").op == "STARTS_WITH"
+        assert self.expr("s ENDS WITH 'a'").op == "ENDS_WITH"
+        assert self.expr("s CONTAINS 'a'").op == "CONTAINS"
+
+    def test_property_chain(self):
+        e = self.expr("a.b.c")
+        assert isinstance(e, A.PropertyAccess) and e.key == "c"
+        assert isinstance(e.subject, A.PropertyAccess)
+
+    def test_subscript_and_slice(self):
+        assert isinstance(self.expr("xs[0]"), A.Subscript)
+        s = self.expr("xs[1..3]")
+        assert isinstance(s, A.Slice)
+        s2 = self.expr("xs[..2]")
+        assert s2.start is None
+
+    def test_list_and_map_literals(self):
+        l = self.expr("[1, 'a', true]")
+        assert isinstance(l, A.ListLiteral) and len(l.items) == 3
+        m = self.expr("{a: 1, b: 'x'}")
+        assert isinstance(m, A.MapLiteral)
+
+    def test_count_star(self):
+        e = self.expr("count(*)")
+        assert isinstance(e, A.FunctionCall) and e.name == "count" and e.args == ()
+
+    def test_count_distinct(self):
+        e = self.expr("count(DISTINCT n)")
+        assert e.distinct
+
+    def test_function_case_insensitive_name(self):
+        e = self.expr("toUpper('x')")
+        assert e.name == "toupper"
+
+    def test_case_expression(self):
+        e = self.expr("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(e, A.CaseExpr) and e.subject is None and e.default is not None
+
+    def test_case_with_subject(self):
+        e = self.expr("CASE x WHEN 1 THEN 'one' END")
+        assert e.subject is not None and e.default is None
+
+    def test_parameters(self):
+        e = self.expr("$who")
+        assert isinstance(e, A.Parameter) and e.name == "who"
+
+    def test_null_true_false(self):
+        assert self.expr("null") == A.Literal(None)
+        assert self.expr("TRUE") == A.Literal(True)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "MATCH (n RETURN n",
+            "MATCH (n) RETURN",
+            "RETURN 1 AS",
+            "MATCH (a)-[>(b) RETURN a",
+            "MATCH (a)-[:]->(b) RETURN a",
+            "SET = 3",
+            "FOO (n)",
+            "MATCH (n) RETURN n extra_token",
+            "CREATE INDEX Person(name)",
+            "UNWIND [1] x RETURN x",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(CypherSyntaxError):
+            parse(bad)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(CypherSyntaxError) as exc:
+            parse("MATCH (n)\nRETURN")
+        assert "line 2" in str(exc.value)

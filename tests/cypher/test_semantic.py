@@ -1,0 +1,115 @@
+"""Semantic validation tests."""
+
+import pytest
+
+from repro.errors import CypherSemanticError
+from repro.cypher import parse, validate
+
+
+def check(text):
+    validate(parse(text))
+
+
+class TestScoping:
+    def test_bound_variable_ok(self):
+        check("MATCH (n) RETURN n")
+
+    def test_unbound_in_return(self):
+        with pytest.raises(CypherSemanticError, match="not defined"):
+            check("MATCH (n) RETURN m")
+
+    def test_unbound_in_where(self):
+        with pytest.raises(CypherSemanticError, match="not defined"):
+            check("MATCH (n) WHERE m.x = 1 RETURN n")
+
+    def test_with_narrows_scope(self):
+        with pytest.raises(CypherSemanticError, match="not defined"):
+            check("MATCH (n)-[:R]->(m) WITH n RETURN m")
+
+    def test_with_alias_visible(self):
+        check("MATCH (n) WITH n.age AS age RETURN age")
+
+    def test_with_star_keeps_all(self):
+        check("MATCH (n)-[:R]->(m) WITH * RETURN n, m")
+
+    def test_unwind_binds(self):
+        check("UNWIND [1,2] AS x RETURN x")
+
+    def test_node_rel_kind_conflict(self):
+        with pytest.raises(CypherSemanticError, match="already declared"):
+            check("MATCH (n)-[n:R]->(m) RETURN n")
+
+    def test_node_reuse_is_join(self):
+        check("MATCH (a)-[:X]->(b), (b)-[:Y]->(c) RETURN a, c")
+
+    def test_set_unbound_target(self):
+        with pytest.raises(CypherSemanticError):
+            check("MATCH (n) SET m.x = 1")
+
+    def test_delete_unbound(self):
+        with pytest.raises(CypherSemanticError):
+            check("MATCH (n) DELETE m")
+
+
+class TestAggregations:
+    def test_aggregate_in_return_ok(self):
+        check("MATCH (n) RETURN count(n)")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(CypherSemanticError, match="aggregation"):
+            check("MATCH (n) WHERE count(n) > 1 RETURN n")
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(CypherSemanticError, match="nested"):
+            check("MATCH (n) RETURN count(sum(n.x))")
+
+    def test_aggregate_in_with_ok(self):
+        check("MATCH (n) WITH count(n) AS c RETURN c")
+
+
+class TestClauseStructure:
+    def test_nothing_after_return(self):
+        with pytest.raises(CypherSemanticError, match="follow RETURN"):
+            check("MATCH (n) RETURN n MATCH (m) RETURN m")
+
+    def test_match_alone_rejected(self):
+        with pytest.raises(CypherSemanticError, match="neither returns"):
+            check("MATCH (n)")
+
+    def test_create_alone_ok(self):
+        check("CREATE (:Person)")
+
+    def test_duplicate_return_columns(self):
+        with pytest.raises(CypherSemanticError, match="duplicate"):
+            check("MATCH (n) RETURN n.x AS a, n.y AS a")
+
+    def test_return_star_empty_scope(self):
+        with pytest.raises(CypherSemanticError):
+            check("RETURN *")
+
+
+class TestCreateRestrictions:
+    def test_create_needs_one_type(self):
+        with pytest.raises(CypherSemanticError, match="exactly one relationship type"):
+            check("CREATE (a)-[:X|Y]->(b)")
+
+    def test_create_no_varlength(self):
+        with pytest.raises(CypherSemanticError, match="variable-length"):
+            check("CREATE (a)-[:X*2]->(b)")
+
+    def test_create_requires_direction(self):
+        with pytest.raises(CypherSemanticError, match="directed"):
+            check("CREATE (a)-[:X]-(b)")
+
+    def test_varlength_binding_rejected(self):
+        with pytest.raises(CypherSemanticError, match="variable-length"):
+            check("MATCH (a)-[r:X*1..2]->(b) RETURN r")
+
+
+class TestUnion:
+    def test_matching_columns_ok(self):
+        check("RETURN 1 AS x UNION RETURN 2 AS x")
+
+    def test_mismatched_columns(self):
+        with pytest.raises(CypherSemanticError, match="same columns"):
+            check("RETURN 1 AS x UNION RETURN 2 AS y")

@@ -1,0 +1,139 @@
+"""Dataset generator tests: shape, determinism, degree structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    build_graph,
+    build_graphdb,
+    edges_to_matrix,
+    graph500_edges,
+    ldbc_lite,
+    twitter_edges,
+)
+
+
+class TestGraph500:
+    def test_sizes(self):
+        src, dst, n = graph500_edges(scale=10, edge_factor=16, seed=3)
+        assert n == 1024
+        assert len(src) == len(dst)
+        assert len(src) <= 16 * n
+        assert len(src) > 14 * n  # only self-loops were dropped
+
+    def test_ids_in_range(self):
+        src, dst, n = graph500_edges(scale=8, seed=1)
+        assert src.min() >= 0 and src.max() < n
+        assert dst.min() >= 0 and dst.max() < n
+
+    def test_deterministic(self):
+        a = graph500_edges(scale=8, seed=5)
+        b = graph500_edges(scale=8, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seed_changes_output(self):
+        a = graph500_edges(scale=8, seed=1)
+        b = graph500_edges(scale=8, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_no_self_loops(self):
+        src, dst, _ = graph500_edges(scale=8, seed=1)
+        assert np.all(src != dst)
+
+    def test_kronecker_skew(self):
+        """RMAT graphs have heavy-tailed degrees: the max out-degree far
+        exceeds the mean (unlike an Erdos-Renyi graph)."""
+        src, dst, n = graph500_edges(scale=12, seed=1)
+        deg = np.bincount(src, minlength=n)
+        assert deg.max() > 8 * deg.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            graph500_edges(scale=0)
+        with pytest.raises(ValueError):
+            graph500_edges(scale=4, a=0.6, b=0.3, c=0.2)
+
+
+class TestTwitter:
+    def test_sizes_and_range(self):
+        src, dst, n = twitter_edges(n=2048, edge_factor=10, seed=2)
+        assert n == 2048
+        assert src.max() < n and dst.max() < n and src.min() >= 0
+
+    def test_deterministic(self):
+        a = twitter_edges(n=1024, seed=9)
+        b = twitter_edges(n=1024, seed=9)
+        assert np.array_equal(a[0], b[0])
+
+    def test_in_degree_heavier_than_out(self):
+        """alpha_in > alpha_out must skew in-degree harder (celebrity)."""
+        src, dst, n = twitter_edges(n=4096, edge_factor=20, seed=3)
+        in_deg = np.bincount(dst, minlength=n)
+        out_deg = np.bincount(src, minlength=n)
+        assert in_deg.max() > out_deg.max()
+
+    def test_no_self_loops(self):
+        src, dst, _ = twitter_edges(n=512, seed=1)
+        assert np.all(src != dst)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            twitter_edges(n=1)
+
+
+class TestLoader:
+    def test_edges_to_matrix(self):
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 2, 1])  # duplicate (0,1)
+        A = edges_to_matrix(src, dst, 3)
+        assert A.nvals == 2 and A[0, 1] is not None
+
+    def test_build_graph(self):
+        src, dst, n = graph500_edges(scale=6, seed=1)
+        g = build_graph(src, dst, n)
+        assert g.node_count == n
+        A = g.relation_matrix("E")
+        assert A.nvals == len(np.unique(src * n + dst))
+
+    def test_build_graphdb_queryable(self):
+        src, dst, n = graph500_edges(scale=6, seed=1)
+        db = build_graphdb(src, dst, n)
+        assert db.query("MATCH (v:V) RETURN count(v)").scalar() == n
+        # 1-hop from the highest-degree node works through Cypher
+        hub = int(np.bincount(src, minlength=n).argmax())
+        count = db.query(
+            "MATCH (s:V)-[:E]->(t) WHERE id(s) = $s RETURN count(DISTINCT t)",
+            {"s": hub},
+        ).scalar()
+        expected = len(np.unique(dst[src == hub]))
+        assert count == expected
+
+
+class TestLdbcLite:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return ldbc_lite(persons=40, seed=5)
+
+    def test_entity_counts(self, db):
+        assert db.query("MATCH (p:Person) RETURN count(p)").scalar() == 40
+        assert db.query("MATCH (p:Post) RETURN count(p)").scalar() == 80
+
+    def test_created_edges(self, db):
+        assert db.query("MATCH (:Person)-[:CREATED]->(:Post) RETURN count(*)").scalar() == 80
+
+    def test_cities_assigned(self, db):
+        cities = db.query("MATCH (p:Person) RETURN DISTINCT p.city ORDER BY p.city").column("p.city")
+        assert len(cities) == 4
+
+    def test_community_structure(self, db):
+        """KNOWS should be denser within a city than across."""
+        intra = db.query(
+            "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.city = b.city RETURN count(*)"
+        ).scalar()
+        inter = db.query(
+            "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.city <> b.city RETURN count(*)"
+        ).scalar()
+        assert intra > inter
+
+    def test_likes_present(self, db):
+        assert db.query("MATCH (:Person)-[:LIKES]->(:Post) RETURN count(*)").scalar() == 120

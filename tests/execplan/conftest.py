@@ -1,0 +1,36 @@
+"""Shared fixtures: a small social graph used across execution tests."""
+
+import pytest
+
+from repro import GraphDB
+
+
+@pytest.fixture
+def db():
+    return GraphDB("test")
+
+
+@pytest.fixture
+def social(db):
+    """A deterministic little social network.
+
+    People: Ann(30), Bo(25), Cy(35), Di(28), Ed(40); Robot: R2.
+    KNOWS: Ann->Bo, Ann->Cy, Bo->Cy, Cy->Di, Di->Ed
+    LIKES: Ann->Di, Ed->Ann
+    """
+    db.query(
+        "CREATE (ann:Person {name:'Ann', age:30}),"
+        " (bo:Person {name:'Bo', age:25}),"
+        " (cy:Person {name:'Cy', age:35}),"
+        " (di:Person {name:'Di', age:28}),"
+        " (ed:Person {name:'Ed', age:40}),"
+        " (r2:Robot {name:'R2'}),"
+        " (ann)-[:KNOWS {since:2019}]->(bo),"
+        " (ann)-[:KNOWS {since:2020}]->(cy),"
+        " (bo)-[:KNOWS {since:2021}]->(cy),"
+        " (cy)-[:KNOWS {since:2018}]->(di),"
+        " (di)-[:KNOWS {since:2022}]->(ed),"
+        " (ann)-[:LIKES]->(di),"
+        " (ed)-[:LIKES]->(ann)"
+    )
+    return db

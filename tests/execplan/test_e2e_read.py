@@ -1,0 +1,325 @@
+"""End-to-end read queries through the full Cypher → algebra stack."""
+
+import pytest
+
+from repro import GraphDB
+from repro.errors import CypherSemanticError, GraphError
+
+
+class TestBasicMatch:
+    def test_all_nodes(self, social):
+        assert social.query("MATCH (n) RETURN count(n)").scalar() == 6
+
+    def test_label_scan(self, social):
+        assert social.query("MATCH (n:Person) RETURN count(n)").scalar() == 5
+
+    def test_missing_label(self, social):
+        assert social.query("MATCH (n:Ghost) RETURN count(n)").scalar() == 0
+
+    def test_property_map_filter(self, social):
+        rows = social.query("MATCH (n:Person {name:'Ann'}) RETURN n.age").rows
+        assert rows == [(30,)]
+
+    def test_return_entity(self, social):
+        rows = social.query("MATCH (n:Person {name:'Ann'}) RETURN n").rows
+        node = rows[0][0]
+        assert node.properties["name"] == "Ann"
+        assert node.labels == ("Person",)
+
+    def test_return_multiple_columns(self, social):
+        r = social.query("MATCH (n:Person {name:'Ann'}) RETURN n.name AS name, n.age AS age")
+        assert r.columns == ["name", "age"]
+        assert r.rows == [("Ann", 30)]
+
+    def test_missing_property_is_null(self, social):
+        rows = social.query("MATCH (n:Robot) RETURN n.age").rows
+        assert rows == [(None,)]
+
+
+class TestTraversals:
+    def test_one_hop(self, social):
+        names = social.query(
+            "MATCH (:Person {name:'Ann'})-[:KNOWS]->(b) RETURN b.name ORDER BY b.name"
+        ).column("b.name")
+        assert names == ["Bo", "Cy"]
+
+    def test_incoming(self, social):
+        names = social.query(
+            "MATCH (:Person {name:'Cy'})<-[:KNOWS]-(a) RETURN a.name ORDER BY a.name"
+        ).column("a.name")
+        assert names == ["Ann", "Bo"]
+
+    def test_undirected(self, social):
+        names = social.query(
+            "MATCH (:Person {name:'Ann'})-[:LIKES]-(x) RETURN x.name ORDER BY x.name"
+        ).column("x.name")
+        assert names == ["Di", "Ed"]  # out to Di, in from Ed
+
+    def test_two_hop_chain(self, social):
+        rows = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS]->(b)-[:KNOWS]->(c) RETURN b.name, c.name ORDER BY b.name, c.name"
+        ).rows
+        assert rows == [("Bo", "Cy"), ("Cy", "Di")]
+
+    def test_type_alternation(self, social):
+        names = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS|LIKES]->(x) RETURN x.name ORDER BY x.name"
+        ).column("x.name")
+        assert names == ["Bo", "Cy", "Di"]
+
+    def test_untyped_edge(self, social):
+        names = social.query(
+            "MATCH (a {name:'Ed'})-[]->(x) RETURN x.name"
+        ).column("x.name")
+        assert names == ["Ann"]
+
+    def test_dst_label_folded(self, social):
+        # Robot R2 has no KNOWS edges; the Person diagonal filters nothing here
+        count = social.query(
+            "MATCH (:Person)-[:KNOWS]->(p:Person) RETURN count(p)"
+        ).scalar()
+        assert count == 5
+
+    def test_edge_variable_binding(self, social):
+        rows = social.query(
+            "MATCH (a {name:'Ann'})-[e:KNOWS]->(b) RETURN e.since, b.name ORDER BY e.since"
+        ).rows
+        assert rows == [(2019, "Bo"), (2020, "Cy")]
+
+    def test_edge_property_map(self, social):
+        rows = social.query(
+            "MATCH (a)-[e:KNOWS {since: 2021}]->(b) RETURN a.name, b.name"
+        ).rows
+        assert rows == [("Bo", "Cy")]
+
+    def test_cycle_close_expand_into(self, social):
+        # triangle check: Ann->Bo->Cy and Ann->Cy closes
+        rows = social.query(
+            "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c), (a)-[:KNOWS]->(c) RETURN a.name, b.name, c.name"
+        ).rows
+        assert rows == [("Ann", "Bo", "Cy")]
+
+    def test_cartesian_product(self, social):
+        count = social.query("MATCH (a:Robot), (b:Robot) RETURN count(*)").scalar()
+        assert count == 1
+        count = social.query("MATCH (a:Person), (b:Robot) RETURN count(*)").scalar()
+        assert count == 5
+
+
+class TestVariableLength:
+    def test_one_to_two_hops(self, social):
+        names = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS*1..2]->(x) RETURN x.name ORDER BY x.name"
+        ).column("x.name")
+        assert names == ["Bo", "Cy", "Di"]
+
+    def test_exact_two(self, social):
+        names = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS*2]->(x) RETURN x.name ORDER BY x.name"
+        ).column("x.name")
+        # distinct destinations first reached at hop 2
+        assert names == ["Di"]
+
+    def test_unbounded(self, social):
+        count = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS*]->(x) RETURN count(DISTINCT x)"
+        ).scalar()
+        assert count == 4  # Bo, Cy, Di, Ed
+
+    def test_varlen_label_applies_to_endpoint_only(self, social):
+        # path Ann -> ... -> Ed passes through unlabeled-robot-free chain;
+        # label on endpoint must not restrict intermediates
+        count = social.query(
+            "MATCH (a {name:'Ann'})-[:KNOWS*1..4]->(x:Person) RETURN count(DISTINCT x)"
+        ).scalar()
+        assert count == 4
+
+    def test_varlen_bound_destination(self, social):
+        rows = social.query(
+            "MATCH (a {name:'Ann'}), (e {name:'Ed'}) MATCH (a)-[:KNOWS*1..6]->(e) RETURN count(*)"
+        ).scalar()
+        assert rows == 1
+
+    def test_varlen_incoming(self, social):
+        names = social.query(
+            "MATCH (x)<-[:KNOWS*1..2]-(a {name:'Ann'}) RETURN x.name ORDER BY x.name"
+        ).column("x.name")
+        assert names == ["Bo", "Cy", "Di"]
+
+
+class TestWhere:
+    def test_comparison(self, social):
+        names = social.query(
+            "MATCH (n:Person) WHERE n.age > 28 RETURN n.name ORDER BY n.name"
+        ).column("n.name")
+        assert names == ["Ann", "Cy", "Ed"]
+
+    def test_boolean_ops(self, social):
+        names = social.query(
+            "MATCH (n:Person) WHERE n.age >= 25 AND n.age <= 30 RETURN n.name ORDER BY n.name"
+        ).column("n.name")
+        assert names == ["Ann", "Bo", "Di"]
+
+    def test_string_predicates(self, social):
+        names = social.query(
+            "MATCH (n:Person) WHERE n.name STARTS WITH 'A' RETURN n.name"
+        ).column("n.name")
+        assert names == ["Ann"]
+
+    def test_in_list(self, social):
+        count = social.query(
+            "MATCH (n:Person) WHERE n.name IN ['Ann', 'Ed', 'Zz'] RETURN count(n)"
+        ).scalar()
+        assert count == 2
+
+    def test_null_comparisons_filter_out(self, social):
+        # Robot has no age: age > 10 is null -> filtered
+        count = social.query("MATCH (n) WHERE n.age > 10 RETURN count(n)").scalar()
+        assert count == 5
+
+    def test_is_null(self, social):
+        names = social.query(
+            "MATCH (n) WHERE n.age IS NULL RETURN n.name"
+        ).column("n.name")
+        assert names == ["R2"]
+
+    def test_where_on_edges(self, social):
+        rows = social.query(
+            "MATCH (a)-[e:KNOWS]->(b) WHERE e.since >= 2021 RETURN a.name ORDER BY e.since"
+        ).rows
+        assert rows == [("Bo",), ("Di",)]
+
+    def test_exists_property(self, social):
+        count = social.query(
+            "MATCH (n) WHERE exists(n.age) RETURN count(n)"
+        ).scalar()
+        assert count == 5
+
+
+class TestProjectionModifiers:
+    def test_order_by_asc_desc(self, social):
+        asc = social.query("MATCH (n:Person) RETURN n.age ORDER BY n.age").column("n.age")
+        assert asc == sorted(asc)
+        desc = social.query("MATCH (n:Person) RETURN n.age ORDER BY n.age DESC").column("n.age")
+        assert desc == sorted(desc, reverse=True)
+
+    def test_order_by_hidden_column(self, social):
+        names = social.query(
+            "MATCH (n:Person) RETURN n.name ORDER BY n.age DESC"
+        ).column("n.name")
+        assert names == ["Ed", "Cy", "Ann", "Di", "Bo"]
+
+    def test_skip_limit(self, social):
+        names = social.query(
+            "MATCH (n:Person) RETURN n.name ORDER BY n.name SKIP 1 LIMIT 2"
+        ).column("n.name")
+        assert names == ["Bo", "Cy"]
+
+    def test_distinct(self, social):
+        rows = social.query(
+            "MATCH (:Person)-[:KNOWS]->(b) RETURN DISTINCT b.name ORDER BY b.name"
+        ).column("b.name")
+        assert rows == ["Bo", "Cy", "Di", "Ed"]
+
+    def test_return_star(self, social):
+        r = social.query("MATCH (a {name:'Ann'})-[:LIKES]->(b) RETURN *")
+        assert set(r.columns) == {"a", "b"}
+
+    def test_with_pipeline(self, social):
+        rows = social.query(
+            "MATCH (n:Person) WITH n.age AS age WHERE age > 30 RETURN age ORDER BY age"
+        ).column("age")
+        assert rows == [35, 40]
+
+    def test_with_aggregation_then_filter(self, social):
+        rows = social.query(
+            "MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS friends WHERE friends > 1 "
+            "RETURN a.name, friends"
+        ).rows
+        assert rows == [("Ann", 2)]
+
+    def test_unwind(self, social):
+        rows = social.query("UNWIND [3, 1, 2] AS x RETURN x ORDER BY x").column("x")
+        assert rows == [1, 2, 3]
+
+    def test_unwind_with_match(self, social):
+        rows = social.query(
+            "UNWIND ['Ann', 'Bo'] AS who MATCH (n:Person {name: who}) RETURN n.age ORDER BY n.age"
+        ).column("n.age")
+        assert rows == [25, 30]
+
+    def test_union(self, social):
+        rows = social.query(
+            "MATCH (n:Robot) RETURN n.name AS name UNION MATCH (n:Person {name:'Ann'}) RETURN n.name AS name"
+        ).column("name")
+        assert sorted(rows) == ["Ann", "R2"]
+
+    def test_union_dedups_union_all_does_not(self, social):
+        q1 = "RETURN 1 AS x UNION RETURN 1 AS x"
+        q2 = "RETURN 1 AS x UNION ALL RETURN 1 AS x"
+        assert len(social.query(q1).rows) == 1
+        assert len(social.query(q2).rows) == 2
+
+
+class TestOptionalMatch:
+    def test_optional_no_match_gives_null(self, social):
+        rows = social.query(
+            "MATCH (n {name:'R2'}) OPTIONAL MATCH (n)-[:KNOWS]->(m) RETURN n.name, m"
+        ).rows
+        assert rows == [("R2", None)]
+
+    def test_optional_with_matches(self, social):
+        rows = social.query(
+            "MATCH (n {name:'Ann'}) OPTIONAL MATCH (n)-[:KNOWS]->(m) RETURN m.name ORDER BY m.name"
+        ).column("m.name")
+        assert rows == ["Bo", "Cy"]
+
+    def test_optional_where_inside(self, social):
+        rows = social.query(
+            "MATCH (n:Person) OPTIONAL MATCH (n)-[:KNOWS]->(m) WHERE m.age > 30 "
+            "RETURN n.name, m.name ORDER BY n.name, m.name"
+        ).rows
+        by_n = {}
+        for n, m in rows:
+            by_n.setdefault(n, []).append(m)
+        assert by_n["Ann"] == ["Cy"]
+        assert by_n["Ed"] == [None]
+
+
+class TestParameters:
+    def test_parameter_in_filter(self, social):
+        rows = social.query(
+            "MATCH (n:Person) WHERE n.age > $min RETURN count(n)", {"min": 29}
+        ).scalar()
+        assert rows == 3
+
+    def test_parameter_in_property_map(self, social):
+        rows = social.query(
+            "MATCH (n:Person {name: $who}) RETURN n.age", {"who": "Cy"}
+        ).scalar()
+        assert rows == 35
+
+    def test_missing_parameter(self, social):
+        with pytest.raises(CypherSemanticError, match="missing query parameter"):
+            social.query("MATCH (n:Person {name: $who}) RETURN n.age")
+
+
+class TestExplain:
+    def test_explain_shows_algebraic_expression(self, social):
+        plan = social.explain("MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN b")
+        assert "ConditionalTraverse" in plan
+        assert "KNOWS * diag(Person)" in plan
+        assert "NodeByLabelScan" in plan
+
+    def test_explain_varlen(self, social):
+        plan = social.explain("MATCH (a)-[:KNOWS*1..3]->(b) RETURN b")
+        assert "CondVarLenTraverse" in plan
+
+    def test_explain_expand_into(self, social):
+        plan = social.explain("MATCH (a)-[:KNOWS]->(b), (a)-[:LIKES]->(b) RETURN a")
+        assert "ExpandInto" in plan
+
+    def test_profile_counts_records(self, social):
+        _, report = social.profile("MATCH (n:Person) RETURN count(n)")
+        assert "Records produced" in report
+        assert "NodeByLabelScan" in report

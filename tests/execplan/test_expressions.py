@@ -1,0 +1,195 @@
+"""Runtime expression semantics (evaluated through RETURN projections)."""
+
+import math
+
+import pytest
+
+from repro import GraphDB
+from repro.errors import CypherTypeError
+
+
+@pytest.fixture
+def db():
+    return GraphDB("expr")
+
+
+def val(db, expression, params=None):
+    return db.query(f"RETURN {expression} AS v", params).scalar()
+
+
+class TestArithmetic:
+    def test_integer_ops(self, db):
+        assert val(db, "1 + 2 * 3") == 7
+        assert val(db, "7 - 10") == -3
+        assert val(db, "2 ^ 10") == 1024.0
+
+    def test_integer_division_truncates(self, db):
+        assert val(db, "7 / 2") == 3
+        assert val(db, "-7 / 2") == -3  # toward zero
+
+    def test_float_division(self, db):
+        assert val(db, "7.0 / 2") == 3.5
+
+    def test_modulo(self, db):
+        assert val(db, "7 % 3") == 1
+        assert val(db, "7.5 % 2") == pytest.approx(1.5)
+
+    def test_division_by_zero_integer(self, db):
+        with pytest.raises(CypherTypeError):
+            val(db, "1 / 0")
+
+    def test_unary_minus(self, db):
+        assert val(db, "-(3 + 4)") == -7
+
+    def test_string_concat(self, db):
+        assert val(db, "'a' + 'b'") == "ab"
+        assert val(db, "'a' + 1") == "a1"
+
+    def test_list_concat(self, db):
+        assert val(db, "[1] + [2, 3]") == [1, 2, 3]
+        assert val(db, "[1] + 2") == [1, 2]
+
+    def test_null_propagation(self, db):
+        assert val(db, "1 + null") is None
+        assert val(db, "null * 3") is None
+
+
+class TestComparisonLogic:
+    def test_comparisons(self, db):
+        assert val(db, "1 < 2") is True
+        assert val(db, "2 <= 1") is False
+        assert val(db, "'a' < 'b'") is True
+
+    def test_equality_across_numeric_types(self, db):
+        assert val(db, "1 = 1.0") is True
+        assert val(db, "1 <> 2") is True
+
+    def test_equality_across_kinds_is_false(self, db):
+        assert val(db, "1 = 'a'") is False
+
+    def test_null_comparisons_are_null(self, db):
+        assert val(db, "null = null") is None
+        assert val(db, "1 > null") is None
+
+    def test_kleene_and_or(self, db):
+        assert val(db, "true AND null") is None
+        assert val(db, "false AND null") is False
+        assert val(db, "true OR null") is True
+        assert val(db, "false OR null") is None
+        assert val(db, "NOT null") is None
+
+    def test_xor(self, db):
+        assert val(db, "true XOR false") is True
+        assert val(db, "true XOR true") is False
+        assert val(db, "true XOR null") is None
+
+    def test_in_list_null_semantics(self, db):
+        assert val(db, "1 IN [1, 2]") is True
+        assert val(db, "3 IN [1, 2]") is False
+        assert val(db, "3 IN [1, null]") is None
+        assert val(db, "null IN [1]") is None
+        assert val(db, "1 IN null") is None
+
+    def test_is_null(self, db):
+        assert val(db, "null IS NULL") is True
+        assert val(db, "1 IS NOT NULL") is True
+
+
+class TestListsAndMaps:
+    def test_index(self, db):
+        assert val(db, "[10, 20, 30][1]") == 20
+        assert val(db, "[10, 20, 30][-1]") == 30
+        assert val(db, "[10][5]") is None
+
+    def test_slice(self, db):
+        assert val(db, "[1,2,3,4][1..3]") == [2, 3]
+        assert val(db, "[1,2,3,4][..2]") == [1, 2]
+        assert val(db, "[1,2,3,4][2..]") == [3, 4]
+
+    def test_map_literal_and_access(self, db):
+        assert val(db, "{a: 1, b: 'x'}.b") == "x"
+        assert val(db, "{a: 1}['a']") == 1
+
+    def test_range_function(self, db):
+        assert val(db, "range(1, 4)") == [1, 2, 3, 4]
+        assert val(db, "range(0, 10, 5)") == [0, 5, 10]
+
+    def test_size_head_last(self, db):
+        assert val(db, "size([1,2,3])") == 3
+        assert val(db, "head([1,2])") == 1
+        assert val(db, "last([1,2])") == 2
+        assert val(db, "head([])") is None
+
+
+class TestStringsAndFunctions:
+    def test_case_functions(self, db):
+        assert val(db, "toUpper('ab')") == "AB"
+        assert val(db, "toLower('AB')") == "ab"
+
+    def test_trim_replace_split(self, db):
+        assert val(db, "trim('  x ')") == "x"
+        assert val(db, "replace('aXb', 'X', '-')") == "a-b"
+        assert val(db, "split('a,b', ',')") == ["a", "b"]
+
+    def test_substring_left_right(self, db):
+        assert val(db, "substring('hello', 1, 3)") == "ell"
+        assert val(db, "left('hello', 2)") == "he"
+        assert val(db, "right('hello', 2)") == "lo"
+
+    def test_conversions(self, db):
+        assert val(db, "toInteger('42')") == 42
+        assert val(db, "toInteger('nope')") is None
+        assert val(db, "toFloat('2.5')") == 2.5
+        assert val(db, "toString(true)") == "true"
+
+    def test_numeric_functions(self, db):
+        assert val(db, "abs(-3)") == 3
+        assert val(db, "sign(-9)") == -1
+        assert val(db, "ceil(1.2)") == 2.0
+        assert val(db, "floor(1.8)") == 1.0
+        assert val(db, "round(2.5)") == 3.0
+        assert val(db, "sqrt(16)") == 4.0
+
+    def test_coalesce(self, db):
+        assert val(db, "coalesce(null, null, 7)") == 7
+        assert val(db, "coalesce(null)") is None
+
+    def test_null_propagates_through_functions(self, db):
+        assert val(db, "toUpper(null)") is None
+        assert val(db, "abs(null)") is None
+
+    def test_case_expression_generic(self, db):
+        assert val(db, "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END") == "b"
+
+    def test_case_expression_subject(self, db):
+        assert val(db, "CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+        assert val(db, "CASE 9 WHEN 1 THEN 'one' END") is None
+
+    def test_unknown_function(self, db):
+        with pytest.raises(CypherTypeError, match="unknown function"):
+            val(db, "frobnicate(1)")
+
+
+class TestEntityFunctions:
+    def test_id_labels_type(self, db):
+        db.query("CREATE (:A:B {x: 1})-[:R]->(:C)")
+        row = db.query("MATCH (a:A)-[e:R]->(c) RETURN id(a), labels(a), type(e)").rows[0]
+        assert isinstance(row[0], int)
+        assert sorted(row[1]) == ["A", "B"]
+        assert row[2] == "R"
+
+    def test_properties_and_keys(self, db):
+        db.query("CREATE (:A {x: 1, y: 2})")
+        row = db.query("MATCH (a:A) RETURN properties(a), keys(a)").rows[0]
+        assert row[0] == {"x": 1, "y": 2}
+        assert row[1] == ["x", "y"]
+
+    def test_start_end_node(self, db):
+        db.query("CREATE (:A {n: 'src'})-[:R]->(:B {n: 'dst'})")
+        row = db.query(
+            "MATCH ()-[e:R]->() RETURN startNode(e).n, endNode(e).n"
+        ).rows[0]
+        assert row == ("src", "dst")
+
+    def test_parameter_list(self, db):
+        assert val(db, "$xs[1]", {"xs": [9, 8, 7]}) == 8

@@ -1,0 +1,93 @@
+"""Record/Layout and ResultSet unit tests."""
+
+import pytest
+
+from repro.execplan.record import Layout
+from repro.execplan.resultset import QueryStatistics, ResultSet
+
+
+class TestLayout:
+    def test_slots_in_order(self):
+        layout = Layout(["a", "b", "c"])
+        assert layout.slot("a") == 0 and layout.slot("c") == 2
+        assert len(layout) == 3
+
+    def test_get_missing(self):
+        layout = Layout(["a"])
+        assert layout.get("zz") is None
+        assert "zz" not in layout and "a" in layout
+
+    def test_extend_preserves_existing_slots(self):
+        base = Layout(["a", "b"])
+        ext = base.extend("c", "a")
+        assert ext.slot("a") == 0 and ext.slot("b") == 1 and ext.slot("c") == 2
+        assert len(ext) == 3
+
+    def test_extend_dedupes_new_names(self):
+        ext = Layout(["a"]).extend("b", "b")
+        assert len(ext) == 2
+
+    def test_new_record_width(self):
+        layout = Layout(["a", "b"])
+        rec = layout.new_record()
+        assert rec == [None, None]
+
+    def test_project_from(self):
+        src = Layout(["a", "b", "c"])
+        dst = Layout(["c", "a", "zz"])
+        out = dst.project_from([1, 2, 3], src)
+        assert out == [3, 1, None]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AssertionError):
+            Layout(["a", "a"])
+
+
+class TestResultSet:
+    def make(self):
+        return ResultSet(["x", "y"], [(1, "a"), (2, "b")], QueryStatistics())
+
+    def test_len_iter(self):
+        rs = self.make()
+        assert len(rs) == 2
+        assert list(rs) == [(1, "a"), (2, "b")]
+
+    def test_column(self):
+        assert self.make().column("y") == ["a", "b"]
+
+    def test_column_missing(self):
+        with pytest.raises(ValueError):
+            self.make().column("zz")
+
+    def test_to_dicts(self):
+        assert self.make().to_dicts()[0] == {"x": 1, "y": "a"}
+
+    def test_scalar_requires_1x1(self):
+        rs = ResultSet(["x"], [(42,)], QueryStatistics())
+        assert rs.scalar() == 42
+        with pytest.raises(AssertionError):
+            self.make().scalar()
+
+
+class TestQueryStatistics:
+    def test_summary_includes_nonzero_only(self):
+        stats = QueryStatistics(nodes_created=2, execution_time_ms=1.5)
+        text = "\n".join(stats.summary())
+        assert "Nodes created: 2" in text
+        assert "Relationships created" not in text
+        assert "execution time" in text
+
+    def test_all_counters(self):
+        stats = QueryStatistics(
+            nodes_created=1,
+            nodes_deleted=2,
+            relationships_created=3,
+            relationships_deleted=4,
+            properties_set=5,
+            labels_added=6,
+            indices_created=7,
+            indices_deleted=8,
+        )
+        text = "\n".join(stats.summary())
+        for token in ("1", "2", "3", "4", "5", "6", "7", "8"):
+            assert token in text

@@ -1,0 +1,113 @@
+"""DataBlock slot storage, attribute registry, and schema tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EntityNotFound
+from repro.graph import AttributeRegistry, DataBlock, Schema
+
+
+class TestDataBlock:
+    def test_alloc_get(self):
+        db = DataBlock()
+        i = db.alloc("a")
+        j = db.alloc("b")
+        assert db.get(i) == "a" and db.get(j) == "b"
+        assert len(db) == 2
+
+    def test_free_and_reuse(self):
+        db = DataBlock()
+        i = db.alloc("a")
+        db.alloc("b")
+        assert db.free(i) == "a"
+        assert len(db) == 1
+        k = db.alloc("c")
+        assert k == i, "freed slot must be reused"
+        assert db.get(k) == "c"
+
+    def test_get_freed_raises(self):
+        db = DataBlock()
+        i = db.alloc("a")
+        db.free(i)
+        with pytest.raises(EntityNotFound):
+            db.get(i)
+
+    def test_get_never_allocated_raises(self):
+        with pytest.raises(EntityNotFound):
+            DataBlock().get(0)
+
+    def test_exists(self):
+        db = DataBlock()
+        i = db.alloc("x")
+        assert db.exists(i) and not db.exists(i + 1) and not db.exists(-1)
+
+    def test_items_skips_tombstones(self):
+        db = DataBlock()
+        a = db.alloc("a")
+        b = db.alloc("b")
+        db.free(a)
+        assert list(db.items()) == [(b, "b")]
+        assert list(db.ids()) == [b]
+
+    def test_capacity_counts_tombstones(self):
+        db = DataBlock()
+        a = db.alloc("a")
+        db.alloc("b")
+        db.free(a)
+        assert db.capacity == 2 and len(db) == 1
+
+    @given(st.lists(st.sampled_from(["alloc", "free"]), max_size=60))
+    def test_alloc_free_invariants(self, actions):
+        db = DataBlock()
+        live = {}
+        counter = 0
+        for action in actions:
+            if action == "alloc":
+                val = f"v{counter}"
+                counter += 1
+                live[db.alloc(val)] = val
+            elif live:
+                some_id = next(iter(live))
+                db.free(some_id)
+                del live[some_id]
+        assert len(db) == len(live)
+        assert dict(db.items()) == live
+
+
+class TestAttributeRegistry:
+    def test_intern_stable(self):
+        reg = AttributeRegistry()
+        a = reg.intern("name")
+        assert reg.intern("name") == a
+        assert reg.intern("age") == a + 1
+
+    def test_lookup_without_alloc(self):
+        reg = AttributeRegistry()
+        assert reg.lookup("missing") is None
+        assert "missing" not in reg
+        assert len(reg) == 0
+
+    def test_name_of(self):
+        reg = AttributeRegistry()
+        i = reg.intern("x")
+        assert reg.name_of(i) == "x"
+
+
+class TestSchema:
+    def test_labels(self):
+        s = Schema()
+        a = s.intern_label("Person")
+        assert s.intern_label("Person") == a
+        assert s.label_name(a) == "Person"
+        assert s.label_id("Person") == a
+        assert s.label_id("Nope") is None
+        assert s.labels() == ["Person"]
+
+    def test_reltypes_independent_namespace(self):
+        s = Schema()
+        s.intern_label("X")
+        r = s.intern_reltype("X")
+        assert r == 0, "labels and reltypes have separate id spaces"
+        assert s.reltype_name(r) == "X"
+        assert s.reltype_count == 1

@@ -1,0 +1,118 @@
+"""DeltaMatrix buffering semantics and flush correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import DeltaMatrix
+
+
+class TestBasics:
+    def test_add_visible_before_flush(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        assert m.has(1, 2)
+        assert m.dirty and m.pending == 1
+
+    def test_flush_materializes(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        m.add(0, 3)
+        mat = m.synced()
+        assert not m.dirty
+        assert mat[1, 2] is not None and mat[0, 3] is not None
+        mat.check_invariants()
+
+    def test_delete_pending_add(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        m.delete(1, 2)
+        assert not m.has(1, 2)
+        assert m.synced().nvals == 0
+
+    def test_delete_flushed_entry(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        m.flush()
+        m.delete(1, 2)
+        assert not m.has(1, 2)
+        assert m.synced().nvals == 0
+
+    def test_re_add_after_delete(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        m.flush()
+        m.delete(1, 2)
+        m.add(1, 2)
+        assert m.has(1, 2)
+        assert m.synced().nvals == 1
+
+    def test_auto_flush_at_threshold(self):
+        m = DeltaMatrix(64, max_pending=5)
+        for i in range(6):
+            m.add(i, i)
+        assert m.pending <= 5, "must have auto-flushed"
+
+    def test_resize(self):
+        m = DeltaMatrix(2)
+        m.add(1, 1)
+        m.resize(8)
+        assert m.dim == 8 and m.has(1, 1)
+
+    def test_nvals(self):
+        m = DeltaMatrix(4)
+        m.add(0, 1)
+        m.add(0, 1)  # duplicate
+        assert m.nvals() == 1
+
+
+class TestTransposeCache:
+    def test_transpose_correct(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        t = m.transposed()
+        assert t[2, 1] is not None
+
+    def test_transpose_memoized(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        t1 = m.transposed()
+        t2 = m.transposed()
+        assert t1 is t2
+
+    def test_mutation_invalidates_transpose(self):
+        m = DeltaMatrix(4)
+        m.add(1, 2)
+        m.transposed()
+        m.add(0, 3)
+        t = m.transposed()
+        assert t[3, 0] is not None
+
+
+class TestPropertyFuzz:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 7), st.integers(0, 7)),
+            max_size=60,
+        ),
+        st.integers(1, 20),
+    )
+    def test_matches_reference_set(self, ops, max_pending):
+        """Random add/delete interleavings agree with a Python set model,
+        no matter where auto-flushes land."""
+        m = DeltaMatrix(8, max_pending=max_pending)
+        model = set()
+        for is_add, i, j in ops:
+            if is_add:
+                m.add(i, j)
+                model.add((i, j))
+            else:
+                m.delete(i, j)
+                model.discard((i, j))
+        for i, j in [(a, b) for a in range(8) for b in range(8)]:
+            assert m.has(i, j) == ((i, j) in model)
+        mat = m.synced()
+        rows, cols, _ = mat.to_coo()
+        assert set(zip(rows.tolist(), cols.tolist())) == model
+        mat.check_invariants()

@@ -1,0 +1,119 @@
+"""Graph persistence round-trip tests (save_graph / load_graph)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import GraphDB
+from repro.errors import GraphError
+from repro.graph.config import GraphConfig
+from repro.graph.persist import load_graph, save_graph
+
+
+def roundtrip(db: GraphDB) -> GraphDB:
+    buf = io.BytesIO()
+    db.save(buf)
+    buf.seek(0)
+    return GraphDB.load(buf)
+
+
+class TestRoundTrip:
+    def test_empty_graph(self):
+        db = GraphDB("empty")
+        db2 = roundtrip(db)
+        assert db2.graph.name == "empty"
+        assert db2.graph.node_count == 0
+
+    def test_nodes_and_properties(self):
+        db = GraphDB("g")
+        db.query("CREATE (:Person {name:'Ann', age: 30, tags: ['a', 'b'], meta: {x: 1}})")
+        db2 = roundtrip(db)
+        node = db2.query("MATCH (n:Person) RETURN n").scalar()
+        assert node.properties == {"name": "Ann", "age": 30, "tags": ["a", "b"], "meta": {"x": 1}}
+
+    def test_edges_and_types(self):
+        db = GraphDB("g")
+        db.query("CREATE (:A {k: 1})-[:R {w: 2.5}]->(:B {k: 2})")
+        db2 = roundtrip(db)
+        assert db2.query("MATCH (:A)-[e:R]->(:B) RETURN e.w").scalar() == 2.5
+        assert db2.graph.edge_count == 1
+
+    def test_node_ids_preserved(self):
+        db = GraphDB("g")
+        ids = [db.graph.create_node(["L"]).id for _ in range(5)]
+        db.graph.delete_node(ids[2])
+        db2 = roundtrip(db)
+        assert sorted(db2.graph.all_node_ids().tolist()) == sorted(set(ids) - {ids[2]})
+        # deleted slot is reusable in the restored graph
+        new = db2.graph.create_node()
+        assert new.id == ids[2]
+
+    def test_multiple_reltypes_and_queries(self):
+        db = GraphDB("g")
+        db.query("CREATE (a:P {i:0}), (b:P {i:1}), (c:P {i:2}), (a)-[:X]->(b), (b)-[:Y]->(c)")
+        db2 = roundtrip(db)
+        assert db2.query("MATCH (:P)-[:X]->()-[:Y]->(t) RETURN t.i").scalar() == 2
+
+    def test_indices_restored(self):
+        db = GraphDB("g")
+        db.query("CREATE (:Person {name:'Zed'})")
+        db.query("CREATE INDEX ON :Person(name)")
+        db2 = roundtrip(db)
+        plan = db2.explain("MATCH (n:Person {name:'Zed'}) RETURN n")
+        assert "NodeByIndexScan" in plan
+        assert db2.query("MATCH (n:Person {name:'Zed'}) RETURN n.name").scalar() == "Zed"
+
+    def test_config_preserved(self):
+        db = GraphDB("g", GraphConfig(node_capacity=512, traverse_batch_size=7))
+        db2 = roundtrip(db)
+        assert db2.graph.config.traverse_batch_size == 7
+
+    def test_bulk_loaded_matrix_preserved(self):
+        """Bulk edges have no records; the matrix COO must still survive."""
+        db = GraphDB("g", GraphConfig(node_capacity=64))
+        db.graph.bulk_load_nodes(10, label="V")
+        db.graph.bulk_load_edges(np.array([0, 1]), np.array([1, 2]), "E")
+        db2 = roundtrip(db)
+        assert db2.query(
+            "MATCH (s:V)-[:E*1..2]->(t) WHERE id(s) = 0 RETURN count(DISTINCT t)"
+        ).scalar() == 2
+
+    def test_updates_after_restore(self):
+        db = GraphDB("g")
+        db.query("CREATE (:P {v: 1})")
+        db2 = roundtrip(db)
+        db2.query("MATCH (n:P) SET n.v = 2")
+        db2.query("CREATE (:P {v: 3})")
+        assert db2.query("MATCH (n:P) RETURN sum(n.v)").scalar() == 5
+
+    def test_labels_matrix_restored(self):
+        db = GraphDB("g")
+        db.query("CREATE (:A), (:B), (:A:B)")
+        db2 = roundtrip(db)
+        assert db2.query("MATCH (n:A) RETURN count(n)").scalar() == 2
+        assert db2.query("MATCH (n:B) RETURN count(n)").scalar() == 2
+
+    def test_file_path_roundtrip(self, tmp_path):
+        db = GraphDB("g")
+        db.query("CREATE (:P {x: 1})")
+        path = tmp_path / "graph.npz"
+        db.save(str(path))
+        db2 = GraphDB.load(str(path))
+        assert db2.query("MATCH (n:P) RETURN n.x").scalar() == 1
+
+
+class TestErrors:
+    def test_unpersistable_property(self):
+        db = GraphDB("g")
+        node = db.graph.create_node(["P"])
+        db.graph.set_node_property(node.id, "blob", object())
+        with pytest.raises(GraphError, match="cannot be persisted"):
+            db.save(io.BytesIO())
+
+    def test_non_string_map_keys(self):
+        db = GraphDB("g")
+        node = db.graph.create_node(["P"])
+        db.graph.set_node_property(node.id, "m", {1: "x"})
+        with pytest.raises(GraphError, match="keys must be strings"):
+            db.save(io.BytesIO())

@@ -1,0 +1,140 @@
+"""apply / select / reduce operation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidValue
+from repro.grblas import FP64, INT64, Matrix, Vector, binary, monoid, unary
+
+from tests.helpers import matrix_and_pattern
+
+
+class TestApply:
+    def test_unary_matrix(self):
+        A = Matrix.from_dense(np.array([[1.0, -2.0], [0.0, -3.0]]))
+        B = A.apply(unary.abs)
+        assert B[0, 1] == 2.0 and B[1, 1] == 3.0
+
+    def test_unary_changes_dtype(self):
+        A = Matrix.from_coo([0], [0], [5.0], nrows=1, ncols=1, dtype=FP64)
+        B = A.apply(unary.lnot)
+        assert B.dtype.name == "BOOL"
+
+    def test_bind_scalar_right(self):
+        A = Matrix.from_coo([0, 0], [0, 1], [2.0, 3.0], nrows=1, ncols=2)
+        B = A.apply_bind(binary.times, 10.0)
+        assert B[0, 0] == 20.0 and B[0, 1] == 30.0
+
+    def test_bind_scalar_left(self):
+        A = Matrix.from_coo([0], [0], [2.0], nrows=1, ncols=1)
+        B = A.apply_bind(binary.minus, 10.0, right=False)
+        assert B[0, 0] == 8.0
+
+    def test_bind_comparison_gives_bool(self):
+        A = Matrix.from_coo([0, 0], [0, 1], [2.0, 9.0], nrows=1, ncols=2)
+        B = A.apply_bind(binary.gt, 5.0)
+        assert B[0, 0] == False and B[0, 1] == True  # noqa: E712
+
+    def test_vector_apply(self):
+        v = Vector.from_coo([0, 1], [-1.0, 4.0], size=2)
+        w = v.apply(unary.abs)
+        assert w[0] == 1.0
+
+    def test_vector_bind(self):
+        v = Vector.from_coo([0], [3.0], size=1)
+        w = v.apply_bind(binary.plus, 1.0)
+        assert w[0] == 4.0
+
+    @given(matrix_and_pattern(max_dim=5))
+    def test_apply_preserves_pattern(self, mp):
+        M, _, pattern = mp
+        out = M.apply(unary.one)
+        assert out.nvals == M.nvals
+        assert np.array_equal(out.indices, M.indices)
+
+
+class TestSelect:
+    def setup_method(self):
+        self.A = Matrix.from_dense(
+            np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]])
+        )
+
+    def test_tril(self):
+        L = self.A.select("tril")
+        d = L.to_dense()
+        assert d[0, 1] == 0 and d[1, 0] == 4.0 and d[1, 1] == 5.0
+
+    def test_tril_offset(self):
+        L = self.A.select("tril", -1)
+        assert L[1, 1] is None and L[1, 0] == 4.0
+
+    def test_triu(self):
+        U = self.A.select("triu", 1)
+        assert U[0, 0] is None and U[0, 1] == 2.0
+
+    def test_diag_offdiag(self):
+        D = self.A.select("diag")
+        O = self.A.select("offdiag")
+        assert D.nvals == 3 and O.nvals == 6
+
+    def test_value_predicates(self):
+        G = self.A.select("valuegt", 5.0)
+        assert G.nvals == 4
+        E = self.A.select("valueeq", 5.0)
+        assert E.nvals == 1 and E[1, 1] == 5.0
+
+    def test_callable_predicate(self):
+        C = self.A.select(lambda r, c, v: (r + c) % 2 == 0)
+        assert C[0, 0] == 1.0 and C[0, 1] is None
+
+    def test_unknown_predicate(self):
+        with pytest.raises(InvalidValue):
+            self.A.select("bogus")
+
+    def test_vector_select(self):
+        v = Vector.from_coo([0, 1, 2], [1.0, 5.0, 9.0], size=3)
+        w = v.select("valuege", 5.0)
+        assert w.nvals == 2 and w[0] is None
+
+
+class TestReduce:
+    def setup_method(self):
+        self.A = Matrix.from_coo(
+            [0, 0, 2], [0, 2, 1], [1.0, 2.0, 5.0], nrows=3, ncols=3
+        )
+
+    def test_reduce_rows(self):
+        r = self.A.reduce_rows(monoid.plus)
+        assert r[0] == 3.0 and r[1] is None and r[2] == 5.0
+
+    def test_reduce_cols(self):
+        c = self.A.reduce_cols(monoid.plus)
+        assert c[0] == 1.0 and c[1] == 5.0 and c[2] == 2.0
+
+    def test_reduce_rows_min(self):
+        r = self.A.reduce_rows(monoid.min)
+        assert r[0] == 1.0
+
+    def test_reduce_scalar(self):
+        s = self.A.reduce_scalar(monoid.plus)
+        assert s.value() == 8.0
+
+    def test_reduce_scalar_empty(self):
+        s = Matrix.new(FP64, 2, 2).reduce_scalar(monoid.plus)
+        assert s.is_empty
+
+    def test_vector_reduce(self):
+        v = Vector.from_coo([0, 3], [2.0, 3.0], size=4)
+        assert v.reduce(monoid.plus).value() == 5.0
+        assert v.reduce(monoid.max).value() == 3.0
+
+    @given(matrix_and_pattern(max_dim=5))
+    def test_row_reduce_matches_dense(self, mp):
+        M, values, pattern = mp
+        r = M.reduce_rows(monoid.plus)
+        expected = values.sum(axis=1)
+        got = r.to_dense()
+        nonempty = pattern.any(axis=1)
+        assert np.allclose(got[nonempty], expected[nonempty])
+        assert not np.any(got[~nonempty])

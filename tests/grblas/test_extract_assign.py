@@ -1,0 +1,123 @@
+"""Submatrix/subvector extract and assign semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IndexOutOfBounds, InvalidValue, DimensionMismatch
+from repro.grblas import FP64, Matrix, Vector, binary
+from repro.grblas.assign import assign_matrix_scalar, delete_rows_cols
+
+from tests.helpers import matrix_and_pattern
+
+
+def _dense(A):
+    return A.to_dense()
+
+
+class TestExtractSubmatrix:
+    def setup_method(self):
+        self.d = np.arange(1, 13, dtype=np.float64).reshape(3, 4)
+        self.A = Matrix.from_dense(self.d)
+
+    def test_all_all(self):
+        C = self.A.extract(None, None)
+        assert np.allclose(_dense(C), self.d)
+
+    def test_row_subset(self):
+        C = self.A.extract([2, 0], None)
+        assert np.allclose(_dense(C), self.d[[2, 0]])
+
+    def test_col_subset(self):
+        C = self.A.extract(None, [3, 1])
+        assert np.allclose(_dense(C), self.d[:, [3, 1]])
+
+    def test_both_subsets(self):
+        C = self.A.extract([1, 2], [0, 2])
+        assert np.allclose(_dense(C), self.d[np.ix_([1, 2], [0, 2])])
+
+    def test_slices(self):
+        C = self.A.extract(slice(0, 2), slice(1, 3))
+        assert np.allclose(_dense(C), self.d[0:2, 1:3])
+
+    def test_duplicate_rows_allowed(self):
+        C = self.A.extract([1, 1], None)
+        assert np.allclose(_dense(C), self.d[[1, 1]])
+
+    def test_duplicate_cols_rejected(self):
+        with pytest.raises(InvalidValue):
+            self.A.extract(None, [1, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            self.A.extract([9], None)
+
+    @given(matrix_and_pattern(max_dim=5), st.data())
+    def test_property_rows(self, mp, data):
+        M, values, pattern = mp
+        rows = data.draw(st.lists(st.integers(0, M.nrows - 1), min_size=1, max_size=6))
+        C = M.extract(rows, None)
+        assert np.allclose(C.to_dense(), values[rows])
+
+
+class TestExtractRowColVector:
+    def test_extract_row(self):
+        A = Matrix.from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        v = A.extract_row(0)
+        assert v.size == 2 and v[1] == 2.0 and v[0] is None
+
+    def test_extract_col(self):
+        A = Matrix.from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        v = A.extract_col(0)
+        assert v.size == 2 and v[1] == 3.0 and v[0] is None
+
+    def test_extract_col_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            Matrix.new(FP64, 2, 2).extract_col(5)
+
+    def test_extract_subvector(self):
+        v = Vector.from_coo([0, 2, 4], [1.0, 2.0, 3.0], size=5)
+        w = v.extract([4, 0, 1])
+        assert w.size == 3
+        assert w[0] == 3.0 and w[1] == 1.0 and w[2] is None
+
+
+class TestAssign:
+    def test_assign_submatrix_overwrites_region(self):
+        C = Matrix.from_dense(np.ones((3, 3)))
+        A = Matrix.from_dense(np.array([[5.0, 0.0], [0.0, 6.0]]))
+        out = C.assign(A, [0, 1], [0, 1])
+        # implicit entries of A delete old values inside the region
+        assert out[0, 0] == 5.0 and out[1, 1] == 6.0
+        assert out[0, 1] is None and out[1, 0] is None
+        assert out[2, 2] == 1.0  # outside region untouched
+
+    def test_assign_with_accum(self):
+        C = Matrix.from_dense(np.ones((2, 2)))
+        A = Matrix.from_dense(np.array([[5.0]]))
+        out = C.assign(A, [0], [0], accum=binary.plus)
+        assert out[0, 0] == 6.0
+        assert out[0, 1] == 1.0  # accum keeps everything else
+
+    def test_assign_shape_mismatch(self):
+        C = Matrix.new(FP64, 3, 3)
+        A = Matrix.new(FP64, 2, 2)
+        with pytest.raises(DimensionMismatch):
+            C.assign(A, [0], [0])
+
+    def test_assign_scalar_region(self):
+        C = Matrix.new(FP64, 3, 3)
+        out = assign_matrix_scalar(C, 7.0, [0, 2], [1])
+        assert out[0, 1] == 7.0 and out[2, 1] == 7.0 and out.nvals == 2
+
+    def test_assign_vector_scalar(self):
+        v = Vector.from_coo([0], [1.0], size=4)
+        w = v.assign_scalar(9.0, [1, 3])
+        assert w[0] == 1.0 and w[1] == 9.0 and w[3] == 9.0
+
+    def test_delete_rows_cols(self):
+        A = Matrix.from_dense(np.ones((3, 3)))
+        out = delete_rows_cols(A, rows=np.array([1]), cols=np.array([2]))
+        assert out.nvals == 4  # 9 - row(3) - col(3) + overlap(1) = 4
+        assert out[1, 0] is None and out[0, 2] is None and out[0, 0] == 1.0

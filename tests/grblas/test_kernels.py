@@ -1,0 +1,203 @@
+"""Unit + property tests for the low-level vectorized kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grblas import _kernels as K
+from repro.grblas import binary, monoid
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = K.concat_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert np.array_equal(out, [0, 1, 2, 10, 11])
+
+    def test_empty_segments_mixed(self):
+        out = K.concat_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert np.array_equal(out, [7, 8])
+
+    def test_all_empty(self):
+        assert len(K.concat_ranges(np.array([1, 2]), np.array([0, 0]))) == 0
+
+    def test_no_segments(self):
+        assert len(K.concat_ranges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 6)), max_size=20))
+    def test_matches_python(self, segs):
+        starts = np.array([s for s, _ in segs], dtype=np.int64)
+        lens = np.array([l for _, l in segs], dtype=np.int64)
+        expected = [x for s, l in segs for x in range(s, s + l)]
+        assert np.array_equal(K.concat_ranges(starts, lens), expected)
+
+
+class TestRunStarts:
+    def test_basic(self):
+        out = K.run_starts(np.array([3, 3, 5, 7, 7, 7]))
+        assert np.array_equal(out, [0, 2, 3])
+
+    def test_all_unique(self):
+        assert np.array_equal(K.run_starts(np.array([1, 2, 3])), [0, 1, 2])
+
+    def test_empty(self):
+        assert len(K.run_starts(np.empty(0, dtype=np.int64))) == 0
+
+
+class TestRowsToIndptr:
+    def test_basic(self):
+        out = K.rows_to_indptr(np.array([0, 0, 2]), 4)
+        assert np.array_equal(out, [0, 2, 2, 3, 3])
+
+    def test_empty(self):
+        assert np.array_equal(K.rows_to_indptr(np.empty(0, dtype=np.int64), 3), [0, 0, 0, 0])
+
+
+class TestLinearKeys:
+    @given(st.lists(st.tuples(st.integers(0, 99), st.integers(0, 99)), max_size=30))
+    def test_roundtrip(self, pairs):
+        rows = np.array([r for r, _ in pairs], dtype=np.int64)
+        cols = np.array([c for _, c in pairs], dtype=np.int64)
+        keys = K.linear_keys(rows, cols, 100)
+        r2, c2 = K.split_keys(keys, 100)
+        assert np.array_equal(r2, rows)
+        assert np.array_equal(c2, cols)
+
+
+class TestMembership:
+    def test_basic(self):
+        present, pos = K.membership(np.array([2, 5, 9]), np.array([5, 1, 9]))
+        assert np.array_equal(present, [True, False, True])
+        assert pos[0] == 1 and pos[2] == 2
+
+    def test_empty_ref(self):
+        present, _ = K.membership(np.empty(0, dtype=np.int64), np.array([1, 2]))
+        assert not present.any()
+
+    def test_empty_queries(self):
+        present, pos = K.membership(np.array([1, 2]), np.empty(0, dtype=np.int64))
+        assert len(present) == 0 and len(pos) == 0
+
+    def test_query_beyond_max(self):
+        present, _ = K.membership(np.array([1, 2]), np.array([99]))
+        assert not present[0]
+
+
+class TestSetOps:
+    @given(
+        st.lists(st.integers(0, 30), max_size=20, unique=True),
+        st.lists(st.integers(0, 30), max_size=20, unique=True),
+    )
+    def test_intersect_matches_python(self, a, b):
+        a, b = np.array(sorted(a), dtype=np.int64), np.array(sorted(b), dtype=np.int64)
+        ia, ib = K.intersect_sorted(a, b)
+        expected = sorted(set(a) & set(b))
+        assert np.array_equal(a[ia], expected)
+        assert np.array_equal(b[ib], expected)
+
+    @given(
+        st.lists(st.integers(0, 30), max_size=20, unique=True),
+        st.lists(st.integers(0, 30), max_size=20, unique=True),
+    )
+    def test_setdiff_matches_python(self, a, b):
+        a, b = np.array(sorted(a), dtype=np.int64), np.array(sorted(b), dtype=np.int64)
+        keep = K.setdiff_sorted(a, b)
+        assert np.array_equal(a[keep], sorted(set(a) - set(b)))
+
+
+class TestMergeUnion:
+    def test_disjoint(self):
+        keys, vals = K.merge_union(
+            np.array([1, 3]), np.array([10.0, 30.0]),
+            np.array([2, 4]), np.array([20.0, 40.0]),
+            binary.plus, np.float64,
+        )
+        assert np.array_equal(keys, [1, 2, 3, 4])
+        assert np.allclose(vals, [10, 20, 30, 40])
+
+    def test_overlap_applies_op(self):
+        keys, vals = K.merge_union(
+            np.array([1, 2]), np.array([10.0, 5.0]),
+            np.array([2, 3]), np.array([7.0, 9.0]),
+            binary.plus, np.float64,
+        )
+        assert np.array_equal(keys, [1, 2, 3])
+        assert np.allclose(vals, [10, 12, 9])
+
+    def test_none_op_second_wins(self):
+        keys, vals = K.merge_union(
+            np.array([2]), np.array([5.0]),
+            np.array([2]), np.array([7.0]),
+            None, np.float64,
+        )
+        assert np.allclose(vals, [7.0])
+
+    def test_empty_sides(self):
+        keys, vals = K.merge_union(
+            np.empty(0, dtype=np.int64), np.empty(0),
+            np.array([1]), np.array([2.0]),
+            binary.plus, np.float64,
+        )
+        assert np.array_equal(keys, [1]) and vals[0] == 2.0
+
+
+class TestCooToCsr:
+    def test_unsorted_input(self):
+        indptr, indices, vals = K.coo_to_csr(
+            np.array([1, 0, 1]), np.array([0, 2, 1]), np.array([9.0, 8.0, 7.0]), 2, 3, None
+        )
+        assert np.array_equal(indptr, [0, 1, 3])
+        assert np.array_equal(indices, [2, 0, 1])
+        assert np.allclose(vals, [8.0, 9.0, 7.0])
+
+    def test_duplicates_last_wins(self):
+        _, _, vals = K.coo_to_csr(
+            np.array([0, 0]), np.array([1, 1]), np.array([3.0, 5.0]), 1, 2, None
+        )
+        assert np.allclose(vals, [5.0])
+
+    def test_duplicates_monoid(self):
+        _, _, vals = K.coo_to_csr(
+            np.array([0, 0, 0]), np.array([1, 1, 1]), np.array([3.0, 5.0, 2.0]), 1, 2, monoid.plus
+        )
+        assert np.allclose(vals, [10.0])
+
+    def test_empty(self):
+        indptr, indices, vals = K.coo_to_csr(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0), 3, 3, None
+        )
+        assert np.array_equal(indptr, [0, 0, 0, 0])
+        assert len(indices) == 0 and len(vals) == 0
+
+
+class TestCsrTranspose:
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15, unique=True))
+    def test_roundtrip(self, coords):
+        rows = np.array([r for r, _ in coords], dtype=np.int64)
+        cols = np.array([c for _, c in coords], dtype=np.int64)
+        vals = np.arange(len(coords), dtype=np.float64)
+        indptr, indices, v = K.coo_to_csr(rows, cols, vals, 5, 5, None)
+        t_indptr, t_indices, t_vals = K.csr_transpose(5, 5, indptr, indices, v)
+        tt_indptr, tt_indices, tt_vals = K.csr_transpose(5, 5, t_indptr, t_indices, t_vals)
+        assert np.array_equal(tt_indptr, indptr)
+        assert np.array_equal(tt_indices, indices)
+        assert np.array_equal(tt_vals, v)
+
+
+class TestRowBlocks:
+    def test_respects_budget(self):
+        from repro.grblas._kernels import _row_blocks
+
+        blocks = _row_blocks(np.array([4, 4, 4, 4]), budget=8)
+        assert blocks == [(0, 2), (2, 4)]
+
+    def test_oversized_row_alone(self):
+        from repro.grblas._kernels import _row_blocks
+
+        blocks = _row_blocks(np.array([100, 1]), budget=8)
+        assert blocks[0] == (0, 1)
+
+    def test_empty(self):
+        from repro.grblas._kernels import _row_blocks
+
+        assert _row_blocks(np.empty(0, dtype=np.int64), 8) == []

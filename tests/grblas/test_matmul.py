@@ -1,0 +1,194 @@
+"""mxm / mxv / vxm correctness against dense references, across semirings,
+with masks, accumulators and transposes — the load-bearing tests of the
+whole reproduction (the traversal engine sits on these three calls)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatch
+from repro.grblas import FP64, Mask, Matrix, Vector, binary, semiring
+from repro.grblas.descriptor import Descriptor
+
+from tests.helpers import (
+    matrix_and_pattern,
+    matrix_dense_and_pattern,
+    ref_mxm,
+    vector_and_pattern,
+    vector_dense_and_pattern,
+)
+
+RINGS = ["plus_times", "min_plus", "max_plus", "plus_pair", "lor_land", "any_pair", "plus_first", "plus_second"]
+
+
+def _check_matrix_against(got: Matrix, exp_dense, exp_present):
+    gd, gp = matrix_dense_and_pattern(got)
+    assert np.array_equal(gp, exp_present), "pattern mismatch"
+    # compare only where present (semiring value semantics)
+    assert np.allclose(gd[exp_present], exp_dense[exp_present]), "value mismatch"
+
+
+class TestMxmAgainstDense:
+    @pytest.mark.parametrize("ring_name", RINGS)
+    @given(data=st.data())
+    def test_mxm_matches_reference(self, ring_name, data):
+        A, Ad, Ap = data.draw(matrix_and_pattern(max_dim=4))
+        # B with compatible inner dimension
+        from hypothesis.extra.numpy import arrays
+
+        n = data.draw(st.integers(1, 4))
+        Bp = data.draw(arrays(np.bool_, (A.ncols, n)))
+        Bv = data.draw(arrays(np.int64, (A.ncols, n), elements=st.integers(1, 5))).astype(np.float64) * Bp
+        rows, cols = np.nonzero(Bp)
+        B = Matrix.from_coo(rows, cols, Bv[rows, cols], nrows=A.ncols, ncols=n, dtype=FP64)
+        ring = semiring[ring_name]
+        got = A.mxm(B, ring)
+        exp_d, exp_p = ref_mxm(Ad, Ap, Bv, Bp, ring)
+        if ring_name in ("lor_land", "any_pair"):
+            # boolean output values are all truthy; only pattern is meaningful
+            _, gp = matrix_dense_and_pattern(got)
+            assert np.array_equal(gp, exp_p)
+        else:
+            _check_matrix_against(got, exp_d, exp_p)
+
+    def test_dimension_mismatch(self):
+        A = Matrix.new(FP64, 2, 3)
+        B = Matrix.new(FP64, 4, 2)
+        with pytest.raises(DimensionMismatch):
+            A.mxm(B, semiring.plus_times)
+
+    def test_empty_result(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=2)
+        B = Matrix.from_coo([1], [1], [1.0], nrows=2, ncols=2)
+        C = A.mxm(B, semiring.plus_times)
+        assert C.nvals == 0
+
+    def test_transpose_descriptors(self):
+        A = Matrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        B = Matrix.from_dense(np.array([[1.0, 0.0], [4.0, 5.0]]))
+        C = A.mxm(B, semiring.plus_times, desc=Descriptor(transpose_a=True))
+        assert np.allclose(C.to_dense(), A.to_dense().T @ B.to_dense())
+        C2 = A.mxm(B, semiring.plus_times, desc=Descriptor(transpose_b=True))
+        assert np.allclose(C2.to_dense(), A.to_dense() @ B.to_dense().T)
+
+    def test_tiled_equals_untiled(self):
+        """Force tiny tile budget; result must be identical."""
+        from repro.grblas import _kernels as K
+
+        rng = np.random.default_rng(42)
+        d = (rng.random((20, 20)) < 0.2).astype(np.float64) * rng.integers(1, 5, (20, 20))
+        A = Matrix.from_dense(d)
+        r1, c1, v1 = K.esc_spgemm(
+            A.nrows, A.indptr, A.indices, A.values,
+            A.indptr, A.indices, A.values, A.ncols,
+            semiring.plus_times, np.float64, tile_budget=1 << 60,
+        )
+        r2, c2, v2 = K.esc_spgemm(
+            A.nrows, A.indptr, A.indices, A.values,
+            A.indptr, A.indices, A.values, A.ncols,
+            semiring.plus_times, np.float64, tile_budget=4,
+        )
+        assert np.array_equal(r1, r2) and np.array_equal(c1, c2)
+        assert np.allclose(v1, v2)
+
+
+class TestMxmMaskAccum:
+    def setup_method(self):
+        self.A = Matrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        self.B = Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_value_mask(self):
+        M = Matrix.from_coo([0], [0], [True], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, mask=M)
+        assert C.nvals == 1 and C[0, 0] == 4.0
+
+    def test_complement_mask(self):
+        M = Matrix.from_coo([0], [0], [True], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, mask=Mask(M, complement=True))
+        assert C[0, 0] is None and C[0, 1] == 6.0 and C[1, 0] == 1.0
+
+    def test_structural_mask_ignores_false(self):
+        M = Matrix.from_coo([0, 1], [0, 0], [False, True], nrows=2, ncols=2)
+        C_value = self.A.mxm(self.B, semiring.plus_times, mask=M)
+        assert C_value.nvals == 1  # only (1,0): (0,0) masked out by False value
+        C_struct = self.A.mxm(self.B, semiring.plus_times, mask=Mask(M, structure=True))
+        assert C_struct.nvals == 2  # both stored positions writable
+
+    def test_accum_merges_existing(self):
+        C0 = Matrix.from_coo([0, 1], [0, 1], [100.0, 100.0], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, accum=binary.plus, out=C0)
+        assert C[0, 0] == 104.0  # 100 + 4
+        assert C[1, 1] == 102.0  # 100 + (1*2)
+        assert C[0, 1] == 6.0  # new entry passes through
+
+    def test_no_accum_overwrites(self):
+        C0 = Matrix.from_coo([0], [0], [100.0], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, out=C0)
+        assert C[0, 0] == 4.0
+
+    def test_mask_keeps_old_outside_region(self):
+        C0 = Matrix.from_coo([1, 1], [0, 1], [100.0, 50.0], nrows=2, ncols=2)
+        M = Matrix.from_coo([0], [1], [True], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, mask=M, out=C0)
+        # inside mask: new value; outside: old C kept (no replace)
+        assert C[0, 1] == 6.0 and C[1, 0] == 100.0 and C[1, 1] == 50.0
+
+    def test_replace_clears_outside(self):
+        C0 = Matrix.from_coo([1], [0], [100.0], nrows=2, ncols=2)
+        M = Matrix.from_coo([0], [1], [True], nrows=2, ncols=2)
+        C = self.A.mxm(self.B, semiring.plus_times, mask=M, out=C0, desc=Descriptor(replace=True))
+        assert C.nvals == 1 and C[0, 1] == 6.0
+
+    def test_mask_shape_mismatch(self):
+        M = Matrix.new(FP64, 3, 3)
+        with pytest.raises(DimensionMismatch):
+            self.A.mxm(self.B, semiring.plus_times, mask=M)
+
+
+class TestMxvVxm:
+    @pytest.mark.parametrize("ring_name", ["plus_times", "min_plus", "any_pair", "plus_second"])
+    @given(data=st.data())
+    def test_mxv_matches_mxm_column(self, ring_name, data):
+        A, Ad, Ap = data.draw(matrix_and_pattern(max_dim=4))
+        v, vd, vp = data.draw(vector_and_pattern(size=A.ncols))
+        ring = semiring[ring_name]
+        got = A.mxv(v, ring)
+        exp_d, exp_p = ref_mxm(Ad, Ap, vd.reshape(-1, 1), vp.reshape(-1, 1), ring)
+        gd, gp = vector_dense_and_pattern(got)
+        assert np.array_equal(gp, exp_p[:, 0])
+        if ring_name != "any_pair":
+            assert np.allclose(gd[gp], exp_d[:, 0][gp])
+
+    @pytest.mark.parametrize("ring_name", ["plus_times", "min_plus", "any_pair", "plus_first"])
+    @given(data=st.data())
+    def test_vxm_matches_mxm_row(self, ring_name, data):
+        A, Ad, Ap = data.draw(matrix_and_pattern(max_dim=4))
+        v, vd, vp = data.draw(vector_and_pattern(size=A.nrows))
+        ring = semiring[ring_name]
+        got = v.vxm(A, ring)
+        exp_d, exp_p = ref_mxm(vd.reshape(1, -1), vp.reshape(1, -1), Ad, Ap, ring)
+        gd, gp = vector_dense_and_pattern(got)
+        assert np.array_equal(gp, exp_p[0])
+        if ring_name != "any_pair":
+            assert np.allclose(gd[gp], exp_d[0][gp])
+
+    def test_vxm_bfs_step_with_complement_mask(self):
+        """The canonical BFS layer: next = frontier · A, masked by ¬visited."""
+        A = Matrix.from_edges([0, 1, 2], [1, 2, 0], nrows=3)
+        frontier = Vector.from_coo([0], None, size=3)
+        visited = frontier.dup()
+        nxt = frontier.vxm(A, semiring.any_pair, mask=Mask(visited, complement=True))
+        assert np.array_equal(nxt.indices, [1])
+
+    def test_mxv_dimension_mismatch(self):
+        A = Matrix.new(FP64, 2, 3)
+        v = Vector.new(FP64, 5)
+        with pytest.raises(DimensionMismatch):
+            A.mxv(v, semiring.plus_times)
+
+    def test_vxm_dimension_mismatch(self):
+        A = Matrix.new(FP64, 2, 3)
+        v = Vector.new(FP64, 5)
+        with pytest.raises(DimensionMismatch):
+            v.vxm(A, semiring.plus_times)

@@ -1,0 +1,196 @@
+"""Matrix container semantics: construction, access, mutation, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import DimensionMismatch, IndexOutOfBounds, InvalidValue
+from repro.grblas import BOOL, FP64, INT64, Matrix, Vector, monoid
+
+from tests.helpers import matrix_and_pattern
+
+
+class TestConstruction:
+    def test_new_empty(self):
+        A = Matrix.new(FP64, 3, 4)
+        assert A.shape == (3, 4) and A.nvals == 0
+
+    def test_from_coo_basic(self):
+        A = Matrix.from_coo([0, 1], [1, 2], [5.0, 6.0], nrows=2, ncols=3)
+        assert A.nvals == 2
+        assert A[0, 1] == 5.0 and A[1, 2] == 6.0
+
+    def test_from_coo_scalar_broadcast(self):
+        A = Matrix.from_coo([0, 1], [0, 1], 7, nrows=2, ncols=2)
+        assert A[0, 0] == 7 and A[1, 1] == 7
+
+    def test_from_coo_none_values_bool(self):
+        A = Matrix.from_coo([0], [1], None, nrows=2, ncols=2)
+        assert A.dtype is BOOL and A[0, 1] is True
+
+    def test_from_coo_dup_monoid(self):
+        A = Matrix.from_coo([0, 0], [1, 1], [2.0, 3.0], nrows=1, ncols=2, dup=monoid.plus)
+        assert A[0, 1] == 5.0
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            Matrix.from_coo([0, 1], [0], [1.0, 2.0], nrows=2, ncols=2)
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            Matrix.from_coo([5], [0], [1.0], nrows=2, ncols=2)
+
+    def test_from_edges(self):
+        A = Matrix.from_edges([0, 1], [1, 0], nrows=2)
+        assert A.dtype is BOOL and A.nvals == 2
+
+    def test_from_dense(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        A = Matrix.from_dense(d)
+        assert A.nvals == 2
+        assert np.allclose(A.to_dense(), d)
+
+    def test_identity(self):
+        I = Matrix.identity(3)
+        assert I.nvals == 3 and I[1, 1] is True and I[0, 1] is None
+
+    def test_diag_from_vector(self):
+        v = Vector.from_coo([0, 2], [1.5, 2.5], size=3, dtype=FP64)
+        D = Matrix.diag(v)
+        assert D[0, 0] == 1.5 and D[2, 2] == 2.5 and D[1, 1] is None
+
+    def test_negative_dims_raise(self):
+        with pytest.raises(InvalidValue):
+            Matrix(-1, 2)
+
+
+class TestAccess:
+    def test_getitem_absent_is_none(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=2)
+        assert A[1, 1] is None
+
+    def test_contains(self):
+        A = Matrix.from_coo([0], [1], [1.0], nrows=2, ncols=2)
+        assert (0, 1) in A and (1, 0) not in A
+
+    def test_row_view(self):
+        A = Matrix.from_coo([0, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0], nrows=2, ncols=3)
+        cols, vals = A.row(0)
+        assert np.array_equal(cols, [0, 2]) and np.allclose(vals, [1, 2])
+
+    def test_row_out_of_range(self):
+        A = Matrix.new(FP64, 2, 2)
+        with pytest.raises(IndexOutOfBounds):
+            A.row(5)
+
+    def test_row_degree(self):
+        A = Matrix.from_coo([0, 0, 1], [0, 1, 0], None, nrows=3, ncols=2)
+        assert np.array_equal(A.row_degree(), [2, 1, 0])
+
+    def test_to_coo_sorted(self):
+        A = Matrix.from_coo([1, 0, 1], [0, 1, 2], [1.0, 2.0, 3.0], nrows=2, ncols=3)
+        rows, cols, vals = A.to_coo()
+        keys = rows * 3 + cols
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestMutation:
+    def test_set_element_insert(self):
+        A = Matrix.new(FP64, 2, 2)
+        A.set_element(0, 1, 4.5)
+        assert A[0, 1] == 4.5 and A.nvals == 1
+        A.check_invariants()
+
+    def test_set_element_overwrite(self):
+        A = Matrix.from_coo([0], [1], [1.0], nrows=2, ncols=2)
+        A.set_element(0, 1, 9.0)
+        assert A[0, 1] == 9.0 and A.nvals == 1
+
+    def test_set_element_out_of_range(self):
+        A = Matrix.new(FP64, 2, 2)
+        with pytest.raises(IndexOutOfBounds):
+            A.set_element(5, 0, 1.0)
+
+    def test_remove_element(self):
+        A = Matrix.from_coo([0, 1], [1, 0], [1.0, 2.0], nrows=2, ncols=2)
+        assert A.remove_element(0, 1)
+        assert A[0, 1] is None and A.nvals == 1
+        assert not A.remove_element(0, 1)
+        A.check_invariants()
+
+    def test_clear(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=2)
+        A.clear()
+        assert A.nvals == 0 and A.shape == (2, 2)
+
+    def test_resize_grow(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=1)
+        A.resize(3, 3)
+        assert A.shape == (3, 3) and A[0, 0] == 1.0
+        A.check_invariants()
+
+    def test_resize_shrink_drops_entries(self):
+        A = Matrix.from_coo([0, 2], [0, 2], [1.0, 2.0], nrows=3, ncols=3)
+        A.resize(1, 1)
+        assert A.nvals == 1 and A[0, 0] == 1.0
+
+    def test_dup_independent(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=1)
+        B = A.dup()
+        B.set_element(0, 0, 9.0)
+        assert A[0, 0] == 1.0
+
+
+class TestEquality:
+    def test_equal(self):
+        A = Matrix.from_coo([0, 1], [1, 0], [1.0, 2.0], nrows=2, ncols=2)
+        B = Matrix.from_coo([1, 0], [0, 1], [2.0, 1.0], nrows=2, ncols=2)
+        assert A == B
+
+    def test_different_pattern(self):
+        A = Matrix.from_coo([0], [1], [1.0], nrows=2, ncols=2)
+        B = Matrix.from_coo([1], [0], [1.0], nrows=2, ncols=2)
+        assert A != B
+
+    def test_different_values(self):
+        A = Matrix.from_coo([0], [1], [1.0], nrows=2, ncols=2)
+        B = Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2)
+        assert A != B
+
+
+class TestConversions:
+    def test_cast(self):
+        A = Matrix.from_coo([0], [0], [1.7], nrows=1, ncols=1, dtype=FP64)
+        B = A.cast(INT64)
+        assert B.dtype is INT64 and B[0, 0] == 1
+
+    def test_pattern(self):
+        A = Matrix.from_coo([0], [0], [3.5], nrows=1, ncols=1, dtype=FP64)
+        P = A.pattern()
+        assert P.dtype is BOOL and P[0, 0] is True
+
+    def test_to_dense_fill(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=2)
+        d = A.to_dense(fill=-1.0)
+        assert d[0, 1] == -1.0
+
+
+class TestPropertyInvariants:
+    @given(matrix_and_pattern(max_dim=6))
+    def test_canonical_form(self, mp):
+        M, values, pattern = mp
+        M.check_invariants()
+        assert M.nvals == pattern.sum()
+        assert np.allclose(M.to_dense(), values)
+
+    @given(matrix_and_pattern(max_dim=5))
+    def test_transpose_involution(self, mp):
+        M, _, _ = mp
+        assert M.T.T == M
+
+    @given(matrix_and_pattern(max_dim=5))
+    def test_dense_roundtrip(self, mp):
+        M, values, pattern = mp
+        M2 = Matrix.from_dense(M.to_dense())
+        # from_dense drops explicit zeros; values are 1..5 so pattern survives
+        assert M2 == M

@@ -1,0 +1,98 @@
+"""Monoid identities and vectorized segmented reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grblas import monoid
+
+
+class TestIdentity:
+    def test_plus_identity(self):
+        assert monoid.plus.identity_for(np.float64) == 0
+
+    def test_min_identity_float_is_inf(self):
+        assert monoid.min.identity_for(np.float64) == np.inf
+
+    def test_min_identity_int_is_intmax(self):
+        assert monoid.min.identity_for(np.int32) == np.iinfo(np.int32).max
+
+    def test_max_identity_float(self):
+        assert monoid.max.identity_for(np.float64) == -np.inf
+
+    def test_max_identity_bool(self):
+        assert monoid.max.identity_for(np.bool_) is False
+
+    def test_lor_land(self):
+        assert monoid.lor.identity is False
+        assert monoid.land.identity is True
+
+
+class TestSegmentReduce:
+    def test_plus_segments(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        starts = np.array([0, 2, 3])
+        out = monoid.plus.segment_reduce(vals, starts)
+        assert np.allclose(out, [3.0, 3.0, 9.0])
+
+    def test_min_segments(self):
+        vals = np.array([5, 1, 7, 2])
+        out = monoid.min.segment_reduce(vals, np.array([0, 2]))
+        assert np.array_equal(out, [1, 2])
+
+    def test_lor_segments(self):
+        vals = np.array([False, False, True, False])
+        out = monoid.lor.segment_reduce(vals, np.array([0, 2]))
+        assert np.array_equal(out, [False, True])
+
+    def test_first_segments(self):
+        vals = np.array([9, 8, 7, 6])
+        out = monoid.first.segment_reduce(vals, np.array([0, 1, 3]))
+        assert np.array_equal(out, [9, 8, 6])
+
+    def test_second_segments_takes_last(self):
+        vals = np.array([9, 8, 7, 6])
+        out = monoid.second.segment_reduce(vals, np.array([0, 2]))
+        assert np.array_equal(out, [8, 6])
+
+    def test_empty_input(self):
+        out = monoid.plus.segment_reduce(np.empty(0), np.empty(0, dtype=np.int64))
+        assert len(out) == 0
+
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=30),
+        st.data(),
+    )
+    def test_matches_python_loop(self, values, data):
+        """Segmented reduce == per-segment functools.reduce, for all monoids."""
+        vals = np.array(values, dtype=np.int64)
+        # random segmentation: pick strictly-increasing start offsets incl. 0
+        cuts = data.draw(
+            st.lists(st.integers(1, len(vals) - 1), max_size=5, unique=True)
+            if len(vals) > 1
+            else st.just([])
+        )
+        starts = np.array(sorted({0, *cuts}), dtype=np.int64)
+        ends = list(starts[1:]) + [len(vals)]
+        for name in ("plus", "min", "max", "times", "first", "second"):
+            m = monoid[name]
+            got = m.segment_reduce(vals, starts)
+            for i, (s, e) in enumerate(zip(starts, ends)):
+                seg = vals[s:e]
+                expected = seg[0]
+                for x in seg[1:]:
+                    expected = m.op(np.asarray(expected), np.asarray(x))
+                assert got[i] == expected, f"monoid {name} segment {i}"
+
+
+class TestReduceAll:
+    def test_plus(self):
+        assert monoid.plus.reduce_all(np.array([1, 2, 3])) == 6
+
+    def test_empty_returns_identity(self):
+        assert monoid.plus.reduce_all(np.empty(0, dtype=np.int64)) == 0
+        assert monoid.min.reduce_all(np.empty(0, dtype=np.float64)) == np.inf
+
+    def test_lor(self):
+        assert monoid.lor.reduce_all(np.array([False, True])) == True  # noqa: E712

@@ -1,0 +1,85 @@
+"""Unit tests for the GraphBLAS domain/type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainMismatch
+from repro.grblas import BOOL, FP32, FP64, INT8, INT32, INT64, UINT8, UINT64, lookup_type
+from repro.grblas.types import from_numpy_dtype, promote, type_of_scalar
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert lookup_type("FP64") is FP64
+        assert lookup_type("bool") is BOOL
+        assert lookup_type("int64") is INT64
+
+    def test_lookup_by_python_type(self):
+        assert lookup_type(bool) is BOOL
+        assert lookup_type(int) is INT64
+        assert lookup_type(float) is FP64
+
+    def test_lookup_by_numpy_dtype(self):
+        assert lookup_type(np.dtype(np.float32)) is FP32
+        assert lookup_type(np.uint8) is UINT8
+
+    def test_lookup_identity(self):
+        assert lookup_type(INT32) is INT32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DomainMismatch):
+            lookup_type("COMPLEX128")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(DomainMismatch):
+            from_numpy_dtype(np.dtype("datetime64[s]"))
+
+
+class TestPredicates:
+    def test_bool_flags(self):
+        assert BOOL.is_bool
+        assert not BOOL.is_float
+
+    def test_integer_flags(self):
+        assert INT8.is_integer and INT8.is_signed
+        assert UINT64.is_integer and not UINT64.is_signed
+
+    def test_float_flags(self):
+        assert FP64.is_float and not FP64.is_integer
+
+
+class TestPromotion:
+    def test_same_type(self):
+        assert promote(INT64, INT64) is INT64
+
+    def test_int_float(self):
+        assert promote(INT32, FP32) is FP64
+        assert promote(INT8, FP32) is FP32
+
+    def test_bool_int(self):
+        assert promote(BOOL, INT8) is INT8
+
+
+class TestScalarInference:
+    def test_bool(self):
+        assert type_of_scalar(True) is BOOL
+
+    def test_int(self):
+        assert type_of_scalar(7) is INT64
+
+    def test_float(self):
+        assert type_of_scalar(1.5) is FP64
+
+    def test_unsupported(self):
+        with pytest.raises(DomainMismatch):
+            type_of_scalar("x")
+
+
+class TestCoerce:
+    def test_coerce_casts(self):
+        out = FP64.coerce(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
+
+    def test_coerce_no_copy_when_same(self):
+        arr = np.array([1.0, 2.0])
+        assert FP64.coerce(arr) is arr

@@ -1,0 +1,122 @@
+"""Vector container semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import DimensionMismatch, IndexOutOfBounds
+from repro.grblas import BOOL, FP64, Vector, monoid
+
+from tests.helpers import vector_and_pattern
+
+
+class TestConstruction:
+    def test_new(self):
+        v = Vector.new(FP64, 5)
+        assert v.size == 5 and v.nvals == 0
+
+    def test_from_coo(self):
+        v = Vector.from_coo([3, 1], [30.0, 10.0], size=5)
+        assert v[1] == 10.0 and v[3] == 30.0
+        assert np.array_equal(v.indices, [1, 3])
+
+    def test_from_coo_dup(self):
+        v = Vector.from_coo([1, 1], [2.0, 3.0], size=3, dup=monoid.plus)
+        assert v[1] == 5.0
+
+    def test_from_coo_none_values(self):
+        v = Vector.from_coo([0, 2], None, size=3)
+        assert v.dtype is BOOL and v[2] is True
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            Vector.from_coo([9], [1.0], size=3)
+
+    def test_from_dense(self):
+        v = Vector.from_dense(np.array([0.0, 5.0, 0.0]))
+        assert v.nvals == 1 and v[1] == 5.0
+
+    def test_full(self):
+        v = Vector.full(4, 2.5)
+        assert v.nvals == 4 and v[3] == 2.5
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            Vector.from_coo([0, 1], [1.0], size=3)
+
+
+class TestAccessMutation:
+    def test_getitem_absent(self):
+        v = Vector.from_coo([1], [1.0], size=3)
+        assert v[0] is None
+
+    def test_getitem_out_of_range(self):
+        v = Vector.new(FP64, 3)
+        with pytest.raises(IndexOutOfBounds):
+            v[7]
+
+    def test_contains(self):
+        v = Vector.from_coo([1], [1.0], size=3)
+        assert 1 in v and 0 not in v
+
+    def test_set_element(self):
+        v = Vector.new(FP64, 4)
+        v.set_element(2, 9.0)
+        v.set_element(0, 1.0)
+        assert np.array_equal(v.indices, [0, 2])
+        v.check_invariants()
+
+    def test_remove_element(self):
+        v = Vector.from_coo([0, 2], [1.0, 2.0], size=3)
+        assert v.remove_element(0)
+        assert not v.remove_element(0)
+        assert v.nvals == 1
+
+    def test_resize(self):
+        v = Vector.from_coo([0, 4], [1.0, 2.0], size=5)
+        v.resize(2)
+        assert v.size == 2 and v.nvals == 1
+
+    def test_clear(self):
+        v = Vector.from_coo([0], [1.0], size=2)
+        v.clear()
+        assert v.nvals == 0
+
+    def test_dup_independent(self):
+        v = Vector.from_coo([0], [1.0], size=2)
+        w = v.dup()
+        w.set_element(0, 5.0)
+        assert v[0] == 1.0
+
+
+class TestEqualityAndCasts:
+    def test_isequal(self):
+        a = Vector.from_coo([1], [2.0], size=3)
+        b = Vector.from_coo([1], [2.0], size=3)
+        assert a == b
+
+    def test_size_matters(self):
+        a = Vector.from_coo([1], [2.0], size=3)
+        b = Vector.from_coo([1], [2.0], size=4)
+        assert a != b
+
+    def test_cast(self):
+        v = Vector.from_coo([0], [2.9], size=1, dtype=FP64)
+        assert v.cast("INT64")[0] == 2
+
+    def test_pattern(self):
+        v = Vector.from_coo([0], [2.9], size=1, dtype=FP64)
+        assert v.pattern()[0] is True
+
+    def test_to_dense_fill(self):
+        v = Vector.from_coo([1], [3.0], size=3)
+        assert v.to_dense(fill=-1)[0] == -1
+
+
+class TestPropertyInvariants:
+    @given(vector_and_pattern(max_dim=8))
+    def test_canonical(self, vp):
+        v, values, pattern = vp
+        v.check_invariants()
+        assert v.nvals == pattern.sum()
+        assert np.allclose(v.to_dense(), values)

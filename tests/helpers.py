@@ -1,0 +1,118 @@
+"""Test helpers: hypothesis strategies for sparse containers and slow-but-
+obviously-correct dense reference implementations of the GraphBLAS ops."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.grblas import Matrix, Vector
+from repro.grblas.semiring import Semiring
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dense_pair(draw, max_dim: int = 5):
+    """(values, pattern) for one random sparse matrix; values in 1..5."""
+    nr = draw(st.integers(1, max_dim))
+    nc = draw(st.integers(1, max_dim))
+    pattern = draw(arrays(np.bool_, (nr, nc)))
+    values = draw(
+        arrays(
+            np.int64,
+            (nr, nc),
+            elements=st.integers(1, 5),
+        )
+    )
+    return values * pattern, pattern
+
+
+@st.composite
+def matrix_and_pattern(draw, max_dim: int = 5, dtype=np.float64):
+    values, pattern = draw(dense_pair(max_dim))
+    values = values.astype(dtype)
+    rows, cols = np.nonzero(pattern)
+    M = Matrix.from_coo(rows, cols, values[rows, cols], nrows=pattern.shape[0], ncols=pattern.shape[1], dtype=dtype)
+    return M, values, pattern
+
+
+@st.composite
+def vector_and_pattern(draw, size: int | None = None, max_dim: int = 5, dtype=np.float64):
+    n = size if size is not None else draw(st.integers(1, max_dim))
+    pattern = draw(arrays(np.bool_, (n,)))
+    values = draw(arrays(np.int64, (n,), elements=st.integers(1, 5))).astype(dtype) * pattern
+    idx = np.flatnonzero(pattern)
+    v = Vector.from_coo(idx, values[idx], size=n, dtype=dtype)
+    return v, values, pattern
+
+
+# ---------------------------------------------------------------------------
+# Dense references (presence-aware)
+# ---------------------------------------------------------------------------
+
+
+def ref_mxm(Ad, Ap, Bd, Bp, ring: Semiring):
+    """O(n^3) reference of C = A ring B with explicit presence tracking."""
+    m, k = Ad.shape
+    _, n = Bd.shape
+    out = np.zeros((m, n), dtype=np.float64)
+    present = np.zeros((m, n), dtype=bool)
+    for i in range(m):
+        for j in range(n):
+            acc = None
+            for kk in range(k):
+                if Ap[i, kk] and Bp[kk, j]:
+                    p = _apply_binary(ring.mult, Ad[i, kk], Bd[kk, j])
+                    acc = p if acc is None else _apply_binary(ring.add.op, acc, p)
+            if acc is not None:
+                out[i, j] = acc
+                present[i, j] = True
+    return out, present
+
+
+def ref_ewise_add(Ad, Ap, Bd, Bp, op):
+    out = np.zeros(Ad.shape, dtype=np.float64)
+    present = Ap | Bp
+    both = Ap & Bp
+    only_a = Ap & ~Bp
+    only_b = Bp & ~Ap
+    out[only_a] = Ad[only_a]
+    out[only_b] = Bd[only_b]
+    for i, j in zip(*np.nonzero(both)):
+        out[i, j] = _apply_binary(op, Ad[i, j], Bd[i, j])
+    return out, present
+
+
+def ref_ewise_mult(Ad, Ap, Bd, Bp, op):
+    out = np.zeros(Ad.shape, dtype=np.float64)
+    present = Ap & Bp
+    for i, j in zip(*np.nonzero(present)):
+        out[i, j] = _apply_binary(op, Ad[i, j], Bd[i, j])
+    return out, present
+
+
+def _apply_binary(op, x, y):
+    return float(np.asarray(op(np.asarray([x]), np.asarray([y])))[0])
+
+
+def matrix_dense_and_pattern(M: Matrix):
+    """(dense values, presence pattern) of a Matrix."""
+    rows, cols, vals = M.to_coo()
+    d = np.zeros(M.shape, dtype=np.float64)
+    p = np.zeros(M.shape, dtype=bool)
+    d[rows, cols] = vals.astype(np.float64)
+    p[rows, cols] = True
+    return d, p
+
+
+def vector_dense_and_pattern(v: Vector):
+    idx, vals = v.to_coo()
+    d = np.zeros(v.size, dtype=np.float64)
+    p = np.zeros(v.size, dtype=bool)
+    d[idx] = vals.astype(np.float64)
+    p[idx] = True
+    return d, p

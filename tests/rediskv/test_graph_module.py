@@ -1,0 +1,95 @@
+"""GraphModule unit tests: reply encoding and module-level behaviour
+(without the TCP layer)."""
+
+import pytest
+
+from repro.errors import ResponseError
+from repro.graph.config import GraphConfig
+from repro.rediskv.graph_module import GraphModule, encode_value, parse_cypher_params
+from repro.rediskv.keyspace import Keyspace
+
+
+@pytest.fixture
+def module():
+    return GraphModule(Keyspace(), GraphConfig(node_capacity=16))
+
+
+class TestEncodeValue:
+    def test_scalars_pass_through(self):
+        assert encode_value(5) == 5
+        assert encode_value("x") == "x"
+        assert encode_value(None) is None
+        assert encode_value(2.5) == 2.5
+
+    def test_list_recurses(self):
+        assert encode_value([1, [2, None]]) == [1, [2, None]]
+
+    def test_map_becomes_sorted_pairs(self):
+        assert encode_value({"b": 2, "a": 1}) == [["a", 1], ["b", 2]]
+
+    def test_node_encoding(self, module):
+        module.query("g", "CREATE (:P:Q {b: 2, a: 1})")
+        reply = module.query("g", "MATCH (n:P) RETURN n")
+        node = reply[1][0][0]
+        assert node[0] == "node"
+        assert sorted(node[2]) == ["P", "Q"]
+        assert node[3] == [["a", 1], ["b", 2]]
+
+    def test_edge_encoding(self, module):
+        module.query("g", "CREATE (:A)-[:R {w: 1}]->(:B)")
+        reply = module.query("g", "MATCH ()-[e:R]->() RETURN e")
+        edge = reply[1][0][0]
+        assert edge[0] == "relationship" and edge[2] == "R"
+        assert edge[5] == [["w", 1]]
+
+
+class TestModuleCommands:
+    def test_query_creates_graph_on_first_use(self, module):
+        module.query("g", "CREATE (:X)")
+        assert module.list_graphs() == ["g"]
+
+    def test_reply_structure(self, module):
+        reply = module.query("g", "RETURN 1 AS one")
+        header, rows, stats = reply
+        assert header == ["one"] and rows == [[1]]
+        assert any("execution time" in s for s in stats)
+
+    def test_ro_query_missing_graph(self, module):
+        with pytest.raises(ResponseError, match="does not exist"):
+            module.ro_query("nope", "MATCH (n) RETURN n")
+
+    def test_explain_lines(self, module):
+        module.query("g", "CREATE (:X)")
+        lines = module.explain("g", "MATCH (n:X) RETURN n")
+        assert any("NodeByLabelScan" in l for l in lines)
+
+    def test_profile_lines(self, module):
+        module.query("g", "CREATE (:X)")
+        lines = module.profile("g", "MATCH (n:X) RETURN n")
+        assert any("Records produced" in l for l in lines)
+
+    def test_delete(self, module):
+        module.query("g", "CREATE (:X)")
+        assert module.delete("g") == "OK"
+        assert module.list_graphs() == []
+        with pytest.raises(ResponseError):
+            module.delete("g")
+
+
+class TestParamPrefixEdgeCases:
+    def test_negative_numbers(self):
+        _, p = parse_cypher_params("CYPHER x=-5 y=-2.5 RETURN 1")
+        assert p == {"x": -5, "y": -2.5}
+
+    def test_query_starting_with_word_cypher_lookalike(self):
+        # 'CYPHERX' is not the prefix keyword
+        q, p = parse_cypher_params("CYPHERX RETURN 1")
+        assert p == {} and q.startswith("CYPHERX")
+
+    def test_nested_list(self):
+        _, p = parse_cypher_params("CYPHER xs=[1, [2, 3]] RETURN 1")
+        assert p == {"xs": [1, [2, 3]]}
+
+    def test_empty_params_section(self):
+        q, p = parse_cypher_params("CYPHER   MATCH (n) RETURN n")
+        assert p == {} and q.strip() == "MATCH (n) RETURN n"

@@ -1,0 +1,104 @@
+"""GraphDB facade, bench CLI and throughput-driver tests."""
+
+import pytest
+
+from repro import GraphDB
+from repro.bench.__main__ import main as bench_main
+from repro.bench.throughput import run_throughput
+from repro.datasets import graph500_edges
+
+
+class TestGraphDB:
+    def test_repr(self):
+        db = GraphDB("demo")
+        db.query("CREATE (:A)-[:R]->(:B)")
+        assert "demo" in repr(db) and "2 nodes" in repr(db)
+
+    def test_delete_resets(self):
+        db = GraphDB("demo")
+        db.query("CREATE (:A)")
+        db.delete()
+        assert db.query("MATCH (n) RETURN count(n)").scalar() == 0
+        assert db.name == "demo"
+
+    def test_profile_returns_pair(self):
+        db = GraphDB("demo")
+        db.query("CREATE (:A)")
+        result, report = db.profile("MATCH (n) RETURN n")
+        assert len(result.rows) == 1 and "Records produced" in report
+
+    def test_lazy_import_attribute(self):
+        import repro
+
+        assert repro.GraphDB is GraphDB
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
+
+
+class TestThroughputDriver:
+    def test_runs_and_reports_qps(self):
+        src, dst, n = graph500_edges(8, 8, seed=2)
+        results = run_throughput(src, dst, n, thread_counts=(1, 2), queries_per_run=6)
+        assert [r.threads for r in results] == [1, 2]
+        for r in results:
+            assert r.queries == 6 and r.qps > 0
+
+
+class TestBenchCLI:
+    def test_fig1_command(self, capsys):
+        code = bench_main(
+            [
+                "fig1",
+                "--scale",
+                "7",
+                "--twitter-n",
+                "256",
+                "--seed-fraction",
+                "0.01",
+                "--engines",
+                "matrix,csr-baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 1" in out and "matrix" in out
+
+    def test_khop_command_with_csv(self, capsys, tmp_path):
+        code = bench_main(
+            [
+                "khop",
+                "--scale",
+                "7",
+                "--twitter-n",
+                "256",
+                "--hops",
+                "1,2",
+                "--seed-fraction",
+                "0.01",
+                "--engines",
+                "matrix",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        csv = (tmp_path / "khop.csv").read_text()
+        assert csv.startswith("dataset,engine,k")
+
+    def test_claims_command(self, capsys):
+        code = bench_main(
+            [
+                "claims",
+                "--scale",
+                "7",
+                "--twitter-n",
+                "256",
+                "--hops",
+                "1,2",
+                "--seed-fraction",
+                "0.01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "C1" in out and "C3" in out

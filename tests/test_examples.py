@@ -1,0 +1,47 @@
+"""Smoke tests: the bundled examples must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Ann's friends" in out
+    assert "CondVarLenTraverse" in out
+    assert "people within 2 hops of Ann: 3" in out
+
+
+def test_social_recommendations():
+    out = run_example("social_recommendations.py")
+    assert "people you may know" in out
+    assert "most-followed people" in out
+
+
+def test_fraud_detection():
+    out = run_example("fraud_detection.py")
+    assert "ring 7 -> 8 -> 9 -> 7" in out
+    # the planted device-sharing cluster (accounts 20-24 on device 3)
+    assert "device 3:" in out and "20, 21, 22, 23, 24" in out
+
+
+def test_server_client():
+    out = run_example("server_client.py")
+    assert "PING -> PONG" in out
+    assert "concurrent readers finished" in out
+    assert "server stopped" in out
