@@ -1,0 +1,21 @@
+"""Operand coercion for algorithm entry points.
+
+Algorithms read their adjacency operand; they never mutate it.  Callers may
+hand in a plain :class:`repro.grblas.Matrix`, a
+:class:`repro.graph.delta_matrix.DeltaMatrixView` overlay (what
+``Graph.relation_matrix`` returns), or a raw
+:class:`repro.graph.delta_matrix.DeltaMatrix`.  The last case is resolved
+to its flush-free overlay here so no algorithm ever forces a CSR rebuild.
+"""
+
+from __future__ import annotations
+
+__all__ = ["as_read_matrix"]
+
+
+def as_read_matrix(A):
+    """Resolve ``A`` to a Matrix-like read operand without flushing."""
+    overlay = getattr(A, "overlay", None)
+    if callable(overlay):
+        return overlay()
+    return A

@@ -22,6 +22,8 @@ from repro.grblas import Mask, Matrix, Vector, semiring
 from repro.grblas.descriptor import Descriptor
 from repro.grblas.types import INT64
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["bfs_levels", "bfs_parents"]
 
 _REPLACE_COMP_STRUCT = Descriptor(replace=True, mask_complement=True, mask_structural=True)
@@ -39,6 +41,7 @@ def bfs_levels(
     Returns an INT64 vector with ``levels[source] == 0``; unreachable nodes
     stay implicit.
     """
+    A = as_read_matrix(A)
     n = A.nrows
     levels = Vector(n, INT64)
     levels.set_element(source, 0)
@@ -77,6 +80,7 @@ def bfs_parents(A: Matrix, source: int) -> Vector:
     (``parents[source] == source``).  Propagates node ids along frontier
     edges with the MIN.FIRST semiring, so ties resolve to the smallest
     parent id deterministically."""
+    A = as_read_matrix(A)
     n = A.nrows
     parents = Vector(n, INT64)
     parents.set_element(source, source)

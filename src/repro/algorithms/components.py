@@ -12,12 +12,15 @@ import numpy as np
 from repro.grblas import Matrix, Vector, binary, semiring
 from repro.grblas.types import INT64
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["connected_components"]
 
 
 def connected_components(A: Matrix) -> Vector:
     """Dense INT64 vector mapping every node to its component id (the
     smallest node id in the component)."""
+    A = as_read_matrix(A)
     n = A.nrows
     S = A.pattern().ewise_add(A.pattern().transpose(), binary.lor)
     labels = Vector(n, INT64, indices=np.arange(n, dtype=np.int64), values=np.arange(n, dtype=np.int64))

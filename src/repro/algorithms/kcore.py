@@ -10,6 +10,8 @@ import numpy as np
 from repro.errors import InvalidValue
 from repro.grblas import Matrix, Vector, binary, monoid
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["kcore", "core_numbers"]
 
 
@@ -20,6 +22,7 @@ def _symmetrize(A: Matrix) -> Matrix:
 
 def kcore(A: Matrix, k: int) -> Matrix:
     """Boolean adjacency of the k-core of ``A`` (treated as undirected)."""
+    A = as_read_matrix(A)
     if k < 0:
         raise InvalidValue("k-core requires k >= 0")
     S = _symmetrize(A)
@@ -40,6 +43,7 @@ def core_numbers(A: Matrix) -> Vector:
     Standard peeling: repeatedly remove the minimum-degree vertex class.
     Returns a dense INT64 vector (isolated vertices have core 0).
     """
+    A = as_read_matrix(A)
     S = _symmetrize(A)
     n = S.nrows
     core = np.zeros(n, dtype=np.int64)
@@ -74,6 +78,7 @@ def clustering_coefficient(A: Matrix) -> Vector:
     row sum counts each of i's triangles exactly twice (once per incident
     triangle edge).
     """
+    A = as_read_matrix(A)
     from repro.grblas import Mask, semiring
 
     S = _symmetrize(A)

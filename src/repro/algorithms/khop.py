@@ -22,6 +22,8 @@ import numpy as np
 from repro.grblas import Mask, Matrix, Vector, semiring
 from repro.grblas.descriptor import Descriptor
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["khop_counts", "khop_frontiers"]
 
 _REPLACE = Descriptor(replace=True)
@@ -31,6 +33,7 @@ def khop_frontiers(A: Matrix, seed: int, k: int) -> List[Vector]:
     """The per-level frontiers ``[F1 .. Fk]`` of a k-hop expansion from
     ``seed`` (level 0 — the seed itself — is not included).  Expansion
     stops early when a frontier empties."""
+    A = as_read_matrix(A)
     n = A.nrows
     visited = Vector.from_coo([seed], None, size=n)
     frontier = visited.dup()
@@ -55,6 +58,7 @@ def khop_counts(A: Matrix, seed: int, k: int, *, mode: str = "within") -> int:
     benchmark's metric); ``mode="exact"`` counts only those at distance
     exactly k.
     """
+    A = as_read_matrix(A)
     frontiers = khop_frontiers(A, seed, k)
     if mode == "exact":
         return frontiers[-1].nvals if len(frontiers) == k else 0

@@ -14,6 +14,8 @@ from __future__ import annotations
 from repro.errors import InvalidValue
 from repro.grblas import Mask, Matrix, binary, semiring
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["ktruss"]
 
 
@@ -24,6 +26,7 @@ def ktruss(A: Matrix, k: int, *, symmetrize: bool = True, max_iter: int = 1000) 
     dropped).  ``k >= 2``; the 2-truss is the graph itself minus isolated
     edges' constraint (support >= 0), so it returns the input pattern.
     """
+    A = as_read_matrix(A)
     if k < 2:
         raise InvalidValue("k-truss requires k >= 2")
     S = A.pattern().select("offdiag")

@@ -14,6 +14,8 @@ import numpy as np
 from repro.grblas import Matrix, Vector, monoid, semiring
 from repro.grblas.types import FP64
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["pagerank"]
 
 
@@ -29,6 +31,7 @@ def pagerank(
     Returns a dense FP64 vector summing to 1.  Converges when the L1 change
     drops below ``tol``.
     """
+    A = as_read_matrix(A)
     n = A.nrows
     if n == 0:
         return Vector(n, FP64)

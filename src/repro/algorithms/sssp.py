@@ -10,12 +10,15 @@ from repro.errors import InvalidValue
 from repro.grblas import Matrix, Vector, binary, semiring
 from repro.grblas.types import FP64
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["sssp_bellman_ford"]
 
 
 def sssp_bellman_ford(A: Matrix, source: int) -> Vector:
     """Distances from ``source`` over edge weights in ``A`` (FP64);
     unreachable nodes stay implicit."""
+    A = as_read_matrix(A)
     n = A.nrows
     dist = Vector(n, FP64)
     dist.set_element(source, 0.0)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from repro.grblas import Mask, Matrix, binary, monoid, semiring
 
+from repro.algorithms._view import as_read_matrix
+
 __all__ = ["triangle_count", "triangles_per_edge"]
 
 
@@ -26,6 +28,7 @@ def _symmetrized_pattern(A: Matrix) -> Matrix:
 def triangles_per_edge(A: Matrix, *, symmetrize: bool = True) -> Matrix:
     """Support matrix: entry (i,j) = number of triangles through edge (i,j)
     with i > j (lower-triangular edges only)."""
+    A = as_read_matrix(A)
     S = _symmetrized_pattern(A) if symmetrize else A
     L = S.select("tril", -1)
     return L.mxm(L, semiring.plus_pair, mask=Mask(L, structure=True))
@@ -33,6 +36,7 @@ def triangles_per_edge(A: Matrix, *, symmetrize: bool = True) -> Matrix:
 
 def triangle_count(A: Matrix, *, symmetrize: bool = True) -> int:
     """Total number of undirected triangles in the graph."""
+    A = as_read_matrix(A)
     C = triangles_per_edge(A, symmetrize=symmetrize)
     s = C.reduce_scalar(monoid.plus)
     return int(s.get(0))

@@ -99,6 +99,11 @@ class ConditionalTraverse(PlanOp):
         D = self._expr.evaluate(graph, F)
         rec_idx, dst_ids, _ = D.to_coo()
         width = len(self.out_layout)
+        # probed once per batch, not per emitted record: nvals on the
+        # flush-free overlay view never rewrites matrix state
+        matrix_nonempty = self._edge_slot is not None and bool(
+            graph.relation_matrix(self._types[0] if self._types else None).nvals
+        )
         for r, dst in zip(rec_idx.tolist(), dst_ids.tolist()):
             base = batch[r]
             if self._edge_slot is None:
@@ -108,9 +113,7 @@ class ConditionalTraverse(PlanOp):
             else:
                 src = src_ids[r]
                 candidates = _edge_candidates(graph, src, dst, self._types, self._direction)
-                if not candidates and graph.relation_matrix(
-                    self._types[0] if self._types else None
-                ).nvals:
+                if not candidates and matrix_nonempty:
                     # connected per the matrix but no edge records: the graph
                     # was bulk-loaded without materialized edges
                     raise GraphError(

@@ -7,9 +7,10 @@ This is RedisGraph's graph object rebuilt on :mod:`repro.grblas`:
 * every relationship type owns a Boolean adjacency
   :class:`~repro.graph.delta_matrix.DeltaMatrix`; every label owns a
   diagonal matrix; one combined adjacency covers untyped traversals,
-* matrix updates are buffered as deltas and flushed in bulk before reads —
-  the trick RedisGraph uses to make write bursts cheap while keeping
-  traversals on canonical CSR,
+* matrix updates are buffered as deltas; reads evaluate the flush-free
+  ``(base ⊕ Δ+) ⊖ Δ−`` overlay directly while writers compact in bulk at
+  ``max_pending`` — the hybrid-matrix trick RedisGraph uses to keep
+  single-edge writes O(1)-amortized without reads paying a CSR rebuild,
 * a reader-writer lock serializes writers against the query thread pool,
 * exact-match indices accelerate ``MATCH (n:L {p: v})`` scans.
 """
@@ -17,7 +18,7 @@ This is RedisGraph's graph object rebuilt on :mod:`repro.grblas`:
 from repro.graph.attributes import AttributeRegistry
 from repro.graph.config import GraphConfig
 from repro.graph.datablock import DataBlock
-from repro.graph.delta_matrix import DeltaMatrix
+from repro.graph.delta_matrix import DeltaMatrix, DeltaMatrixView
 from repro.graph.entities import Edge, Node
 from repro.graph.graph import Graph
 from repro.graph.index import ExactMatchIndex
@@ -29,6 +30,7 @@ __all__ = [
     "GraphConfig",
     "DataBlock",
     "DeltaMatrix",
+    "DeltaMatrixView",
     "Edge",
     "Node",
     "Graph",

@@ -218,8 +218,8 @@ class Graph:
         lid = self.schema.label_id(label)
         if lid is None or lid >= len(self._label_matrices):
             return np.empty(0, dtype=np.int64)
-        m = self._label_matrices[lid].synced()
-        return np.flatnonzero(np.diff(m.indptr)).astype(np.int64)
+        view = self._label_matrices[lid].overlay()
+        return np.flatnonzero(view.row_degree()).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Edge lifecycle
@@ -327,9 +327,13 @@ class Graph:
             self._label_matrices.append(self._new_matrix())
         return self._label_matrices[lid]
 
-    def relation_matrix(self, reltype: Optional[str] = None, *, transposed: bool = False) -> Matrix:
+    def relation_matrix(self, reltype: Optional[str] = None, *, transposed: bool = False):
         """The Boolean adjacency of one relationship type (or of every type
-        combined when ``reltype`` is None)."""
+        combined when ``reltype`` is None).
+
+        Returns a flush-free :class:`~repro.graph.delta_matrix.DeltaMatrixView`
+        overlay (Matrix-like), so read queries never rewrite CSR state —
+        pending deltas are merged per touched row at evaluation time."""
         if reltype is None:
             dm = self._adj
         else:
@@ -337,13 +341,14 @@ class Graph:
             if rid is None:
                 return Matrix(self._capacity, self._capacity, "BOOL")
             dm = self._rel_matrix_for(rid)
-        return dm.transposed() if transposed else dm.synced()
+        return dm.transposed() if transposed else dm.overlay()
 
-    def label_matrix(self, label: str) -> Matrix:
+    def label_matrix(self, label: str):
+        """The diagonal label matrix as a flush-free overlay view."""
         lid = self.schema.label_id(label)
         if lid is None:
             return Matrix(self._capacity, self._capacity, "BOOL")
-        return self._label_matrix_for(lid).synced()
+        return self._label_matrix_for(lid).overlay()
 
     def flush_all(self) -> None:
         """Force-sync every delta matrix (bulk load epilogue)."""
@@ -372,9 +377,7 @@ class Graph:
             base = lm.synced()
             ids = np.arange(first, first + count, dtype=np.int64)
             diag = Matrix.from_coo(ids, ids, None, nrows=self._capacity, ncols=self._capacity)
-            merged = base.ewise_add(diag, binary.lor)
-            lm.clear()
-            lm._base = merged  # bulk splice, bypassing per-entry buffering
+            lm.replace_base(base.ewise_add(diag, binary.lor))  # bulk splice
 
     def bulk_load_edges(self, src: np.ndarray, dst: np.ndarray, reltype: str) -> int:
         """Install an edge array directly into the relation matrix.
@@ -393,12 +396,8 @@ class Graph:
         rid = self.schema.intern_reltype(reltype)
         dm = self._rel_matrix_for(rid)
         new = Matrix.from_edges(src, dst, nrows=self._capacity)
-        merged = dm.synced().ewise_add(new, binary.lor)
-        dm.clear()
-        dm._base = merged
-        adj_merged = self._adj.synced().ewise_add(new, binary.lor)
-        self._adj.clear()
-        self._adj._base = adj_merged
+        dm.replace_base(dm.synced().ewise_add(new, binary.lor))
+        self._adj.replace_base(self._adj.synced().ewise_add(new, binary.lor))
         return new.nvals
 
     # ------------------------------------------------------------------

@@ -34,11 +34,15 @@ __all__ = [
     "coo_to_csr",
     "csr_transpose",
     "esc_spgemm",
+    "gather_rows_linear",
     "intersect_sorted",
     "linear_keys",
     "membership",
+    "merge_sorted_unique",
     "merge_union",
     "mxv_kernel",
+    "overlay_merge_rows",
+    "range_slices_sorted",
     "rows_to_indptr",
     "run_starts",
     "setdiff_sorted",
@@ -172,6 +176,70 @@ def merge_union(
         else:
             out[both] = op(va[pa[both]], vb[pb[both]]).astype(out_dtype, copy=False)
     return keys, out
+
+
+def merge_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of two sorted-unique int64 key arrays."""
+    if len(a) == 0:
+        return np.asarray(b, dtype=_I64)
+    if len(b) == 0:
+        return np.asarray(a, dtype=_I64)
+    merged = np.concatenate([a, b])
+    merged.sort(kind="stable")
+    return merged[np.concatenate([[True], merged[1:] != merged[:-1]])]
+
+
+# ---------------------------------------------------------------------------
+# Delta-overlay merges (the flush-free read path of repro.graph.DeltaMatrix)
+# ---------------------------------------------------------------------------
+
+def range_slices_sorted(sorted_keys: np.ndarray, rows: np.ndarray, ncols: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row (start, stop) slice bounds of ``sorted_keys`` for each row in
+    ``rows`` — i.e. the keys falling in ``[row*ncols, (row+1)*ncols)``."""
+    rows = np.asarray(rows, dtype=_I64)
+    lo = np.searchsorted(sorted_keys, rows * _I64(ncols), side="left")
+    hi = np.searchsorted(sorted_keys, (rows + 1) * _I64(ncols), side="left")
+    return lo, hi
+
+
+def gather_rows_linear(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray, ncols: int
+) -> np.ndarray:
+    """Linear keys of the CSR entries in the given rows, sorted ascending
+    (requires ``rows`` sorted unique)."""
+    rows = np.asarray(rows, dtype=_I64)
+    starts = indptr[rows]
+    lens = indptr[rows + 1] - starts
+    cols = indices[concat_ranges(starts, lens)]
+    return np.repeat(rows, lens) * _I64(ncols) + cols
+
+
+def overlay_merge_rows(
+    rows: np.ndarray,
+    ncols: int,
+    base_indptr: np.ndarray,
+    base_indices: np.ndarray,
+    add_keys: np.ndarray,
+    del_keys: np.ndarray,
+) -> np.ndarray:
+    """Merged linear keys of ``(base ⊕ Δ+) ⊖ Δ−`` restricted to a row set.
+
+    ``rows`` must be sorted unique; ``add_keys``/``del_keys`` are sorted
+    unique linear keys.  Cost is proportional to the stored entries of the
+    *requested* rows plus the deltas touching them — never the whole matrix.
+    This is the per-row-range kernel behind flush-free DeltaMatrix reads.
+    """
+    rows = np.asarray(rows, dtype=_I64)
+    base_lin = gather_rows_linear(base_indptr, base_indices, rows, ncols)
+    if len(add_keys):
+        lo, hi = range_slices_sorted(add_keys, rows, ncols)
+        add_sel = add_keys[concat_ranges(lo, hi - lo)]
+        merged = merge_sorted_unique(base_lin, add_sel)
+    else:
+        merged = base_lin
+    if len(del_keys) and len(merged):
+        merged = merged[setdiff_sorted(merged, del_keys)]
+    return merged
 
 
 # ---------------------------------------------------------------------------

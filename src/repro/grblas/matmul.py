@@ -40,6 +40,18 @@ def _output_dtype(ring: Semiring, a_dtype, b_dtype):
     return promote(a_dtype, b_dtype)
 
 
+def _gather_operand(B, needed_rows):
+    """CSR arrays of the right operand, restricted to the rows a product
+    will actually gather.  Delta-overlay views expose ``rows_csr`` and merge
+    only those rows (the flush-free traversal fast path); plain matrices
+    hand back their arrays unchanged."""
+    rows_csr = getattr(B, "rows_csr", None)
+    if rows_csr is None:
+        return B.indptr, B.indices, B.values
+    rows = np.unique(np.asarray(needed_rows, dtype=np.int64))
+    return rows_csr(rows)
+
+
 def mxm(
     A: Matrix,
     B: Matrix,
@@ -60,14 +72,15 @@ def mxm(
     out_dtype = _output_dtype(ring, A.dtype, B.dtype)
     structural = ring.is_structural
 
+    b_indptr, b_indices, b_values = _gather_operand(B, A.indices)
     rows, cols, vals = K.esc_spgemm(
         A.nrows,
         A.indptr,
         A.indices,
         None if structural else A.values,
-        B.indptr,
-        B.indices,
-        None if structural else B.values,
+        b_indptr,
+        b_indices,
+        None if structural else b_values,
         B.ncols,
         ring,
         out_dtype.np_dtype,
@@ -184,12 +197,13 @@ def vxm(
                 if desc is not None:
                     desc = desc.with_(mask_complement=False, mask_structural=False)
 
+    b_indptr, b_indices, b_values = _gather_operand(B, v.indices)
     idx, vals = K.vxm_kernel(
         v.indices,
         None if structural else v.values,
-        B.indptr,
-        B.indices,
-        None if structural else B.values,
+        b_indptr,
+        b_indices,
+        None if structural else b_values,
         ring,
         out_dtype.np_dtype,
         drop_dense=drop_dense,
