@@ -43,9 +43,19 @@ class GraphDB:
         """Run a Cypher query (read or update)."""
         return self.engine.query(text, params)
 
-    def explain(self, text: str) -> str:
-        """The query's execution plan without running it."""
-        return self.engine.explain(text)
+    def explain(self, text: str, params: Optional[Dict[str, Any]] = None) -> str:
+        """The query's execution plan without running it.  ``params`` are
+        validated against the parameters the query references."""
+        return self.engine.explain(text, params)
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Plan-cache counters: capacity, entries, hits, misses.
+
+        Compilation runs once per distinct query text; repeated queries
+        (parameterized or not) reuse the cached plan until the graph's
+        schema version moves (new label/reltype, index create/drop,
+        config change).  See README "Plan cache"."""
+        return self.engine.plan_cache.info()
 
     def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
         """Run the query and return (results, per-operation profile)."""

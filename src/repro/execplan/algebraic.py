@@ -33,8 +33,15 @@ __all__ = ["AlgebraicExpression", "build_traverse_expression", "frontier_matrix"
 
 
 class AlgebraicExpression:
-    """A lazy chain of matrix operands, resolved against a graph at
-    evaluation time (matrices may grow between plan build and execution)."""
+    """A lazy chain of matrix operands, resolved *by name* against the
+    live graph at bind time.
+
+    The expression itself is part of a compiled (and possibly cached) plan
+    and holds no matrix references — operands materialize through
+    ``ctx.operand``, which re-resolves each execution (and, for read-only
+    runs, memoizes the resolved overlay views for the duration of the run,
+    since matrices cannot change under the read lock).
+    """
 
     def __init__(self, operands: Sequence[Tuple[str, Callable[[Graph], Matrix]]]) -> None:
         # each operand: (display label, graph -> Matrix)
@@ -47,19 +54,41 @@ class AlgebraicExpression:
     def describe(self) -> str:
         return " * ".join(self.labels) if self._operands else "I"
 
-    def evaluate(self, graph: Graph, frontier: Matrix) -> Matrix:
+    def evaluate(self, ctx, frontier: Matrix) -> Matrix:
         """``frontier · A₁ · ⋯ · Aₖ`` over the structural ANY.PAIR semiring."""
         result = frontier
-        for _, resolve in self._operands:
-            result = result.mxm(resolve(graph), semiring.any_pair)
+        for entry in self._operands:
+            result = result.mxm(ctx.operand(id(entry), entry[1]), semiring.any_pair)
         return result
 
-    def single_matrix(self, graph: Graph) -> Matrix:
+    def evaluate_single(self, ctx, src: int) -> np.ndarray:
+        """Destination ids reachable from ONE source — the OLTP point-read
+        fast path (the paper's sub-millisecond 1-hop).  A single-record
+        frontier makes the general spgemm pipeline pure overhead: walking
+        the operands' overlay rows directly computes the same set in a few
+        microseconds.  Returns sorted unique column ids."""
+        frontier: Optional[np.ndarray] = None  # None = the singleton {src}
+        for entry in self._operands:
+            M = ctx.operand(id(entry), entry[1])
+            if frontier is None:
+                frontier = M.row(src)[0]
+            elif len(frontier) == 0:
+                break
+            elif len(frontier) == 1:
+                frontier = M.row(int(frontier[0]))[0]
+            else:
+                parts = [M.row(int(r))[0] for r in frontier]
+                frontier = np.unique(np.concatenate(parts))
+        if frontier is None:
+            frontier = np.asarray([src], dtype=np.int64)
+        return frontier
+
+    def single_matrix(self, ctx) -> Matrix:
         """Collapse the chain into one matrix (used by variable-length
         traversals, which iterate a single combined relation matrix)."""
-        mats = [resolve(graph) for _, resolve in self._operands]
+        mats = [ctx.operand(id(entry), entry[1]) for entry in self._operands]
         if not mats:
-            return Matrix.identity(graph.capacity)
+            return Matrix.identity(ctx.graph.capacity)
         out = mats[0]
         for m in mats[1:]:
             out = out.mxm(m, semiring.any_pair)

@@ -1,4 +1,20 @@
-"""Query engine: parse → validate → plan → optimize → execute.
+"""Query engine: compile once, execute many.
+
+The pipeline is split in two (RedisGraph's query-cache architecture):
+
+* **compile** — lex → parse → validate → plan → optimize, producing a
+  graph-independent :class:`~repro.execplan.compiled.CompiledQuery`.
+  Compilation happens at most once per distinct query text: artifacts
+  live in a thread-safe LRU :class:`~repro.execplan.plan_cache.PlanCache`
+  keyed on the canonical text and invalidated when
+  ``Graph.schema_version`` moves (new label/reltype, index created or
+  dropped, config change).
+* **bind + execute** — each run gets a fresh
+  :class:`~repro.execplan.expressions.ExecContext` holding ALL per-run
+  state (parameters, statistics, Argument seeds, PROFILE counters, and
+  the operand bindings that resolve the plan's label/reltype/index names
+  against the live graph).  Plan operations are stateless, so any number
+  of readers may execute one cached artifact concurrently.
 
 Concurrency follows the paper: the engine itself runs each query on a
 single thread; read queries take the graph's read lock (many concurrent
@@ -11,12 +27,11 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cypher.parser import parse
-from repro.cypher.semantic import validate
+from repro.errors import CypherSemanticError
+from repro.execplan.compiled import CompiledQuery, PlanSchema, compile_query
 from repro.execplan.expressions import ExecContext
-from repro.execplan.ops_base import PlanOp
-from repro.execplan.optimizer import optimize
-from repro.execplan.planner import PlannedQuery, plan_single_query
+from repro.execplan.plan_cache import PlanCache
+from repro.execplan.profiling import ProfileRun
 from repro.execplan.resultset import QueryStatistics, ResultSet
 from repro.graph.graph import Graph
 
@@ -28,41 +43,87 @@ class QueryEngine:
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
+        self.plan_cache = PlanCache(graph.config.plan_cache_size)
 
     # ------------------------------------------------------------------
-    def compile(self, text: str) -> Tuple[List[PlannedQuery], bool, bool]:
-        """Parse/validate/plan; returns (plans, writes, union_all)."""
-        ast = parse(text)
-        validate(ast)
-        plans = [plan_single_query(part, self.graph) for part in ast.parts]
-        for planned in plans:
-            planned.root = optimize(planned.root)
-        writes = any(p.writes for p in plans)
-        return plans, writes, ast.union_all
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, text: str) -> CompiledQuery:
+        """Compile ``text`` against the graph's current schema snapshot
+        (cache-oblivious; see :meth:`get_plan` for the cached path)."""
+        return compile_query(text, PlanSchema.snapshot(self.graph))
 
-    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
-        """Execute a query and return its ResultSet."""
-        plans, writes, union_all = self.compile(text)
-        stats = QueryStatistics()
-        ctx = ExecContext(self.graph, params, stats)
+    def get_plan(self, text: str) -> Tuple[CompiledQuery, bool]:
+        """The compiled plan for ``text`` plus whether it came from the
+        cache.  One compilation is shared by QUERY / RO_QUERY / EXPLAIN /
+        PROFILE and by every subsequent request with the same text."""
+        compiled = self.plan_cache.get(text, self.graph.schema_version)
+        if compiled is not None:
+            return compiled, True
+        compiled = self.compile(text)
+        self.plan_cache.put(compiled)
+        return compiled, False
+
+    def set_plan_cache_size(self, capacity: int) -> None:
+        """Resize (0 = disable) THIS engine's plan cache — the
+        GRAPH.CONFIG-style runtime knob.  Counts as a config change:
+        bumps the graph's schema version so artifacts compiled before the
+        change are not reused.  Deliberately does not write through to
+        ``graph.config`` — the GraphModule shares one GraphConfig across
+        every graph key, and module-wide settings belong to
+        ``GRAPH.CONFIG SET`` (which updates the config and then calls
+        this per engine)."""
+        if capacity < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        self.graph.bump_schema_version()
+        self.plan_cache.resize(capacity)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        compiled: CompiledQuery,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        cached: bool = False,
+        profile_run: Optional[ProfileRun] = None,
+    ) -> ResultSet:
+        """Bind a compiled artifact to the live graph and run it once."""
+        stats = QueryStatistics(cached_execution=cached)
+        ctx = ExecContext(
+            self.graph,
+            params,
+            stats,
+            profile=profile_run,
+            # read-only runs may memoize resolved matrix operands for the
+            # duration of the run: matrices cannot change under the read
+            # lock.  Writers re-resolve so later clauses see earlier writes.
+            cache_operands=not compiled.writes,
+        )
         started = time.perf_counter()
-        lock = self.graph.lock.write() if writes else self.graph.lock.read()
+        lock = self.graph.lock.write() if compiled.writes else self.graph.lock.read()
         with lock:
-            columns, rows = self._run(plans, ctx, union_all)
+            columns, rows = self._run(compiled, ctx)
         stats.execution_time_ms = (time.perf_counter() - started) * 1e3
         return ResultSet(columns, rows, stats)
 
-    def _run(self, plans: List[PlannedQuery], ctx: ExecContext, union_all: bool):
+    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """Execute a query and return its ResultSet."""
+        compiled, hit = self.get_plan(text)
+        return self.execute(compiled, params, cached=hit)
+
+    def _run(self, compiled: CompiledQuery, ctx: ExecContext):
         columns: List[str] = []
         rows: List[tuple] = []
-        for planned in plans:
+        for planned in compiled.plans:
             if planned.columns is not None:
                 columns = planned.columns
                 rows.extend(tuple(rec) for rec in planned.root.produce(ctx))
             else:
                 for _ in planned.root.produce(ctx):
                     pass  # update-only: drain for side effects
-        if len(plans) > 1 and not union_all:
+        if len(compiled.plans) > 1 and not compiled.union_all:
             from repro.execplan.ops_stream import _hashable
 
             seen = set()
@@ -76,41 +137,30 @@ class QueryEngine:
         return columns, rows
 
     # ------------------------------------------------------------------
-    def explain(self, text: str) -> str:
-        """The execution plan as an indented tree (GRAPH.EXPLAIN)."""
-        plans, _, _ = self.compile(text)
-        return "\n\n".join(p.explain() for p in plans)
+    # EXPLAIN / PROFILE
+    # ------------------------------------------------------------------
+    def explain(self, text: str, params: Optional[Dict[str, Any]] = None) -> str:
+        """The execution plan as an indented tree (GRAPH.EXPLAIN).
+
+        ``params`` are accepted (the ``CYPHER k=v`` prefix threads through
+        here) and checked against the parameters the query references, so
+        an EXPLAIN fails fast on a binding the real run would reject."""
+        compiled, _ = self.get_plan(text)
+        if params:
+            missing = sorted(compiled.param_names - set(params))
+            if missing:
+                raise CypherSemanticError(
+                    f"missing query parameter ${missing[0]}"
+                )
+        return compiled.explain()
 
     def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
         """Execute with per-operation record counts and timings
-        (GRAPH.PROFILE)."""
-        plans, writes, union_all = self.compile(text)
-        for planned in plans:
-            _instrument(planned.root)
-        stats = QueryStatistics()
-        ctx = ExecContext(self.graph, params, stats)
-        started = time.perf_counter()
-        lock = self.graph.lock.write() if writes else self.graph.lock.read()
-        with lock:
-            columns, rows = self._run(plans, ctx, union_all)
-        stats.execution_time_ms = (time.perf_counter() - started) * 1e3
-        report = "\n\n".join(p.explain(profile=True) for p in plans)
-        return ResultSet(columns, rows, stats), report
-
-
-def _instrument(op: PlanOp) -> None:
-    """Wrap every produce() in the tree with row/time counters."""
-    for child in op.children:
-        _instrument(child)
-    original = op.produce
-
-    def profiled(ctx, _original=original, _op=op):
-        start = time.perf_counter()
-        for record in _original(ctx):
-            _op.profile_rows += 1
-            _op.profile_ms += (time.perf_counter() - start) * 1e3
-            yield record
-            start = time.perf_counter()
-        _op.profile_ms += (time.perf_counter() - start) * 1e3
-
-    op.produce = profiled  # type: ignore[method-assign]
+        (GRAPH.PROFILE).  Metering lives in the run's ProfileRun, so
+        profiling a cached plan neither mutates it nor races concurrent
+        executions of the same artifact."""
+        compiled, hit = self.get_plan(text)
+        run = ProfileRun()
+        result = self.execute(compiled, params, cached=hit, profile_run=run)
+        report = compiled.explain(profile=run)
+        return result, report

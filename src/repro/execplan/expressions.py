@@ -29,14 +29,47 @@ CompiledExpr = Callable[[Record, "ExecContext"], Any]
 
 
 class ExecContext:
-    """Per-query runtime context passed to every compiled expression."""
+    """Per-execution runtime context passed to every plan operation and
+    compiled expression.
 
-    __slots__ = ("graph", "params", "stats")
+    Since plans are compiled once and cached (see
+    :mod:`repro.execplan.plan_cache`), ALL mutable per-run state lives
+    here rather than on the plan operations themselves:
 
-    def __init__(self, graph, params=None, stats=None) -> None:
+    * ``args`` — records seeded into :class:`~repro.execplan.ops_base.
+      Argument` leaves by Apply-style operators (OPTIONAL MATCH / MERGE),
+      keyed by the Argument's compile-time id,
+    * ``profile`` — the run's :class:`~repro.execplan.profiling.
+      ProfileRun` (None outside GRAPH.PROFILE),
+    * a bind-time operand cache: for read-only executions each algebraic
+      operand (relation matrix, label diagonal) is resolved against the
+      live graph once at first use and reused for the rest of the run —
+      safe under the read lock, where matrices cannot change.  Write
+      queries must re-resolve every time (``cache_operands=False``) so
+      later clauses observe their own earlier writes.
+    """
+
+    __slots__ = ("graph", "params", "stats", "args", "profile", "cache_operands", "_operands")
+
+    def __init__(self, graph, params=None, stats=None, profile=None, *, cache_operands=False) -> None:
         self.graph = graph
         self.params = params or {}
         self.stats = stats
+        self.args = {}
+        self.profile = profile
+        self.cache_operands = cache_operands
+        self._operands = {}
+
+    def operand(self, key, resolve):
+        """Bind one algebraic operand against the live graph (memoized for
+        the rest of this execution when ``cache_operands`` is set)."""
+        if not self.cache_operands:
+            return resolve(self.graph)
+        matrix = self._operands.get(key)
+        if matrix is None:
+            matrix = resolve(self.graph)
+            self._operands[key] = matrix
+        return matrix
 
 
 # ---------------------------------------------------------------------------

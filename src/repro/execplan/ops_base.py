@@ -2,18 +2,28 @@
 
 Operations form a tree evaluated Volcano-style: ``produce(ctx)`` returns a
 fresh generator of records.  ``produce`` must be re-invocable (Apply-style
-operators re-run their subtree once per outer record), which is why state
-lives in locals of the generator, never on the operator object.
+operators re-run their subtree once per outer record) **and re-entrant
+across threads**: compiled plans are cached and shared (see
+:mod:`repro.execplan.plan_cache`), so an operation object may be executed
+by many concurrent readers at once.  Subclasses therefore implement
+``_produce`` with all state in generator locals or in the per-run
+:class:`~repro.execplan.expressions.ExecContext` — never on the operation
+object.  The base ``produce`` wrapper is also where per-run PROFILE
+metering attaches (``ctx.profile``), so profiling never mutates a cached
+plan.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, List, Optional
 
 from repro.execplan.expressions import ExecContext
 from repro.execplan.record import Layout, Record
 
 __all__ = ["PlanOp", "Unit", "Argument"]
+
+_argument_ids = itertools.count()
 
 
 class PlanOp:
@@ -24,11 +34,16 @@ class PlanOp:
     def __init__(self, children: List["PlanOp"], out_layout: Layout) -> None:
         self.children = children
         self.out_layout = out_layout
-        # PROFILE counters (filled when executed through a profiling run)
-        self.profile_rows: int = 0
-        self.profile_ms: float = 0.0
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:  # pragma: no cover
+    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+        """The operation's record stream for one execution (metered when
+        the run profiles).  Final: subclasses implement ``_produce``."""
+        gen = self._produce(ctx)
+        if ctx.profile is not None:
+            return ctx.profile.wrap(self, gen)
+        return gen
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:  # pragma: no cover
         raise NotImplementedError
 
     # -- plan rendering --------------------------------------------------
@@ -36,10 +51,12 @@ class PlanOp:
         """One-line description used by EXPLAIN/PROFILE."""
         return self.name
 
-    def tree_lines(self, indent: int = 0, *, profile: bool = False) -> List[str]:
+    def tree_lines(self, indent: int = 0, *, profile=None) -> List[str]:
+        """The indented plan tree; ``profile`` is the run's ProfileRun
+        (or None for a bare EXPLAIN)."""
         line = "    " * indent + self.describe()
-        if profile:
-            line += f" | Records produced: {self.profile_rows}, Execution time: {self.profile_ms:.6f} ms"
+        if profile is not None:
+            line += profile.suffix(self)
         lines = [line]
         for child in self.children:
             lines.extend(child.tree_lines(indent + 1, profile=profile))
@@ -54,23 +71,29 @@ class Unit(PlanOp):
     def __init__(self) -> None:
         super().__init__([], Layout())
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         yield self.out_layout.new_record()
 
 
 class Argument(PlanOp):
     """Leaf that replays a seeded record — the entry point of Apply-style
-    subplans (OPTIONAL MATCH / MERGE match arms), as in RedisGraph."""
+    subplans (OPTIONAL MATCH / MERGE match arms), as in RedisGraph.
+
+    The seed lives in ``ctx.args`` keyed by this Argument's compile-time
+    id, NOT on the operation: concurrent executions of one cached plan
+    each seed their own context.
+    """
 
     name = "Argument"
 
     def __init__(self, layout: Layout) -> None:
         super().__init__([], layout)
-        self._record: Optional[Record] = None
+        self._arg_id = next(_argument_ids)
 
-    def seed(self, record: Record) -> None:
-        self._record = record
+    def seed(self, ctx: ExecContext, record: Record) -> None:
+        ctx.args[self._arg_id] = record
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
-        assert self._record is not None, "Argument not seeded"
-        yield list(self._record)
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
+        record: Optional[Record] = ctx.args.get(self._arg_id)
+        assert record is not None, "Argument not seeded"
+        yield list(record)

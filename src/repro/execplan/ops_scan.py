@@ -36,7 +36,7 @@ class NodeByIdSeek(PlanOp):
         out[self._var_slot] = Node(ctx.graph, node_id)
         yield out
 
-    def produce(self, ctx: ExecContext) -> "Iterator[Record]":
+    def _produce(self, ctx: ExecContext) -> "Iterator[Record]":
         if self.children:
             for record in self.children[0].produce(ctx):
                 yield from self._emit(ctx, record)
@@ -59,7 +59,7 @@ class AllNodeScan(PlanOp):
     def describe(self) -> str:
         return f"AllNodeScan | ({self._var})"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         node_ids = ctx.graph.all_node_ids()
         if self.children:
             for record in self.children[0].produce(ctx):
@@ -89,7 +89,7 @@ class NodeByLabelScan(PlanOp):
     def describe(self) -> str:
         return f"NodeByLabelScan | ({self._var}:{self._label})"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         node_ids = ctx.graph.nodes_with_label(self._label)
         if self.children:
             for record in self.children[0].produce(ctx):
@@ -131,11 +131,19 @@ class NodeByIndexScan(PlanOp):
 
     def _ids(self, ctx: ExecContext, record: Record):
         index = ctx.graph.get_index(self._label, self._attribute)
-        assert index is not None, "planner selected an index scan without an index"
         value = self._value(record, ctx)
+        if index is None:
+            # the index vanished between plan lookup and execution (the
+            # schema-version bump invalidates the cached plan for the NEXT
+            # request); degrade to a filtered label scan rather than fail
+            return [
+                int(nid)
+                for nid in ctx.graph.nodes_with_label(self._label)
+                if ctx.graph.node_property(int(nid), self._attribute) == value
+            ]
         return sorted(index.lookup(value))
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         if self.children:
             for record in self.children[0].produce(ctx):
                 for nid in self._ids(ctx, record):

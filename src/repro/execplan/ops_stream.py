@@ -53,7 +53,7 @@ class Filter(PlanOp):
     def describe(self) -> str:
         return f"Filter | {self._label}" if self._label else "Filter"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         pred = self._predicate
         for record in self.children[0].produce(ctx):
             if pred(record, ctx) is True:
@@ -72,7 +72,7 @@ class Project(PlanOp):
     def describe(self) -> str:
         return f"Project | {', '.join(n for n, _ in self._items)}"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         fns = [fn for _, fn in self._items]
         for record in self.children[0].produce(ctx):
             yield [fn(record, ctx) for fn in fns]
@@ -126,7 +126,7 @@ class Aggregate(PlanOp):
             f"aggs=[{', '.join(n for n, _ in self._aggs)}]"
         )
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         groups: dict = {}
         group_fns = [fn for _, fn in self._group]
         specs = [spec for _, spec in self._aggs]
@@ -211,7 +211,7 @@ class Sort(PlanOp):
     def describe(self) -> str:
         return f"Sort | top={self.top}" if self.top >= 0 else "Sort"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         directions = {asc for _, asc in self._keys}
         if self.top >= 0 and len(directions) == 1:
             import heapq
@@ -238,7 +238,7 @@ class Distinct(PlanOp):
     def __init__(self, child: PlanOp) -> None:
         super().__init__([child], child.out_layout)
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         seen = set()
         for record in self.children[0].produce(ctx):
             key = tuple(_hashable(v) for v in record)
@@ -254,7 +254,7 @@ class Skip(PlanOp):
         super().__init__([child], child.out_layout)
         self._count = count
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         n = int(self._count([], ctx))
         for i, record in enumerate(self.children[0].produce(ctx)):
             if i >= n:
@@ -268,7 +268,7 @@ class Limit(PlanOp):
         super().__init__([child], child.out_layout)
         self._count = count
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         n = int(self._count([], ctx))
         if n <= 0:
             return
@@ -292,7 +292,7 @@ class Unwind(PlanOp):
     def describe(self) -> str:
         return f"Unwind | {self._alias}"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         width = len(self.out_layout)
         for record in self.children[0].produce(ctx):
             value = self._expr(record, ctx)
@@ -316,7 +316,7 @@ class CartesianProduct(PlanOp):
         super().__init__([left, right], merged)
         self._right_slots = [merged.slot(n) for n in right.out_layout.names]
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         right_rows = list(self.children[1].produce(ctx))
         width = len(self.out_layout)
         for left_rec in self.children[0].produce(ctx):
@@ -337,10 +337,10 @@ class ApplyOptional(PlanOp):
         super().__init__([left, right], right.out_layout)
         self._argument = argument
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         width = len(self.out_layout)
         for record in self.children[0].produce(ctx):
-            self._argument.seed(record + [None] * (len(self._argument.out_layout) - len(record)))
+            self._argument.seed(ctx, record + [None] * (len(self._argument.out_layout) - len(record)))
             matched = False
             for out in self.children[1].produce(ctx):
                 matched = True
@@ -358,5 +358,5 @@ class Results(PlanOp):
     def __init__(self, child: PlanOp) -> None:
         super().__init__([child], child.out_layout)
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         yield from self.children[0].produce(ctx)

@@ -81,7 +81,7 @@ class ConditionalTraverse(PlanOp):
             f"expr=[{self._expr.describe()}]"
         )
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         batch_size = ctx.graph.config.traverse_batch_size
         batch: List[Record] = []
         for record in self.children[0].produce(ctx):
@@ -95,9 +95,14 @@ class ConditionalTraverse(PlanOp):
     def _expand(self, ctx: ExecContext, batch: List[Record]) -> Iterator[Record]:
         graph = ctx.graph
         src_ids = [rec[self._src_slot].id for rec in batch]
-        F = frontier_matrix(src_ids, graph.capacity)
-        D = self._expr.evaluate(graph, F)
-        rec_idx, dst_ids, _ = D.to_coo()
+        if len(batch) == 1:
+            # point-read fast path: one source row, no frontier matrix
+            dst_ids = self._expr.evaluate_single(ctx, src_ids[0])
+            rec_idx = np.zeros(len(dst_ids), dtype=np.int64)
+        else:
+            F = frontier_matrix(src_ids, graph.capacity)
+            D = self._expr.evaluate(ctx, F)
+            rec_idx, dst_ids, _ = D.to_coo()
         width = len(self.out_layout)
         # probed once per batch, not per emitted record: nvals on the
         # flush-free overlay view never rewrites matrix state
@@ -158,7 +163,7 @@ class ExpandInto(PlanOp):
     def describe(self) -> str:
         return f"ExpandInto | ({self._src_var})->({self._dst_var}) expr=[{self._expr.describe()}]"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         batch_size = ctx.graph.config.traverse_batch_size
         batch: List[Record] = []
         for record in self.children[0].produce(ctx):
@@ -173,11 +178,16 @@ class ExpandInto(PlanOp):
         graph = ctx.graph
         src_ids = [rec[self._src_slot].id for rec in batch]
         dst_ids = [rec[self._dst_slot].id for rec in batch]
-        F = frontier_matrix(src_ids, graph.capacity)
-        D = self._expr.evaluate(graph, F)
+        if len(batch) == 1:
+            reach = self._expr.evaluate_single(ctx, src_ids[0])
+            hit = [bool(np.any(reach == dst_ids[0]))]
+        else:
+            F = frontier_matrix(src_ids, graph.capacity)
+            D = self._expr.evaluate(ctx, F)
+            hit = [D[r, dst_ids[r]] is not None for r in range(len(batch))]
         width = len(self.out_layout)
         for r, record in enumerate(batch):
-            if D[r, dst_ids[r]] is None:
+            if not hit[r]:
                 continue
             if self._edge_slot is None:
                 yield list(record) if width == len(record) else record + [None] * (width - len(record))
@@ -229,9 +239,9 @@ class CondVarLenTraverse(PlanOp):
             f"({self._dst_var}) expr=[{self._expr.describe()}]"
         )
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         graph = ctx.graph
-        A = self._expr.single_matrix(graph)
+        A = self._expr.single_matrix(ctx)
         width = len(self.out_layout)
         for record in self.children[0].produce(ctx):
             src = record[self._src_slot].id

@@ -110,7 +110,7 @@ class Create(PlanOp):
         out_layout = child.out_layout.extend(*self._writer.new_names())
         super().__init__([child], out_layout)
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         in_layout = self.children[0].out_layout
         width = len(self.out_layout)
         for record in self.children[0].produce(ctx):
@@ -136,11 +136,11 @@ class Merge(PlanOp):
         super().__init__([child, match_arm], match_arm.out_layout)
         self._argument = argument
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         in_layout = self.children[0].out_layout
         width = len(self.out_layout)
         for record in self.children[0].produce(ctx):
-            self._argument.seed(record + [None] * (len(self._argument.out_layout) - len(record)))
+            self._argument.seed(ctx, record + [None] * (len(self._argument.out_layout) - len(record)))
             matched = False
             for out in self.children[1].produce(ctx):
                 matched = True
@@ -162,7 +162,7 @@ class Delete(PlanOp):
     def describe(self) -> str:
         return "Delete | DETACH" if self._detach else "Delete"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         graph = ctx.graph
         stats = ctx.stats
         for record in self.children[0].produce(ctx):
@@ -200,7 +200,7 @@ class SetOp(PlanOp):
         super().__init__([child], child.out_layout)
         self._items = list(items)
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         graph = ctx.graph
         stats = ctx.stats
         layout = self.out_layout
@@ -242,7 +242,7 @@ class RemoveOp(PlanOp):
         super().__init__([child], child.out_layout)
         self._items = list(items)
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         graph = ctx.graph
         stats = ctx.stats
         layout = self.out_layout
@@ -273,7 +273,7 @@ class CreateIndexOp(PlanOp):
     def describe(self) -> str:
         return f"CreateIndex | :{self._label}({self._attribute})"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         ctx.graph.create_index(self._label, self._attribute)
         if ctx.stats:
             ctx.stats.indices_created += 1
@@ -291,7 +291,7 @@ class DropIndexOp(PlanOp):
     def describe(self) -> str:
         return f"DropIndex | :{self._label}({self._attribute})"
 
-    def produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         if ctx.graph.drop_index(self._label, self._attribute) and ctx.stats:
             ctx.stats.indices_deleted += 1
         return

@@ -8,11 +8,15 @@ ExpandInto for closed patterns).  This pass adds stream-level rewrites:
   it keeps a bounded heap instead of materializing + sorting everything,
 * **filter fusion**: adjacent Filters merge into one (fewer generator
   hops per record).
+
+Rewrites run exactly once, at compile time, before the plan is frozen
+into a cached :class:`~repro.execplan.compiled.CompiledQuery` — they may
+restructure the tree and set compile-time annotations (``Sort.top``), but
+must never install run-scoped state: the optimized tree is executed
+concurrently by every request that hits the cache.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from repro.execplan.ops_base import PlanOp
 from repro.execplan.ops_stream import Filter, Limit, Sort
@@ -25,16 +29,22 @@ def optimize(root: PlanOp) -> PlanOp:
     return root
 
 
+def _literal_count(limit: Limit) -> int:
+    """The LIMIT's count when it is a literal (no record/params needed);
+    -1 when it is dynamic and only knowable per execution."""
+    try:
+        return int(limit._count([], None))
+    except Exception:
+        return -1
+
+
 def _rewrite(op: PlanOp) -> PlanOp:
     op.children = [_rewrite(c) for c in op.children]
 
     # Limit(Sort(x)) -> Sort with top-k bound (keep the Limit: Skip needs it)
     if isinstance(op, Limit) and op.children and isinstance(op.children[0], Sort):
         sort = op.children[0]
-        try:
-            n = int(op._count([], None))  # literal limits only
-        except Exception:
-            n = -1
+        n = _literal_count(op)
         if n >= 0:
             sort.top = n
 

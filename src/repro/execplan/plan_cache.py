@@ -1,0 +1,105 @@
+"""A thread-safe, schema-versioned LRU cache of compiled query plans.
+
+RedisGraph caches execution plans per query string for the same reason:
+on small working sets the fixed per-request cost (lex/parse/validate/
+plan) dominates the algebra, so hot parameterized queries must skip
+straight to execution.
+
+Keying and invalidation:
+
+* the key is the canonical query text (whitespace-trimmed, with any
+  ``CYPHER k=v`` parameter prefix already stripped by the caller) —
+  parameterized queries that differ only in ``$param`` *values* share one
+  entry,
+* each entry remembers the ``Graph.schema_version`` it was compiled at;
+  a lookup that finds a stale entry drops it and reports a miss, so
+  label/reltype/index/config changes invalidate lazily without a sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.execplan.compiled import CompiledQuery
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledQuery` artifacts.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    ``put`` is a no-op) — the ``plan_cache_size`` config knob's off switch.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, CompiledQuery]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def canonical(text: str) -> str:
+        return text.strip()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, text: str, schema_version: int) -> Optional[CompiledQuery]:
+        """The cached plan for ``text`` if present *and* compiled at
+        ``schema_version``; stale entries are evicted on sight."""
+        key = self.canonical(text)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.schema_version != schema_version:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, compiled: CompiledQuery) -> None:
+        if self._capacity <= 0:
+            return
+        key = self.canonical(compiled.text)
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def resize(self, capacity: int) -> None:
+        with self._lock:
+            self._capacity = capacity
+            if capacity <= 0:
+                self._entries.clear()
+            else:
+                while len(self._entries) > capacity:
+                    self._entries.popitem(last=False)
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -20,7 +20,7 @@ Mirrors RedisGraph's ExecutionPlan construction:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import CypherSemanticError
 from repro.cypher import ast_nodes as A
@@ -56,7 +56,9 @@ from repro.execplan.ops_update import (
     SetOp,
 )
 from repro.graph.entities import Node
-from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.execplan.compiled
+    from repro.execplan.compiled import PlanSchema
 
 __all__ = ["plan_single_query", "PlannedQuery"]
 
@@ -70,13 +72,14 @@ class PlannedQuery:
         self.columns = columns
         self.writes = writes
 
-    def explain(self, *, profile: bool = False) -> str:
+    def explain(self, *, profile=None) -> str:
+        """The plan tree; ``profile`` is a ProfileRun to decorate with."""
         return "\n".join(self.root.tree_lines(profile=profile))
 
 
 class _Planner:
-    def __init__(self, graph: Graph) -> None:
-        self.graph = graph
+    def __init__(self, schema: "PlanSchema") -> None:
+        self.schema = schema
         self.root: Optional[PlanOp] = None
         self.visible: List[str] = []  # user-visible variable names, in order
         self._anon = itertools.count()
@@ -158,7 +161,7 @@ class _Planner:
         else:
             left = self.root
         argument = Argument(left.out_layout)
-        sub = _Planner(self.graph)
+        sub = _Planner(self.schema)
         sub.root = argument
         sub.visible = list(self.visible)
         for path in clause.patterns:
@@ -242,7 +245,7 @@ class _Planner:
                 score = 1
                 if node.properties:
                     for key, _ in node.properties:
-                        if self.graph.get_index(node.labels[0], key) is not None:
+                        if self.schema.has_index(node.labels[0], key):
                             score = 2
                             break
             if score > best_score:
@@ -303,7 +306,7 @@ class _Planner:
     def _plan_merge(self, clause: A.MergeClause) -> None:
         child = self.root if self.root is not None else Unit()
         argument = Argument(child.out_layout)
-        sub = _Planner(self.graph)
+        sub = _Planner(self.schema)
         sub.root = argument
         sub.visible = list(self.visible)
         sub._plan_path(clause.pattern)
@@ -521,7 +524,7 @@ class _PathChain:
 
     def scan_anchor(self, node: A.NodePattern, var: str) -> None:
         planner = self.planner
-        graph = planner.graph
+        schema = planner.schema
         child = self.root  # None for standalone paths; stream for correlated
         base_layout = child.out_layout if child is not None else None
         scan: PlanOp
@@ -537,7 +540,7 @@ class _PathChain:
         if node.labels:
             index_key = None
             for key, value_expr in node.properties:
-                if graph.get_index(node.labels[0], key) is not None:
+                if schema.has_index(node.labels[0], key):
                     index_key = (key, value_expr)
                     break
             if index_key is not None:
@@ -701,8 +704,8 @@ def _replace_order_by(clause, order_by):
     return dataclasses.replace(clause, order_by=order_by)
 
 
-def plan_single_query(part: A.SingleQuery, graph: Graph) -> PlannedQuery:
-    planner = _Planner(graph)
+def plan_single_query(part: A.SingleQuery, schema: "PlanSchema") -> PlannedQuery:
+    planner = _Planner(schema)
     for clause in part.clauses:
         planner.add_clause(clause)
     root = planner.root if planner.root is not None else Unit()

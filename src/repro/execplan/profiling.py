@@ -1,0 +1,60 @@
+"""Per-execution profiling (GRAPH.PROFILE).
+
+A :class:`ProfileRun` holds the record/time counters of ONE execution,
+keyed by plan-operation identity.  Attaching it to the run's
+:class:`~repro.execplan.expressions.ExecContext` (instead of mutating the
+operations, as the engine once did) keeps cached plans stateless: a
+PROFILE and any number of plain executions of the same cached artifact
+can run concurrently without touching each other's numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator
+
+__all__ = ["ProfileRun"]
+
+
+class _OpCounters:
+    __slots__ = ("rows", "ms")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.ms = 0.0
+
+
+class ProfileRun:
+    """Row/time counters for every operation of one plan execution."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, _OpCounters] = {}
+
+    def _counters_for(self, op) -> _OpCounters:
+        counters = self._counters.get(id(op))
+        if counters is None:
+            counters = _OpCounters()
+            self._counters[id(op)] = counters
+        return counters
+
+    def wrap(self, op, gen: Iterator) -> Iterator:
+        """Meter a produce() generator.  Apply-style operators re-invoke
+        subtrees once per outer record; counters accumulate across those
+        re-invocations, like RedisGraph's per-op totals."""
+        counters = self._counters_for(op)
+
+        def metered():
+            start = time.perf_counter()
+            for record in gen:
+                counters.rows += 1
+                counters.ms += (time.perf_counter() - start) * 1e3
+                yield record
+                start = time.perf_counter()
+            counters.ms += (time.perf_counter() - start) * 1e3
+
+        return metered()
+
+    def suffix(self, op) -> str:
+        """The EXPLAIN-line decoration for one operation."""
+        counters = self._counters.get(id(op)) or _OpCounters()
+        return f" | Records produced: {counters.rows}, Execution time: {counters.ms:.6f} ms"

@@ -19,6 +19,7 @@ class QueryStatistics:
     indices_created: int = 0
     indices_deleted: int = 0
     execution_time_ms: float = 0.0
+    cached_execution: bool = False
 
     def summary(self) -> List[str]:
         """Human-readable non-zero counters, RedisGraph reply style."""
@@ -36,6 +37,8 @@ class QueryStatistics:
             value = getattr(self, attr)
             if value:
                 parts.append(f"{label}: {value}")
+        # always reported, like RedisGraph: 1 = the plan came from the cache
+        parts.append(f"Cached execution: {1 if self.cached_execution else 0}")
         parts.append(f"Query internal execution time: {self.execution_time_ms:.6f} milliseconds")
         return parts
 

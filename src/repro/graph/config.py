@@ -29,12 +29,20 @@ class GraphConfig:
     traverse_batch_size:
         Number of source rows batched into one algebraic traversal by the
         ConditionalTraverse plan operation.
+    plan_cache_size:
+        Capacity of the per-graph LRU plan cache (distinct query texts
+        whose compiled plans are kept), the analogue of RedisGraph's
+        ``GRAPH.CONFIG SET QUERY_CACHE_SIZE``.  ``0`` disables plan
+        caching entirely; changing it at runtime (``GRAPH.CONFIG SET
+        PLAN_CACHE_SIZE``) bumps the graph's schema version so stale
+        artifacts are dropped.
     """
 
     thread_count: int = field(default_factory=_default_thread_count)
     node_capacity: int = 256
     delta_max_pending: int = 10_000
     traverse_batch_size: int = 64
+    plan_cache_size: int = 256
 
     def validate(self) -> "GraphConfig":
         if self.thread_count < 1:
@@ -45,4 +53,6 @@ class GraphConfig:
             raise ValueError("delta_max_pending must be >= 1")
         if self.traverse_batch_size < 1:
             raise ValueError("traverse_batch_size must be >= 1")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0 (0 disables caching)")
         return self

@@ -72,6 +72,23 @@ class Graph:
         self._node_out: Dict[int, Set[int]] = {}
         self._node_in: Dict[int, Set[int]] = {}
         self._indices: Dict[Tuple[int, int], ExactMatchIndex] = {}
+        self._schema_epoch = 0  # index/config changes (labels/reltypes count via Schema.version)
+
+    # ------------------------------------------------------------------
+    # Schema versioning (plan-cache invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def schema_version(self) -> int:
+        """Monotonic version of everything a compiled plan may depend on:
+        the set of labels and relationship types, which indexes exist, and
+        planner-relevant configuration.  The plan cache reuses a compiled
+        query only while this value is unchanged; data writes (nodes,
+        edges, properties) do NOT bump it."""
+        return self.schema.version + self._schema_epoch
+
+    def bump_schema_version(self) -> None:
+        """Record an index/config change (invalidates cached plans)."""
+        self._schema_epoch += 1
 
     # ------------------------------------------------------------------
     # Capacity / matrices
@@ -415,6 +432,7 @@ class Graph:
             if aid in props:
                 index.insert(props[aid], int(nid))
         self._indices[key] = index
+        self.bump_schema_version()
         return index
 
     def drop_index(self, label: str, attribute: str) -> bool:
@@ -422,7 +440,20 @@ class Graph:
         aid = self.attrs.lookup(attribute)
         if lid is None or aid is None:
             return False
-        return self._indices.pop((lid, aid), None) is not None
+        removed = self._indices.pop((lid, aid), None) is not None
+        if removed:
+            self.bump_schema_version()
+        return removed
+
+    def index_specs(self) -> List[Tuple[str, str]]:
+        """Every existing index as (label name, attribute name) — the
+        planner's :class:`~repro.execplan.compiled.PlanSchema` raw input.
+        Called without the graph lock; the list() copy keeps a concurrent
+        CREATE INDEX from failing this iteration mid-flight."""
+        return [
+            (self.schema.label_name(lid), self.attrs.name_of(aid))
+            for lid, aid in list(self._indices)
+        ]
 
     def get_index(self, label: str, attribute: str) -> Optional[ExactMatchIndex]:
         lid = self.schema.label_id(label)

@@ -15,6 +15,14 @@ class Schema:
         self._label_names: List[str] = []
         self._reltype_ids: Dict[str, int] = {}
         self._reltype_names: List[str] = []
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever a new label or relationship
+        type is interned — one input of ``Graph.schema_version``, which
+        gates plan-cache reuse."""
+        return self._version
 
     # -- labels ---------------------------------------------------------
     def intern_label(self, name: str) -> int:
@@ -23,6 +31,7 @@ class Schema:
             lid = len(self._label_names)
             self._label_ids[name] = lid
             self._label_names.append(name)
+            self._version += 1
         return lid
 
     def label_id(self, name: str) -> Optional[int]:
@@ -45,6 +54,7 @@ class Schema:
             rid = len(self._reltype_names)
             self._reltype_ids[name] = rid
             self._reltype_names.append(name)
+            self._version += 1
         return rid
 
     def reltype_id(self, name: str) -> Optional[int]:

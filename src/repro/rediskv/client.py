@@ -122,6 +122,14 @@ class RedisClient:
     def graph_list(self) -> List[str]:
         return list(self.execute("GRAPH.LIST"))
 
+    def graph_config_get(self, name: str):
+        """``GRAPH.CONFIG GET <name>`` (``"*"`` for every readable knob)."""
+        return self.execute("GRAPH.CONFIG", "GET", name)
+
+    def graph_config_set(self, name: str, value) -> str:
+        """``GRAPH.CONFIG SET <name> <value>`` (e.g. PLAN_CACHE_SIZE)."""
+        return str(self.execute("GRAPH.CONFIG", "SET", name, str(value)))
+
 
 def _with_params(query: str, params: Optional[Dict[str, Any]]) -> str:
     if not params:

@@ -161,20 +161,53 @@ class GraphModule:
     def ro_query(self, key: str, query_text: str) -> list:
         text, params = parse_cypher_params(query_text)
         db = self._graph(key, create=False)
-        plans, writes, _ = db.engine.compile(text)
-        if writes:
+        # one compile serves both the write-check and the execution (and
+        # lands in the same plan cache GRAPH.QUERY / EXPLAIN / PROFILE use)
+        compiled, cached = db.engine.get_plan(text)
+        if compiled.writes:
             raise ResponseError("ERR graph.RO_QUERY is to be executed only on read-only queries")
-        result = db.query(text, params)
+        result = db.engine.execute(compiled, params, cached=cached)
         return self._result_reply(result)
 
     def explain(self, key: str, query_text: str) -> List[str]:
         text, params = parse_cypher_params(query_text)
-        return self._graph(key).explain(text).splitlines()
+        return self._graph(key).explain(text, params).splitlines()
 
     def profile(self, key: str, query_text: str) -> List[str]:
         text, params = parse_cypher_params(query_text)
         _, report = self._graph(key).profile(text, params)
         return report.splitlines()
+
+    # ------------------------------------------------------------------
+    # GRAPH.CONFIG (runtime knobs, RedisGraph style)
+    # ------------------------------------------------------------------
+    _CONFIG_READABLE = ("PLAN_CACHE_SIZE", "THREAD_COUNT", "TRAVERSE_BATCH_SIZE", "DELTA_MAX_PENDING")
+
+    def config_get(self, name: str) -> list:
+        upper = name.upper()
+        if upper == "*":
+            return [self.config_get(n) for n in self._CONFIG_READABLE]
+        if upper not in self._CONFIG_READABLE:
+            raise ResponseError(f"ERR Unknown configuration parameter {name!r}")
+        return [upper, getattr(self.config, upper.lower())]
+
+    def config_set(self, name: str, value: str) -> str:
+        if name.upper() != "PLAN_CACHE_SIZE":
+            raise ResponseError(f"ERR configuration parameter {name!r} is not settable at runtime")
+        try:
+            capacity = int(value)
+        except ValueError:
+            raise ResponseError(f"ERR invalid value {value!r} for PLAN_CACHE_SIZE") from None
+        if capacity < 0:
+            raise ResponseError("ERR PLAN_CACHE_SIZE must be >= 0")
+        self.config.plan_cache_size = capacity
+        # apply to every live graph: resize its cache and bump its schema
+        # version so pre-change artifacts are not reused
+        for key in self.keyspace.graph_keys():
+            db = self.keyspace.get_graph(key)
+            if db is not None:
+                db.engine.set_plan_cache_size(capacity)
+        return "OK"
 
     def delete(self, key: str) -> str:
         if self.keyspace.get_graph(key) is None:

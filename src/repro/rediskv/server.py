@@ -262,6 +262,17 @@ class RedisLikeServer:
             return SimpleString(self.module.delete(args[0]))
         if name == "GRAPH.LIST":
             return self.module.list_graphs()
+        if name == "GRAPH.CONFIG":
+            if len(args) < 2:
+                raise WrongArity(name)
+            sub = args[0].upper()
+            if sub == "GET":
+                return self.module.config_get(args[1])
+            if sub == "SET":
+                if len(args) != 3:
+                    raise WrongArity(name)
+                return SimpleString(self.module.config_set(args[1], args[2]))
+            raise Exception(f"unknown GRAPH.CONFIG subcommand '{args[0]}'")
         raise Exception(f"unknown command '{name}'")
 
     def _plain_command(self, name: str, args: List[str]):

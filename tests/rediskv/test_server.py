@@ -130,6 +130,28 @@ class TestGraphCommands:
         with pytest.raises(ResponseError, match="wrong kind"):
             client.graph_query("plain", "RETURN 1")
 
+    def test_cached_execution_statistic(self, client):
+        client.graph_query("g", "CREATE (:P {v: 1})")
+        first = client.graph_query("g", "MATCH (n:P) RETURN n.v")
+        again = client.graph_query("g", "MATCH (n:P) RETURN n.v")
+        assert first.stat("Cached execution") == "0"
+        assert again.stat("Cached execution") == "1"
+
+    def test_graph_config_roundtrip(self, client):
+        name, value = client.graph_config_get("PLAN_CACHE_SIZE")
+        assert name == "PLAN_CACHE_SIZE"
+        assert int(value) >= 0
+        assert client.graph_config_set("PLAN_CACHE_SIZE", 16) == "OK"
+        assert client.graph_config_get("PLAN_CACHE_SIZE")[1] == 16
+        pairs = client.graph_config_get("*")
+        assert ["PLAN_CACHE_SIZE", 16] in pairs
+
+    def test_graph_config_rejects_unknown(self, client):
+        with pytest.raises(ResponseError):
+            client.graph_config_get("NOPE")
+        with pytest.raises(ResponseError, match="not settable"):
+            client.graph_config_set("THREAD_COUNT", 5)
+
 
 class TestConcurrency:
     def test_reply_order_preserved_with_slow_graph_query(self, client):
