@@ -18,10 +18,11 @@ For the full client/server path (RESP protocol, thread pool) see
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.execplan.executor import QueryEngine
 from repro.execplan.resultset import ResultSet
+from repro.graph.bulk import BulkReport, BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.graph import Graph
 
@@ -56,6 +57,54 @@ class GraphDB:
         schema version moves (new label/reltype, index create/drop,
         config change).  See README "Plan cache"."""
         return self.engine.plan_cache.info()
+
+    def bulk_writer(self) -> BulkWriter:
+        """A fresh :class:`~repro.graph.bulk.BulkWriter` for incremental
+        staging (the GRAPH.BULK session object); ``commit()`` applies
+        everything atomically under the graph's write lock."""
+        return BulkWriter(self.graph)
+
+    def bulk_insert(
+        self,
+        nodes: Iterable[Mapping[str, Any]] = (),
+        edges: Iterable[Mapping[str, Any]] = (),
+    ) -> BulkReport:
+        """Columnar bulk ingestion — the embedded form of ``GRAPH.BULK``.
+
+        ``nodes`` is an iterable of batch specs::
+
+            {"labels": ["Person"], "count": 3,
+             "properties": {"name": ["a", "b", "c"], "age": [30, None, 25]}}
+
+        (``count`` may be omitted when a property column fixes it; ``None``
+        property entries mean "absent on this node").  ``edges`` specs::
+
+            {"type": "KNOWS", "src": [0, 1], "dst": [1, 2],
+             "properties": {"since": [2020, 2021]},   # optional
+             "endpoints": "batch"}                     # or "graph"
+
+        ``endpoints="batch"`` (default) reads src/dst as 0-based indices
+        into the nodes staged by this call, in spec order; ``"graph"``
+        as pre-existing node ids.  The whole load commits atomically
+        under the write lock; new labels/relationship types invalidate
+        cached plans and existing indexes are backfilled.  Returns a
+        :class:`~repro.graph.bulk.BulkReport`."""
+        writer = self.bulk_writer()
+        for spec in nodes:
+            writer.add_nodes(
+                count=spec.get("count"),
+                labels=spec.get("labels", ()),
+                properties=spec.get("properties"),
+            )
+        for spec in edges:
+            writer.add_edges(
+                spec["type"],
+                spec["src"],
+                spec["dst"],
+                properties=spec.get("properties"),
+                endpoints=spec.get("endpoints", "batch"),
+            )
+        return writer.commit()
 
     def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
         """Run the query and return (results, per-operation profile)."""

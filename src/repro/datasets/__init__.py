@@ -9,12 +9,15 @@
 * :func:`ldbc_lite` — a miniature LDBC-like social network with labeled,
   propertied entities for the examples and extension benchmarks.
 * :mod:`repro.datasets.loader` — bulk loading into matrices / graphs.
+* :mod:`repro.datasets.csv_import` — CSV node/edge file import through
+  the columnar BulkWriter (the RedisGraph bulk-loader format).
 """
 
 from repro.datasets.rmat import graph500_edges
 from repro.datasets.twitter import twitter_edges
 from repro.datasets.ldbc_lite import ldbc_lite
 from repro.datasets.loader import build_graph, build_graphdb, edges_to_matrix
+from repro.datasets.csv_import import import_csv
 
 __all__ = [
     "graph500_edges",
@@ -23,4 +26,5 @@ __all__ = [
     "build_graph",
     "build_graphdb",
     "edges_to_matrix",
+    "import_csv",
 ]

@@ -1,0 +1,143 @@
+"""CSV bulk import — the RedisGraph bulk-loader file format, simplified.
+
+One CSV file per node label and per relationship type:
+
+* **node files** — a header row naming the columns; one column (default
+  ``id``) holds a unique external id, every column (including the id)
+  becomes a node property.  Values are type-inferred: ``""`` → absent,
+  integers, floats, ``true``/``false``, ``null``, otherwise string.
+* **edge files** — header with ``src``/``dst`` columns holding external
+  node ids (from any node file); remaining columns become edge
+  properties.
+
+Everything loads through one :class:`~repro.graph.bulk.BulkWriter`
+commit, so the import is atomic under the graph's write lock and picks
+up all the bulk-path bookkeeping (schema-version bumps, index
+backfill)::
+
+    from repro.datasets.csv_import import import_csv
+
+    report = import_csv(db,
+                        nodes={"Person": "people.csv"},
+                        edges={"KNOWS": "knows.csv"})
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.errors import GraphError
+from repro.graph.bulk import BulkReport, BulkWriter
+from repro.graph.graph import Graph
+
+__all__ = ["import_csv", "infer_value"]
+
+PathLike = Union[str, Path]
+
+
+def infer_value(text: str) -> Any:
+    """CSV cell → typed property value (``None`` means "absent")."""
+    if text == "":
+        return None
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    if low == "null":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _read_rows(path: PathLike, delimiter: str) -> tuple[List[str], List[tuple[int, List[str]]]]:
+    """Header plus (file line number, row) pairs — linenos enumerate the
+    physical file (blank lines included) so error messages point at the
+    actual offending line."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise GraphError(f"csv import: {path} is empty (a header row is required)") from None
+        return [h.strip() for h in header], [
+            (lineno, row) for lineno, row in enumerate(reader, start=2) if row
+        ]
+
+
+def import_csv(
+    db,
+    nodes: Mapping[str, PathLike] = (),
+    edges: Mapping[str, PathLike] = (),
+    *,
+    id_column: str = "id",
+    src_column: str = "src",
+    dst_column: str = "dst",
+    delimiter: str = ",",
+) -> BulkReport:
+    """Bulk-import node/edge CSV files into ``db`` (GraphDB or Graph).
+
+    ``nodes`` maps label → node file, ``edges`` maps relationship type →
+    edge file.  External ids share one namespace across every node file;
+    edges reference them through ``src``/``dst``.  Returns the commit's
+    :class:`~repro.graph.bulk.BulkReport`."""
+    graph: Graph = getattr(db, "graph", db)
+    writer = BulkWriter(graph)
+    ids: Dict[Any, int] = {}  # external id -> batch-local node index
+
+    for label, path in dict(nodes).items():
+        header, rows = _read_rows(path, delimiter)
+        if id_column not in header:
+            raise GraphError(f"csv import: node file {path} lacks the {id_column!r} column")
+        id_pos = header.index(id_column)
+        columns: Dict[str, List[Any]] = {name: [] for name in header}
+        batch_indices = []
+        batch_indices_seen = set()
+        for lineno, row in rows:
+            if len(row) != len(header):
+                raise GraphError(f"csv import: {path}:{lineno}: expected {len(header)} fields, got {len(row)}")
+            ext = infer_value(row[id_pos])
+            if ext is None:
+                raise GraphError(f"csv import: {path}:{lineno}: empty {id_column!r} value")
+            if ext in ids or ext in batch_indices_seen:
+                raise GraphError(f"csv import: {path}:{lineno}: duplicate external id {ext!r}")
+            batch_indices_seen.add(ext)
+            for name, cell in zip(header, row):
+                columns[name].append(infer_value(cell))
+            batch_indices.append(ext)
+        staged = writer.add_nodes(count=len(rows), labels=(label,), properties=columns)
+        for ext, idx in zip(batch_indices, staged):
+            ids[ext] = int(idx)
+
+    for reltype, path in dict(edges).items():
+        header, rows = _read_rows(path, delimiter)
+        for required in (src_column, dst_column):
+            if required not in header:
+                raise GraphError(f"csv import: edge file {path} lacks the {required!r} column")
+        src_pos, dst_pos = header.index(src_column), header.index(dst_column)
+        prop_names = [h for h in header if h not in (src_column, dst_column)]
+        columns = {name: [] for name in prop_names}
+        src: List[int] = []
+        dst: List[int] = []
+        for lineno, row in rows:
+            if len(row) != len(header):
+                raise GraphError(f"csv import: {path}:{lineno}: expected {len(header)} fields, got {len(row)}")
+            for end, pos in ((src, src_pos), (dst, dst_pos)):
+                ext = infer_value(row[pos])
+                if ext not in ids:
+                    raise GraphError(f"csv import: {path}:{lineno}: unknown node id {row[pos]!r}")
+                end.append(ids[ext])
+            for name, cell in zip(header, row):
+                if name in columns:
+                    columns[name].append(infer_value(cell))
+        writer.add_edges(reltype, src, dst, properties=columns, endpoints="batch")
+
+    return writer.commit()

@@ -1,12 +1,21 @@
-"""Bulk loading of generated edge lists into engine-level containers."""
+"""Bulk loading of generated edge lists into engine-level containers.
+
+Both builders ride the columnar :class:`~repro.graph.bulk.BulkWriter`:
+nodes and edges of one dataset stage into a single writer and commit in
+one atomic pass (one label-matrix splice, one relation-matrix splice,
+schema bookkeeping included).  Edges stay recordless — the benchmark
+graphs are traversed, never property-read, and a million `_EdgeRecord`s
+would only slow the load.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.api import GraphDB
+from repro.graph.bulk import BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.graph import Graph
 from repro.grblas import Matrix
@@ -17,6 +26,13 @@ __all__ = ["edges_to_matrix", "build_graph", "build_graphdb"]
 def edges_to_matrix(src: np.ndarray, dst: np.ndarray, n: int) -> Matrix:
     """Boolean adjacency matrix of an edge list (duplicates collapse)."""
     return Matrix.from_edges(src, dst, nrows=n)
+
+
+def _bulk_fill(graph: Graph, src: np.ndarray, dst: np.ndarray, n: int, reltype: str, label: str) -> None:
+    writer = BulkWriter(graph)
+    writer.add_nodes(count=n, labels=(label,))
+    writer.add_edges(reltype, src, dst, endpoints="batch", record=False)
+    writer.commit(lock=False)
 
 
 def build_graph(
@@ -33,8 +49,7 @@ def build_graph(
     matrices bulk-installed — the benchmark loading path)."""
     cfg = config or GraphConfig(node_capacity=max(1, n))
     graph = Graph(name, cfg)
-    graph.bulk_load_nodes(n, label=label)
-    graph.bulk_load_edges(src, dst, reltype)
+    _bulk_fill(graph, src, dst, n, reltype, label)
     return graph
 
 
@@ -50,6 +65,5 @@ def build_graphdb(
 ) -> GraphDB:
     """A queryable GraphDB over the same bulk-loaded content."""
     db = GraphDB(name, config or GraphConfig(node_capacity=max(1, n)))
-    db.graph.bulk_load_nodes(n, label=label)
-    db.graph.bulk_load_edges(src, dst, reltype)
+    _bulk_fill(db.graph, src, dst, n, reltype, label)
     return db

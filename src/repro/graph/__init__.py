@@ -16,6 +16,7 @@ This is RedisGraph's graph object rebuilt on :mod:`repro.grblas`:
 """
 
 from repro.graph.attributes import AttributeRegistry
+from repro.graph.bulk import BulkReport, BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.datablock import DataBlock
 from repro.graph.delta_matrix import DeltaMatrix, DeltaMatrixView
@@ -27,6 +28,8 @@ from repro.graph.schema import Schema
 
 __all__ = [
     "AttributeRegistry",
+    "BulkReport",
+    "BulkWriter",
     "GraphConfig",
     "DataBlock",
     "DeltaMatrix",

@@ -7,7 +7,9 @@ creations pop from it before growing.  Iteration yields live slots only.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 from repro.errors import EntityNotFound
 
@@ -33,6 +35,35 @@ class DataBlock(Generic[T]):
             return slot
         self._slots.append(item)
         return len(self._slots) - 1
+
+    def alloc_many(self, items: Sequence[T]) -> np.ndarray:
+        """Store a batch in one pass; returns the assigned ids in order.
+
+        Free slots are recycled first (matching :meth:`alloc`), then the
+        remainder lands in one list ``extend`` — the bulk-ingestion path,
+        which must not pay a Python-level append per entity."""
+        n = len(items)
+        ids = np.empty(n, dtype=np.int64)
+        reused = 0
+        while self._free and reused < n:
+            slot = self._free.pop()
+            self._slots[slot] = items[reused]
+            ids[reused] = slot
+            reused += 1
+        start = len(self._slots)
+        if reused < n:
+            self._slots.extend(items[reused:])
+            ids[reused:] = np.arange(start, start + (n - reused), dtype=np.int64)
+        self._count += n
+        return ids
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean mask over slots: True where a live item sits (the
+        vectorized form of per-id :meth:`exists` probes)."""
+        mask = np.ones(len(self._slots), dtype=np.bool_)
+        if self._free:
+            mask[np.asarray(self._free, dtype=np.int64)] = False
+        return mask
 
     def free(self, item_id: int) -> T:
         """Delete the item; its id becomes reusable.  Returns the item."""

@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import IndexOutOfBounds
+from repro.errors import DimensionMismatch, IndexOutOfBounds
 from repro.grblas import Matrix
 from repro.grblas import _kernels as K
 from repro.grblas.types import BOOL
@@ -377,6 +377,38 @@ class DeltaMatrix:
         self._base_keys = None  # rebuilt lazily on the next probe
         self._touch()
 
+    def union_splice(self, rows: np.ndarray, cols: np.ndarray) -> int:
+        """Bulk-insert a batch of entries in one vectorized merge.
+
+        Writer-side (bulk ingestion): pending ops are compacted first, then
+        the batch joins the base CSR through a single sorted-key union —
+        O(nnz + batch log batch) total instead of one :meth:`add` per entry.
+        Duplicates within the batch and entries already present collapse;
+        the sorted-key cache stays warm (unlike :meth:`replace_base`, which
+        must drop it).  Returns the number of entries new to the matrix.
+        """
+        rows = np.asarray(rows, dtype=_I64)
+        cols = np.asarray(cols, dtype=_I64)
+        if len(rows) != len(cols):
+            raise DimensionMismatch("union_splice: rows/cols length mismatch")
+        self.flush()
+        if not len(rows):
+            return 0
+        dim = self._base.nrows
+        if rows.min() < 0 or rows.max() >= dim or cols.min() < 0 or cols.max() >= dim:
+            raise IndexOutOfBounds(f"union_splice: entry outside {dim}x{dim} delta matrix")
+        batch = np.sort(rows * _I64(self._base.ncols) + cols)
+        if len(batch) > 1:  # dedupe the sorted batch (cheaper than np.unique's hash path)
+            batch = batch[np.concatenate(([True], batch[1:] != batch[:-1]))]
+        keys = self._base_linear()
+        merged = K.merge_sorted_unique(keys, batch) if len(keys) else batch
+        added = len(merged) - len(keys)
+        if added:
+            self._base = Matrix.from_linear(merged, nrows=dim, ncols=self._base.ncols)
+            self._base_keys = merged
+            self._touch()
+        return added
+
     # ------------------------------------------------------------------
     # Reads — all flush-free
     # ------------------------------------------------------------------
@@ -433,19 +465,10 @@ class DeltaMatrix:
             keys = K.merge_sorted_unique(keys, add)
         if len(dele) and len(keys):
             keys = keys[K.setdiff_sorted(keys, dele)]
-        dim = self._base.nrows
-        rows, cols = K.split_keys(keys, self._base.ncols)
         # rebind a fresh Matrix rather than rewriting the old one's arrays:
         # views handed out before this flush keep aliasing the pre-flush
         # object, so they stay *consistent* snapshots instead of tearing
-        self._base = Matrix(
-            dim,
-            dim,
-            BOOL,
-            indptr=K.rows_to_indptr(rows, dim),
-            indices=cols,
-            values=np.ones(len(cols), dtype=np.bool_),
-        )
+        self._base = Matrix.from_linear(keys, nrows=self._base.nrows, ncols=self._base.ncols)
         self._base_keys = keys  # the merge *is* the new sorted key cache
         self._pending.clear()
         self._nvals_delta = 0

@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ConstraintViolation, EntityNotFound, GraphError
+from repro.errors import ConstraintViolation, EntityNotFound
 from repro.graph.attributes import AttributeRegistry
 from repro.graph.config import GraphConfig
 from repro.graph.datablock import DataBlock
@@ -30,7 +30,7 @@ from repro.graph.entities import Edge, Node
 from repro.graph.index import ExactMatchIndex
 from repro.graph.rwlock import RWLock
 from repro.graph.schema import Schema
-from repro.grblas import Matrix, binary
+from repro.grblas import Matrix
 
 __all__ = ["Graph"]
 
@@ -376,46 +376,41 @@ class Graph:
             m.flush()
 
     # ------------------------------------------------------------------
-    # Bulk loading (benchmark datasets)
+    # Bulk loading (benchmark datasets) — thin shims over the BulkWriter
     # ------------------------------------------------------------------
-    def bulk_load_nodes(self, count: int, label: Optional[str] = None) -> None:
-        """Create ``count`` property-less nodes in one pass."""
-        label_ids: Tuple[int, ...] = ()
-        if label is not None:
-            label_ids = (self.schema.intern_label(label),)
-        first = None
-        for _ in range(count):
-            nid = self._nodes.alloc(_NodeRecord(label_ids, {}))
-            if first is None:
-                first = nid
-        self._ensure_capacity(self._nodes.capacity)
-        if label is not None and count:
-            lm = self._label_matrix_for(label_ids[0])
-            base = lm.synced()
-            ids = np.arange(first, first + count, dtype=np.int64)
-            diag = Matrix.from_coo(ids, ids, None, nrows=self._capacity, ncols=self._capacity)
-            lm.replace_base(base.ewise_add(diag, binary.lor))  # bulk splice
+    def bulk_load_nodes(
+        self,
+        count: int,
+        label: Optional[str] = None,
+        properties: Optional[Dict[str, Sequence[Any]]] = None,
+    ) -> np.ndarray:
+        """Create ``count`` nodes in one columnar pass; returns their ids.
+
+        Routed through :class:`~repro.graph.bulk.BulkWriter`, so a new
+        label bumps the schema version (cached plans recompile) and
+        property columns backfill any existing exact-match index.  The
+        caller manages locking, as with every direct Graph mutator."""
+        from repro.graph.bulk import BulkWriter
+
+        writer = BulkWriter(self)
+        writer.add_nodes(count=count, labels=() if label is None else (label,), properties=properties)
+        return writer.commit(lock=False).node_ids
 
     def bulk_load_edges(self, src: np.ndarray, dst: np.ndarray, reltype: str) -> int:
         """Install an edge array directly into the relation matrix.
 
         This is the dataset-loading fast path: no per-edge records are
         materialized (matching how the benchmark graphs are queried —
-        traversals never bind these edges' properties).  Returns the number
-        of distinct matrix entries added.
+        traversals never bind these edges' properties).  Routed through
+        the BulkWriter so a new relationship type bumps the schema version
+        exactly like per-entity writes.  Returns the number of distinct
+        matrix entries added.
         """
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        if len(src) != len(dst):
-            raise GraphError("bulk_load_edges: src/dst length mismatch")
-        if len(src) and (src.max() >= self._nodes.capacity or dst.max() >= self._nodes.capacity):
-            raise EntityNotFound("bulk_load_edges: endpoint node id out of range")
-        rid = self.schema.intern_reltype(reltype)
-        dm = self._rel_matrix_for(rid)
-        new = Matrix.from_edges(src, dst, nrows=self._capacity)
-        dm.replace_base(dm.synced().ewise_add(new, binary.lor))
-        self._adj.replace_base(self._adj.synced().ewise_add(new, binary.lor))
-        return new.nvals
+        from repro.graph.bulk import BulkWriter
+
+        writer = BulkWriter(self)
+        writer.add_edges(reltype, src, dst, endpoints="graph", record=False)
+        return writer.commit(lock=False).matrix_entries_added
 
     # ------------------------------------------------------------------
     # Indices

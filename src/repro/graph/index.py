@@ -21,13 +21,17 @@ class ExactMatchIndex:
         self._map: Dict[Any, Set[int]] = {}
         self._size = 0
 
-    def insert(self, value: Any, node_id: int) -> None:
+    def insert(self, value: Any, node_id: int) -> bool:
+        """Index the pair; returns whether an entry was actually added
+        (False for unindexable values and duplicates)."""
         if not _indexable(value):
-            return
+            return False
         bucket = self._map.setdefault(value, set())
         if node_id not in bucket:
             bucket.add(node_id)
             self._size += 1
+            return True
+        return False
 
     def remove(self, value: Any, node_id: int) -> None:
         bucket = self._map.get(value)

@@ -124,6 +124,26 @@ class Matrix:
         return cls.from_coo(src, dst, None, nrows=nrows, ncols=ncols if ncols is not None else nrows, dtype=BOOL)
 
     @classmethod
+    def from_linear(cls, keys: np.ndarray, *, nrows: int, ncols: int) -> "Matrix":
+        """Boolean matrix from sorted-unique linear keys (``i * ncols + j``).
+
+        The inverse of :meth:`to_linear` for Boolean structures — the
+        delta-matrix flush/bulk-splice fast path, which works in linear-key
+        space and should not round-trip through COO building/sorting."""
+        keys = np.asarray(keys, dtype=_I64)
+        if len(keys) and (keys[0] < 0 or keys[-1] >= nrows * ncols):
+            raise IndexOutOfBounds(f"linear key out of range for {nrows}x{ncols}")
+        rows, cols = K.split_keys(keys, ncols)
+        return cls(
+            nrows,
+            ncols,
+            BOOL,
+            indptr=K.rows_to_indptr(rows, nrows),
+            indices=cols,
+            values=np.ones(len(cols), dtype=np.bool_),
+        )
+
+    @classmethod
     def from_dense(cls, array, *, keep_zeros: bool = False) -> "Matrix":
         """Build from a dense 2-D array; zeros become implicit (unless
         ``keep_zeros``)."""

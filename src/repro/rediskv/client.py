@@ -7,8 +7,9 @@ embedded :class:`~repro.api.GraphDB` or a server over the wire.
 
 from __future__ import annotations
 
+import json
 import socket
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ResponseError
 from repro.rediskv.resp import NEED_MORE, RespError, RespParser, encode
@@ -122,6 +123,59 @@ class RedisClient:
     def graph_list(self) -> List[str]:
         return list(self.execute("GRAPH.LIST"))
 
+    # -- bulk ingestion --------------------------------------------------
+    def graph_bulk_begin(self, key: str) -> str:
+        """Open a GRAPH.BULK session; returns its token."""
+        return str(self.execute("GRAPH.BULK", key, "BEGIN"))
+
+    def graph_bulk_nodes(
+        self,
+        key: str,
+        token: str,
+        *,
+        count: Optional[int] = None,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Sequence[Any]]] = None,
+    ) -> int:
+        """Stage a columnar node chunk; returns the staged node total."""
+        chunk: Dict[str, Any] = {"labels": list(labels)}
+        if count is not None:
+            chunk["count"] = int(count)
+        if properties:
+            chunk["props"] = {k: list(v) for k, v in properties.items()}
+        return int(self.execute("GRAPH.BULK", key, "NODES", token, _dump_chunk(chunk)))
+
+    def graph_bulk_edges(
+        self,
+        key: str,
+        token: str,
+        reltype: str,
+        src: Sequence[int],
+        dst: Sequence[int],
+        *,
+        properties: Optional[Mapping[str, Sequence[Any]]] = None,
+        endpoints: str = "batch",
+    ) -> int:
+        """Stage a same-type edge chunk; returns the staged edge total."""
+        chunk: Dict[str, Any] = {
+            # no int() coercion: a fractional endpoint must reach the
+            # server's integrality guard, not be silently truncated here
+            "src": list(src),
+            "dst": list(dst),
+            "type": reltype,
+            "endpoints": endpoints,
+        }
+        if properties:
+            chunk["props"] = {k: list(v) for k, v in properties.items()}
+        return int(self.execute("GRAPH.BULK", key, "EDGES", token, _dump_chunk(chunk)))
+
+    def graph_bulk_commit(self, key: str, token: str) -> List[str]:
+        """Atomically apply the session; returns the statistics lines."""
+        return list(self.execute("GRAPH.BULK", key, "COMMIT", token))
+
+    def graph_bulk_abort(self, key: str, token: str) -> str:
+        return str(self.execute("GRAPH.BULK", key, "ABORT", token))
+
     def graph_config_get(self, name: str):
         """``GRAPH.CONFIG GET <name>`` (``"*"`` for every readable knob)."""
         return self.execute("GRAPH.CONFIG", "GET", name)
@@ -129,6 +183,20 @@ class RedisClient:
     def graph_config_set(self, name: str, value) -> str:
         """``GRAPH.CONFIG SET <name> <value>`` (e.g. PLAN_CACHE_SIZE)."""
         return str(self.execute("GRAPH.CONFIG", "SET", name, str(value)))
+
+
+def _dump_chunk(chunk: Dict[str, Any]) -> str:
+    """JSON-encode a GRAPH.BULK chunk, coercing numpy scalars (columns
+    are naturally numpy arrays; ``list()`` leaves np.int64 elements that
+    json.dumps rejects)."""
+    return json.dumps(chunk, default=_json_scalar)
+
+
+def _json_scalar(value: Any):
+    item = getattr(value, "item", None)  # numpy scalar -> native Python
+    if item is not None:
+        return item()
+    raise TypeError(f"cannot encode bulk chunk value of type {type(value).__name__}")
 
 
 def _with_params(query: str, params: Optional[Dict[str, Any]]) -> str:

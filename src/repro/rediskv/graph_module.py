@@ -7,6 +7,9 @@ Commands (mirroring RedisGraph):
   ``[header, rows, statistics]``.
 * ``GRAPH.RO_QUERY`` — same, rejecting update clauses.
 * ``GRAPH.EXPLAIN`` / ``GRAPH.PROFILE`` — plan text / executed plan text.
+* ``GRAPH.BULK <key> BEGIN|NODES|EDGES|COMMIT|ABORT ...`` — columnar bulk
+  ingestion (the RedisGraph bulk-loader protocol, RESP-framed; see
+  :meth:`GraphModule.bulk`).
 * ``GRAPH.DELETE <key>`` — drop the graph.
 * ``GRAPH.LIST`` — names of graph keys.
 
@@ -20,11 +23,16 @@ Value encoding in replies: scalars map to RESP directly; nodes encode as
 
 from __future__ import annotations
 
+import itertools
+import json
+import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import GraphDB
 from repro.errors import ReproError, ResponseError
 from repro.execplan.resultset import ResultSet
+from repro.graph.bulk import BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.entities import Edge, Node
 from repro.rediskv.keyspace import Keyspace
@@ -127,12 +135,37 @@ def encode_value(value: Any) -> Any:
     return value
 
 
+class _BulkSession:
+    """One in-flight GRAPH.BULK load: the target graph plus its writer.
+
+    Sessions are addressed by the token BEGIN returns (not by connection),
+    so chunks may arrive on any connection — and a worker-pool thread can
+    serve each chunk without the server tracking per-socket state.  The
+    per-session lock serializes chunks racing in from different pool
+    threads (pipelined NODES batches must observe disjoint index ranges).
+    ``last_used`` drives idle expiry: abandoned sessions (a loader that
+    crashed between BEGIN and COMMIT) are swept lazily so staged columns
+    cannot pin server memory forever."""
+
+    __slots__ = ("key", "db", "writer", "lock", "last_used")
+
+    def __init__(self, key: str, db: GraphDB, writer: BulkWriter) -> None:
+        self.key = key
+        self.db = db
+        self.writer = writer
+        self.lock = threading.Lock()
+        self.last_used = time.monotonic()
+
+
 class GraphModule:
     """Owns the per-key GraphDB instances reachable through a keyspace."""
 
     def __init__(self, keyspace: Keyspace, config: Optional[GraphConfig] = None) -> None:
         self.keyspace = keyspace
         self.config = config or GraphConfig()
+        self._bulk_sessions: Dict[str, _BulkSession] = {}
+        self._bulk_lock = threading.Lock()
+        self._bulk_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
     def _graph(self, key: str, *, create: bool = True) -> GraphDB:
@@ -177,6 +210,128 @@ class GraphModule:
         text, params = parse_cypher_params(query_text)
         _, report = self._graph(key).profile(text, params)
         return report.splitlines()
+
+    # ------------------------------------------------------------------
+    # GRAPH.BULK (columnar bulk ingestion)
+    # ------------------------------------------------------------------
+    def bulk(self, key: str, subcommand: str, args: List[str]):
+        """Dispatch one GRAPH.BULK chunk.
+
+        Protocol (chunks are JSON documents — one RESP bulk string each)::
+
+            GRAPH.BULK <key> BEGIN                      -> session token
+            GRAPH.BULK <key> NODES <token> <json>       -> staged node total
+            GRAPH.BULK <key> EDGES <token> <json>       -> staged edge total
+            GRAPH.BULK <key> COMMIT <token>             -> statistics lines
+            GRAPH.BULK <key> ABORT  <token>             -> OK
+
+        NODES chunks: ``{"count": 3, "labels": ["Person"],
+        "props": {"name": ["a", "b", "c"]}}`` (``count`` optional when a
+        column fixes it; ``null`` column entries mean "absent").  EDGES
+        chunks: ``{"type": "KNOWS", "src": [0, 1], "dst": [1, 2],
+        "endpoints": "batch"|"graph", "props": {...}}`` — ``"batch"``
+        endpoints (default) index the session's staged nodes in order.
+        COMMIT applies every staged chunk atomically under the graph's
+        write lock; a failed COMMIT discards the session.  Sessions idle
+        past ``BULK_SESSION_TTL`` seconds are swept lazily and at most
+        ``BULK_SESSION_LIMIT`` may be open at once, so abandoned loads
+        cannot pin staged columns in server memory forever."""
+        sub = subcommand.upper()
+        if sub == "BEGIN":
+            if args:
+                raise ResponseError("ERR GRAPH.BULK BEGIN takes no further arguments")
+            db = self._graph(key)
+            with self._bulk_lock:
+                self._sweep_bulk_sessions()
+                if len(self._bulk_sessions) >= self.BULK_SESSION_LIMIT:
+                    raise ResponseError(
+                        f"ERR too many open bulk sessions (limit {self.BULK_SESSION_LIMIT}); "
+                        "COMMIT or ABORT an existing one"
+                    )
+                token = f"bulk{next(self._bulk_counter)}"
+                self._bulk_sessions[token] = _BulkSession(key, db, db.bulk_writer())
+            return token
+        if sub not in ("NODES", "EDGES", "COMMIT", "ABORT"):
+            raise ResponseError(f"ERR unknown GRAPH.BULK subcommand {subcommand!r}")
+        if not args:
+            raise ResponseError(f"ERR GRAPH.BULK {sub} requires a session token")
+        token = args[0]
+        with self._bulk_lock:
+            # every dispatch sweeps, so abandoned sessions expire even if
+            # no further BEGIN ever arrives
+            self._sweep_bulk_sessions()
+            session = self._bulk_sessions.get(token)
+        if session is None or session.key != key:
+            raise ResponseError(f"ERR no open bulk session {token!r} for graph key {key!r}")
+        session.last_used = time.monotonic()
+
+        if sub in ("NODES", "EDGES"):
+            if len(args) != 2:
+                raise ResponseError(f"ERR GRAPH.BULK {sub} requires exactly one JSON chunk")
+            chunk = self._bulk_chunk(args[1])
+            try:
+                with session.lock:
+                    if sub == "NODES":
+                        session.writer.add_nodes(
+                            count=chunk.get("count"),
+                            labels=chunk.get("labels", ()),
+                            properties=chunk.get("props"),
+                        )
+                        return session.writer.staged_nodes
+                    reltype = chunk.get("type")
+                    if not isinstance(reltype, str) or not reltype:
+                        raise ResponseError("ERR GRAPH.BULK EDGES: chunk needs a non-empty 'type'")
+                    session.writer.add_edges(
+                        reltype,
+                        chunk.get("src", ()),
+                        chunk.get("dst", ()),
+                        properties=chunk.get("props"),
+                        endpoints=chunk.get("endpoints", "batch"),
+                    )
+                    return session.writer.staged_edges
+            except (TypeError, ValueError, AttributeError) as exc:
+                raise ResponseError(f"ERR GRAPH.BULK {sub}: malformed chunk: {exc}") from exc
+
+        # COMMIT / ABORT consume the session either way
+        with self._bulk_lock:
+            self._bulk_sessions.pop(token, None)
+        with session.lock:
+            if sub == "ABORT":
+                session.writer.abort()
+                return "OK"
+            if self.keyspace.get_graph(key) is not session.db:
+                raise ResponseError(
+                    f"ERR graph key {key!r} was deleted or replaced during the bulk session"
+                )
+            report = session.writer.commit()
+        # a GRAPH.DELETE racing the commit orphans the target after the
+        # pre-check: re-verify so the client never gets a success reply
+        # for data that is no longer reachable under the key
+        if self.keyspace.get_graph(key) is not session.db:
+            raise ResponseError(
+                f"ERR graph key {key!r} was deleted during the bulk COMMIT; the load was discarded"
+            )
+        return report.summary()
+
+    BULK_SESSION_LIMIT = 64
+    BULK_SESSION_TTL = 600.0  # seconds a session may sit idle
+
+    def _sweep_bulk_sessions(self) -> None:
+        """Drop idle-expired sessions (caller holds ``_bulk_lock``)."""
+        deadline = time.monotonic() - self.BULK_SESSION_TTL
+        for token, session in list(self._bulk_sessions.items()):
+            if session.last_used < deadline:
+                del self._bulk_sessions[token]
+
+    @staticmethod
+    def _bulk_chunk(raw: str) -> Dict[str, Any]:
+        try:
+            chunk = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ResponseError(f"ERR GRAPH.BULK: invalid JSON chunk: {exc}") from exc
+        if not isinstance(chunk, dict):
+            raise ResponseError("ERR GRAPH.BULK: chunk must be a JSON object")
+        return chunk
 
     # ------------------------------------------------------------------
     # GRAPH.CONFIG (runtime knobs, RedisGraph style)

@@ -256,6 +256,11 @@ class RedisLikeServer:
             if len(args) < 2:
                 raise WrongArity(name)
             return self.module.profile(args[0], args[1])
+        if name == "GRAPH.BULK":
+            if len(args) < 2:
+                raise WrongArity(name)
+            reply = self.module.bulk(args[0], args[1], args[2:])
+            return SimpleString(reply) if reply == "OK" else reply
         if name == "GRAPH.DELETE":
             if len(args) != 1:
                 raise WrongArity(name)

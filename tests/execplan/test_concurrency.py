@@ -80,3 +80,88 @@ class TestMixedReadWrite:
             t.join(timeout=120)
         got = db.query("MATCH (n:N {v: 0}) RETURN n.counter").scalar()
         assert got == 40
+
+
+class TestBulkCommitConcurrency:
+    """Readers traversing overlay views while bulk COMMITs land: every
+    read must observe a whole number of commits (snapshot invariants, no
+    torn reads), and a commit's effects must be visible to the very next
+    read after it returns."""
+
+    def test_bulk_commit_atomic_under_readers(self, db):
+        """Each commit adds a PAIR of :Bulk nodes joined by one :LINK
+        edge, so any read observing an odd node count — or a node count
+        disagreeing with 2x the edge count — caught a half-applied
+        commit."""
+        stop = threading.Event()
+        bad = []
+        errors = []
+        rounds = 25
+
+        def writer():
+            try:
+                for i in range(rounds):
+                    db.bulk_insert(
+                        nodes=[{"labels": ["Bulk"], "count": 2,
+                                "properties": {"r": [i, i]}}],
+                        edges=[{"type": "LINK", "src": [0], "dst": [1]}],
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    nodes = db.query("MATCH (b:Bulk) RETURN count(b)").scalar()
+                    if nodes % 2 != 0:
+                        bad.append(("odd-nodes", nodes))
+                    pairs = db.query(
+                        "MATCH (a:Bulk)-[:LINK]->(b:Bulk) RETURN count(b)"
+                    ).scalar()
+                    nodes_after = db.query("MATCH (b:Bulk) RETURN count(b)").scalar()
+                    # edges only ever trail nodes within one whole commit
+                    if not (pairs * 2 <= nodes_after):
+                        bad.append(("edges-ahead-of-nodes", pairs, nodes_after))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        w.start()
+        w.join(timeout=120)
+        stop.set()
+        for t in readers:
+            t.join(timeout=60)
+        assert not errors
+        assert bad == [], f"torn bulk commits observed: {bad}"
+        assert db.query("MATCH (b:Bulk) RETURN count(b)").scalar() == 2 * rounds
+        assert db.query("MATCH (:Bulk)-[:LINK]->(:Bulk) RETURN count(*)").scalar() == rounds
+
+    def test_post_commit_reads_see_new_base(self, db):
+        """After commit() returns, the next read (same thread) must see
+        the spliced base — no lost visibility behind overlay caches."""
+        for i in range(5):
+            report = db.bulk_insert(
+                nodes=[{"labels": ["Wave"], "count": 10, "properties": {"wave": [i] * 10}}],
+                edges=[{"type": "W", "src": list(range(9)), "dst": list(range(1, 10))}],
+            )
+            assert report.nodes_created == 10
+            assert db.query("MATCH (n:Wave {wave: $i}) RETURN count(n)", {"i": i}).scalar() == 10
+            assert db.query("MATCH (n:Wave) RETURN count(n)").scalar() == 10 * (i + 1)
+            assert db.query("MATCH (:Wave)-[:W]->(:Wave) RETURN count(*)").scalar() >= 9
+
+    def test_outstanding_view_stays_consistent_across_commit(self, db):
+        """A matrix view taken before a bulk commit keeps answering from
+        its pre-commit snapshot (the flush-free overlay guarantee)."""
+        db.bulk_insert(nodes=[{"labels": ["Snap"], "count": 4}],
+                       edges=[{"type": "SN", "src": [0], "dst": [1]}])
+        view = db.graph.relation_matrix("SN")
+        before = view.nvals
+        db.bulk_insert(nodes=[{"labels": ["Snap"], "count": 2}],
+                       edges=[{"type": "SN", "src": [0], "dst": [1]}])
+        assert view.nvals == before  # old snapshot, not torn
+        assert db.graph.relation_matrix("SN").nvals == before + 1

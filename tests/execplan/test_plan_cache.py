@@ -129,6 +129,42 @@ class TestSchemaVersionInvalidation:
         r = db.query(q)
         assert r.stats.cached_execution is False
 
+    def test_bulk_load_new_label_invalidates_cached_plan(self, db):
+        """A plan compiled before a bulk load that introduces its label
+        must recompile (schema_version bump) and return the new nodes."""
+        q = "MATCH (n:Imported) RETURN count(n)"
+        assert db.query(q).scalar() == 0  # compiled while :Imported is unknown
+        assert db.query(q).stats.cached_execution is True
+        report = db.bulk_insert(
+            nodes=[{"labels": ["Imported"], "count": 7, "properties": {"v": list(range(7))}}]
+        )
+        assert report.labels_added == 1
+        r = db.query(q)
+        assert r.stats.cached_execution is False  # schema bump evicted it
+        assert r.scalar() == 7
+        assert db.query(q).stats.cached_execution is True  # recompiled once
+
+    def test_bulk_load_known_labels_keep_cache_warm(self, db):
+        """A bulk load that introduces nothing schema-shaped is a data
+        write: cached plans survive and see the new rows."""
+        q = "MATCH (n:Person) RETURN count(n)"
+        before = db.query(q).scalar()
+        db.bulk_insert(nodes=[{"labels": ["Person"], "count": 3}])
+        r = db.query(q)
+        assert r.stats.cached_execution is True
+        assert r.scalar() == before + 3
+
+    def test_bulk_load_new_reltype_invalidates_cached_plan(self, db):
+        q = "MATCH ()-[:SHIPPED]->(b) RETURN count(b)"
+        assert db.query(q).scalar() == 0
+        db.bulk_insert(
+            nodes=[{"labels": ["Depot"], "count": 2}],
+            edges=[{"type": "SHIPPED", "src": [0], "dst": [1]}],
+        )
+        r = db.query(q)
+        assert r.stats.cached_execution is False
+        assert r.scalar() == 1
+
 
 class TestCachePolicy:
     def test_lru_eviction(self):

@@ -1,0 +1,264 @@
+"""GRAPH.BULK framing over a live server socket: chunked columnar
+batches, malformed-chunk error replies, session lifecycle, and
+GRAPH.LIST/GRAPH.DELETE of bulk-created graphs."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ResponseError
+from repro.graph.config import GraphConfig
+from repro.rediskv.client import RedisClient
+from repro.rediskv.server import RedisLikeServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = RedisLikeServer(port=0, config=GraphConfig(thread_count=3, node_capacity=16)).start()
+    time.sleep(0.05)
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = RedisClient(port=server.port)
+    c.execute("FLUSHALL")
+    yield c
+    c.close()
+
+
+class TestBulkProtocol:
+    def test_full_session_roundtrip(self, client):
+        token = client.graph_bulk_begin("bulkg")
+        assert token.startswith("bulk")
+        assert client.graph_bulk_nodes(
+            "bulkg", token, labels=["Person"],
+            properties={"name": ["ann", "bo"], "age": [30, None]},
+        ) == 2
+        # chunked: a second NODES batch extends the same session
+        assert client.graph_bulk_nodes("bulkg", token, count=2, labels=["City"]) == 4
+        assert client.graph_bulk_edges(
+            "bulkg", token, "KNOWS", [0], [1], properties={"since": [2019]}
+        ) == 1
+        assert client.graph_bulk_edges("bulkg", token, "LIVES_IN", [0, 1], [2, 3]) == 3
+        stats = client.graph_bulk_commit("bulkg", token)
+        assert "Nodes created: 4" in stats
+        assert "Relationships created: 3" in stats
+        assert "Properties set: 4" in stats
+        r = client.graph_query("bulkg", "MATCH (p:Person)-[:KNOWS]->(q) RETURN p.name, q.name")
+        assert r.rows == [("ann", "bo")]
+        r = client.graph_query("bulkg", "MATCH (:Person)-[e:KNOWS]->() RETURN e.since")
+        assert r.rows == [(2019,)]
+        r = client.graph_query("bulkg", "MATCH (c:City) RETURN count(c)")
+        assert r.scalar() == 2
+
+    def test_graph_endpoints_mode(self, client):
+        client.graph_query("g2", "CREATE (:Seed), (:Seed)")
+        token = client.graph_bulk_begin("g2")
+        client.graph_bulk_edges("g2", token, "TIES", [0], [1], endpoints="graph")
+        client.graph_bulk_commit("g2", token)
+        assert client.graph_query("g2", "MATCH (:Seed)-[:TIES]->(:Seed) RETURN count(*)").scalar() == 1
+
+    def test_commit_is_atomic_wrt_queries(self, client):
+        """Nothing from a session is visible before COMMIT."""
+        token = client.graph_bulk_begin("g3")
+        client.graph_bulk_nodes("g3", token, count=5, labels=["Pending"])
+        assert client.graph_query("g3", "MATCH (n:Pending) RETURN count(n)").scalar() == 0
+        client.graph_bulk_commit("g3", token)
+        assert client.graph_query("g3", "MATCH (n:Pending) RETURN count(n)").scalar() == 5
+
+    def test_abort_discards_session(self, client):
+        token = client.graph_bulk_begin("g4")
+        client.graph_bulk_nodes("g4", token, count=5, labels=["Gone"])
+        assert client.graph_bulk_abort("g4", token) == "OK"
+        assert client.graph_query("g4", "MATCH (n:Gone) RETURN count(n)").scalar() == 0
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.graph_bulk_commit("g4", token)
+
+    def test_list_and_delete_bulk_created_graph(self, client):
+        token = client.graph_bulk_begin("fresh")
+        client.graph_bulk_nodes("fresh", token, count=1, labels=["X"])
+        client.graph_bulk_commit("fresh", token)
+        assert "fresh" in client.graph_list()
+        assert client.graph_delete("fresh") == "OK"
+        assert "fresh" not in client.graph_list()
+
+    def test_commit_after_graph_delete_fails(self, client):
+        token = client.graph_bulk_begin("doomed")
+        client.graph_bulk_nodes("doomed", token, count=1)
+        client.graph_delete("doomed")
+        with pytest.raises(ResponseError, match="deleted or replaced"):
+            client.graph_bulk_commit("doomed", token)
+
+
+class TestBulkErrors:
+    def test_invalid_json_chunk(self, client):
+        token = client.graph_bulk_begin("e1")
+        with pytest.raises(ResponseError, match="invalid JSON"):
+            client.execute("GRAPH.BULK", "e1", "NODES", token, "{not json")
+
+    def test_non_object_chunk(self, client):
+        token = client.graph_bulk_begin("e1")
+        with pytest.raises(ResponseError, match="JSON object"):
+            client.execute("GRAPH.BULK", "e1", "NODES", token, "[1, 2]")
+
+    def test_unknown_subcommand(self, client):
+        with pytest.raises(ResponseError, match="unknown GRAPH.BULK subcommand"):
+            client.execute("GRAPH.BULK", "e1", "FLUSH", "tok")
+
+    def test_bad_token(self, client):
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.execute("GRAPH.BULK", "e1", "NODES", "bulk999", "{}")
+
+    def test_token_bound_to_key(self, client):
+        token = client.graph_bulk_begin("owner")
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.graph_bulk_nodes("thief", token, count=1)
+
+    def test_column_length_mismatch_rejected(self, client):
+        token = client.graph_bulk_begin("e2")
+        with pytest.raises(ResponseError, match="property column"):
+            client.execute(
+                "GRAPH.BULK", "e2", "NODES", token,
+                json.dumps({"count": 3, "props": {"v": [1, 2]}}),
+            )
+
+    def test_edges_missing_type(self, client):
+        token = client.graph_bulk_begin("e3")
+        with pytest.raises(ResponseError, match="non-empty 'type'"):
+            client.execute(
+                "GRAPH.BULK", "e3", "EDGES", token,
+                json.dumps({"src": [0], "dst": [1]}),
+            )
+
+    def test_src_dst_mismatch(self, client):
+        token = client.graph_bulk_begin("e4")
+        with pytest.raises(ResponseError, match="equal-length"):
+            client.execute(
+                "GRAPH.BULK", "e4", "EDGES", token,
+                json.dumps({"type": "R", "src": [0, 1], "dst": [1]}),
+            )
+
+    def test_commit_rejects_out_of_range_batch_endpoint(self, client):
+        token = client.graph_bulk_begin("e5")
+        client.graph_bulk_nodes("e5", token, count=2)
+        client.graph_bulk_edges("e5", token, "R", [0], [7])
+        with pytest.raises(ResponseError, match="staged nodes"):
+            client.graph_bulk_commit("e5", token)
+        # failed COMMIT consumed the session and applied nothing
+        assert client.graph_query("e5", "MATCH (n) RETURN count(n)").scalar() == 0
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.graph_bulk_commit("e5", token)
+
+    def test_wrong_arity(self, client):
+        with pytest.raises(ResponseError, match="wrong number of arguments"):
+            client.execute("GRAPH.BULK", "e6")
+        token = client.graph_bulk_begin("e6")
+        with pytest.raises(ResponseError, match="exactly one JSON chunk"):
+            client.execute("GRAPH.BULK", "e6", "NODES", token)
+
+    def test_begin_rejects_extra_args(self, client):
+        with pytest.raises(ResponseError, match="takes no further arguments"):
+            client.execute("GRAPH.BULK", "e7", "BEGIN", "extra")
+
+
+class TestBulkRobustness:
+    def test_abandoned_sessions_swept_and_bounded(self, client, server):
+        module = server.module
+        with module._bulk_lock:
+            module._bulk_sessions.clear()  # leftovers from earlier tests
+        limit = module.BULK_SESSION_LIMIT
+        tokens = [client.graph_bulk_begin("sweep") for _ in range(limit)]
+        with pytest.raises(ResponseError, match="too many open bulk sessions"):
+            client.graph_bulk_begin("sweep")
+        # age every session past the TTL: the next BEGIN sweeps them
+        with module._bulk_lock:
+            for session in module._bulk_sessions.values():
+                session.last_used -= module.BULK_SESSION_TTL + 1
+        fresh = client.graph_bulk_begin("sweep")
+        assert len(module._bulk_sessions) == 1
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.graph_bulk_commit("sweep", tokens[0])
+        # sweeping also runs on non-BEGIN dispatches: age the fresh
+        # session, then a chunk addressed to it finds it expired
+        with module._bulk_lock:
+            module._bulk_sessions[fresh].last_used -= module.BULK_SESSION_TTL + 1
+        with pytest.raises(ResponseError, match="no open bulk session"):
+            client.graph_bulk_nodes("sweep", fresh, count=1)
+        assert len(module._bulk_sessions) == 0
+
+    def test_float_endpoints_rejected_on_wire(self, client):
+        token = client.graph_bulk_begin("fe")
+        client.graph_bulk_nodes("fe", token, count=2)
+        with pytest.raises(ResponseError, match="endpoints must be integers"):
+            client.execute(
+                "GRAPH.BULK", "fe", "EDGES", token,
+                json.dumps({"type": "R", "src": [1.9], "dst": [0]}),
+            )
+        # the client helper must not pre-truncate either
+        with pytest.raises(ResponseError, match="endpoints must be integers"):
+            client.graph_bulk_edges("fe", token, "R", [1.9], [0])
+        client.graph_bulk_abort("fe", token)
+
+
+    def test_numpy_columns_serialize(self, client):
+        """The natural columnar input is numpy arrays; the client must
+        coerce their scalars for the JSON framing."""
+        np = pytest.importorskip("numpy")
+        token = client.graph_bulk_begin("np")
+        client.graph_bulk_nodes(
+            "np", token, count=np.int64(2), labels=["N"],
+            properties={"v": np.array([1, 2]), "w": np.array([0.5, 1.5])},
+        )
+        client.graph_bulk_edges(
+            "np", token, "R", np.array([0]), np.array([1]),
+            properties={"k": np.array([9])},
+        )
+        client.graph_bulk_commit("np", token)
+        assert client.graph_query("np", "MATCH (a:N)-[e:R]->(b) RETURN a.v, e.k, b.v").rows == [(1, 9, 2)]
+
+    def test_concurrent_chunks_one_session(self, server):
+        """Chunks for one token racing in from several connections (the
+        documented pipelining model) must observe disjoint batch index
+        ranges — the per-session lock's job."""
+        import threading
+
+        from repro.rediskv.client import RedisClient
+
+        setup = RedisClient(port=server.port)
+        setup.execute("FLUSHALL")
+        token = setup.graph_bulk_begin("race")
+        per_thread, threads_n = 50, 4
+        errors = []
+
+        def stage(tid):
+            try:
+                c = RedisClient(port=server.port)
+                for i in range(per_thread):
+                    c.graph_bulk_nodes(
+                        "race", token, labels=["W"],
+                        properties={"tag": [f"{tid}-{i}"]},
+                    )
+                c.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        workers = [threading.Thread(target=stage, args=(t,)) for t in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=60)
+        assert not errors
+        total = per_thread * threads_n
+        # edges referencing the full staged range prove no two batches
+        # overlapped (overlap would leave the tail range unallocated)
+        setup.graph_bulk_edges("race", token, "R", list(range(total - 1)), list(range(1, total)))
+        stats = setup.graph_bulk_commit("race", token)
+        assert f"Nodes created: {total}" in stats
+        r = setup.graph_query("race", "MATCH (n:W) RETURN count(n)")
+        assert r.scalar() == total
+        r = setup.graph_query("race", "MATCH (n:W) RETURN count(DISTINCT n.tag)")
+        assert r.scalar() == total
+        setup.close()
