@@ -103,6 +103,7 @@ class GraphDB:
                 spec["dst"],
                 properties=spec.get("properties"),
                 endpoints=spec.get("endpoints", "batch"),
+                record=spec.get("record", True),
             )
         return writer.commit()
 
@@ -116,14 +117,21 @@ class GraphDB:
         self.engine = QueryEngine(self.graph)
 
     def save(self, path) -> None:
-        """Persist the graph to a file (the module's RDB-save equivalent)."""
+        """Persist the graph to a file (the module's RDB-save equivalent).
+
+        Writes the columnar v2 snapshot format: a point-in-time image is
+        captured under the graph's **read lock only** (matrices through
+        flush-free overlay views — saving never mutates the graph), then
+        encoded and written with no lock held, so concurrent writers only
+        wait out the capture, not the disk I/O."""
         from repro.graph.persist import save_graph
 
         save_graph(self.graph, path)
 
     @classmethod
     def load(cls, path) -> "GraphDB":
-        """Restore a graph saved with :meth:`save`."""
+        """Restore a graph saved with :meth:`save` (v2) or by the legacy
+        v1 writer (read-only migration path)."""
         from repro.graph.persist import load_graph
 
         db = cls.__new__(cls)

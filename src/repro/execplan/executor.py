@@ -25,7 +25,7 @@ queries to a pool; embedded callers just call :meth:`QueryEngine.query`.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CypherSemanticError
 from repro.execplan.compiled import CompiledQuery, PlanSchema, compile_query
@@ -88,8 +88,14 @@ class QueryEngine:
         *,
         cached: bool = False,
         profile_run: Optional[ProfileRun] = None,
+        on_commit: Optional[Callable[[], None]] = None,
     ) -> ResultSet:
-        """Bind a compiled artifact to the live graph and run it once."""
+        """Bind a compiled artifact to the live graph and run it once.
+
+        ``on_commit`` (write queries only) runs after a successful
+        execution while the write lock is still held — the durability
+        layer's hook: appending to the write log inside the lock keeps
+        log order identical to the order writers actually committed in."""
         stats = QueryStatistics(cached_execution=cached)
         ctx = ExecContext(
             self.graph,
@@ -105,6 +111,8 @@ class QueryEngine:
         lock = self.graph.lock.write() if compiled.writes else self.graph.lock.read()
         with lock:
             columns, rows = self._run(compiled, ctx)
+            if on_commit is not None and compiled.writes:
+                on_commit()
         stats.execution_time_ms = (time.perf_counter() - started) * 1e3
         return ResultSet(columns, rows, stats)
 
@@ -154,13 +162,20 @@ class QueryEngine:
                 )
         return compiled.explain()
 
-    def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
+    def profile(
+        self,
+        text: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        on_commit: Optional[Callable[[], None]] = None,
+    ) -> Tuple[ResultSet, str]:
         """Execute with per-operation record counts and timings
         (GRAPH.PROFILE).  Metering lives in the run's ProfileRun, so
         profiling a cached plan neither mutates it nor races concurrent
-        executions of the same artifact."""
+        executions of the same artifact.  ``on_commit`` behaves as in
+        :meth:`execute` — a PROFILE of a write query is still a write."""
         compiled, hit = self.get_plan(text)
         run = ProfileRun()
-        result = self.execute(compiled, params, cached=hit, profile_run=run)
+        result = self.execute(compiled, params, cached=hit, profile_run=run, on_commit=on_commit)
         report = compiled.explain(profile=run)
         return result, report

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import operator
 import time
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -273,22 +273,50 @@ class BulkWriter:
     # ------------------------------------------------------------------
     # Commit
     # ------------------------------------------------------------------
-    def commit(self, *, lock: bool = True) -> BulkReport:
+    def staged_payload(self) -> Dict[str, list]:
+        """The staged batches as a JSON-able columnar document — what the
+        durability layer logs for a bulk commit, and what
+        :meth:`~repro.api.GraphDB.bulk_insert` accepts back on replay."""
+        nodes = [
+            {"labels": list(nb.labels), "count": nb.count, "properties": nb.props}
+            for nb in self._node_batches
+        ]
+        edges = [
+            {
+                "type": eb.reltype,
+                "src": eb.src.tolist(),
+                "dst": eb.dst.tolist(),
+                "properties": eb.props,
+                "endpoints": eb.endpoints,
+                "record": eb.record,
+            }
+            for eb in self._edge_batches
+        ]
+        return {"nodes": nodes, "edges": edges}
+
+    def commit(self, *, lock: bool = True, on_commit: Optional[Callable[[], None]] = None) -> BulkReport:
         """Apply every staged batch in one atomic pass.
 
         Validation runs before any mutation, so the expected failure
         modes (bad endpoints, unknown batch indices) leave the graph
         untouched.  With ``lock=True`` (default) the whole application
         happens under the graph's write lock — readers observe either
-        none or all of the bulk load."""
+        none or all of the bulk load.  ``on_commit`` runs after a
+        successful apply while the write lock is still held (the
+        durability layer's log hook, mirroring
+        :meth:`repro.execplan.executor.QueryEngine.execute`)."""
         self._check_open()
         started = time.perf_counter()
         graph = self.graph
         if lock:
             with graph.lock.write():
                 report = self._apply(graph)
+                if on_commit is not None:
+                    on_commit()
         else:
             report = self._apply(graph)
+            if on_commit is not None:
+                on_commit()
         self._state = "committed"
         report.execution_time_ms = (time.perf_counter() - started) * 1e3
         return report

@@ -36,6 +36,20 @@ class GraphConfig:
         caching entirely; changing it at runtime (``GRAPH.CONFIG SET
         PLAN_CACHE_SIZE``) bumps the graph's schema version so stale
         artifacts are dropped.
+    wal_fsync:
+        Write-log fsync policy when the server runs with a data dir:
+        ``"always"`` (fsync every append), ``"everysec"`` (at most one
+        fsync per second — Redis's default appendfsync), ``"no"`` (leave
+        flushing to the OS).  Settable at runtime via ``GRAPH.CONFIG SET
+        WAL_FSYNC``.
+    wal_rotate_bytes:
+        Size at which the active write-log segment rotates; snapshot
+        truncation drops whole redundant segments.
+    auto_snapshot_ops:
+        Snapshot a graph automatically once this many mutations have been
+        logged against it since its last snapshot (``0`` disables — the
+        analogue of Redis's ``save`` thresholds).  Settable at runtime
+        via ``GRAPH.CONFIG SET AUTO_SNAPSHOT_OPS``.
     """
 
     thread_count: int = field(default_factory=_default_thread_count)
@@ -43,6 +57,9 @@ class GraphConfig:
     delta_max_pending: int = 10_000
     traverse_batch_size: int = 64
     plan_cache_size: int = 256
+    wal_fsync: str = "everysec"
+    wal_rotate_bytes: int = 64 * 1024 * 1024
+    auto_snapshot_ops: int = 0
 
     def validate(self) -> "GraphConfig":
         if self.thread_count < 1:
@@ -55,4 +72,10 @@ class GraphConfig:
             raise ValueError("traverse_batch_size must be >= 1")
         if self.plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0 (0 disables caching)")
+        if self.wal_fsync not in ("always", "everysec", "no"):
+            raise ValueError("wal_fsync must be one of 'always', 'everysec', 'no'")
+        if self.wal_rotate_bytes < 4096:
+            raise ValueError("wal_rotate_bytes must be >= 4096")
+        if self.auto_snapshot_ops < 0:
+            raise ValueError("auto_snapshot_ops must be >= 0 (0 disables auto-snapshots)")
         return self

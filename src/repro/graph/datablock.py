@@ -57,6 +57,21 @@ class DataBlock(Generic[T]):
         self._count += n
         return ids
 
+    def free_list(self) -> List[int]:
+        """A copy of the free list in pop order — persisted so a restored
+        block recycles deleted ids exactly like the original."""
+        return list(self._free)
+
+    @classmethod
+    def restore(cls, slots: Sequence[Optional[T]], free: Sequence[int]) -> "DataBlock[T]":
+        """Rebuild a block from persisted state: ``slots`` aligned by id
+        (``None`` marks a tombstone) and ``free`` the saved free list."""
+        block: "DataBlock[T]" = cls()
+        block._slots = [_TOMBSTONE if item is None else item for item in slots]
+        block._free = list(free)
+        block._count = len(block._slots) - len(block._free)
+        return block
+
     def alive_mask(self) -> np.ndarray:
         """Boolean mask over slots: True where a live item sits (the
         vectorized form of per-id :meth:`exists` probes)."""

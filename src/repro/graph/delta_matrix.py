@@ -34,6 +34,15 @@ _I64 = np.int64
 _EMPTY_I64 = np.empty(0, dtype=_I64)
 
 
+def _transpose_keys(keys: np.ndarray, ncols: int) -> np.ndarray:
+    """Linear keys of the transposed coordinates (``i*n+j`` → ``j*n+i``),
+    re-sorted.  O(k log k) in the delta count only."""
+    if not len(keys):
+        return keys
+    rows, cols = np.divmod(keys, _I64(ncols))
+    return np.sort(cols * _I64(ncols) + rows)
+
+
 class DeltaMatrixView:
     """A read-only, Matrix-like overlay ``(base ⊕ Δ+) ⊖ Δ−``.
 
@@ -271,6 +280,12 @@ class DeltaMatrix:
         self._base_keys: Optional[np.ndarray] = _EMPTY_I64
         self._delta_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._view_cache: Optional[DeltaMatrixView] = None
+        # transpose of the base CSR, keyed by base identity: survives
+        # pending writes (the base only changes on flush/splice/rebind),
+        # so transposed reads pay O(deltas) per write, not O(nvals)
+        self._base_T: Optional[Matrix] = None
+        self._base_T_for: Optional[Matrix] = None
+        self._tview_cache: Optional[DeltaMatrixView] = None
         self._generation = 0
         self.max_pending = max_pending
 
@@ -302,6 +317,7 @@ class DeltaMatrix:
     def _touch(self) -> None:
         self._delta_cache = None
         self._view_cache = None
+        self._tview_cache = None  # _base_T survives: it tracks base identity
         self._generation += 1
 
     @staticmethod
@@ -448,9 +464,31 @@ class DeltaMatrix:
         cols, _ = self.overlay().row(i)
         return cols
 
-    def transposed(self) -> Matrix:
-        """The memoized transpose of the overlay (no flush)."""
-        return self.overlay().transpose()
+    def _transposed_base(self) -> Matrix:
+        """The base CSR's transpose, cached by base identity — recomputed
+        only when flush/splice/resize rebinds the base matrix."""
+        base = self._base
+        if self._base_T_for is not base:
+            self._base_T = base.transpose()
+            self._base_T_for = base
+        return self._base_T
+
+    def transposed(self) -> DeltaMatrixView:
+        """The transposed overlay ``((base ⊕ Δ+) ⊖ Δ−)ᵀ`` (no flush).
+
+        Evaluated as ``(baseᵀ ⊕ Δ+ᵀ) ⊖ Δ−ᵀ``: the expensive base transpose
+        is cached across write generations, and each write generation only
+        pays re-sorting the (small) delta key arrays — incoming-edge
+        traversals on write-heavy graphs no longer re-transpose the full
+        matrix after every write."""
+        if self._tview_cache is None:
+            base_t = self._transposed_base()
+            add, dele = self._deltas()
+            n = self._base.ncols
+            self._tview_cache = DeltaMatrixView(
+                base_t, _transpose_keys(add, n), _transpose_keys(dele, n), self.nvals()
+            )
+        return self._tview_cache
 
     # ------------------------------------------------------------------
     # Compaction — the only path that rewrites the base CSR

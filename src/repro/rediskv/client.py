@@ -120,6 +120,11 @@ class RedisClient:
     def graph_delete(self, key: str) -> str:
         return str(self.execute("GRAPH.DELETE", key))
 
+    def graph_save(self, key: str) -> str:
+        """``GRAPH.SAVE <key>`` — snapshot the graph to the server's data
+        dir now (requires the server to run with durability enabled)."""
+        return str(self.execute("GRAPH.SAVE", key))
+
     def graph_list(self) -> List[str]:
         return list(self.execute("GRAPH.LIST"))
 

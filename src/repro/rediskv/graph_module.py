@@ -31,10 +31,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import GraphDB
 from repro.errors import ReproError, ResponseError
+from repro.execplan.compiled import CompiledQuery
+from repro.execplan.ops_update import CreateIndexOp, DropIndexOp
 from repro.execplan.resultset import ResultSet
 from repro.graph.bulk import BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.entities import Edge, Node
+from repro.graph.wal import FSYNC_POLICIES
+from repro.rediskv.durability import DurabilityManager
 from repro.rediskv.keyspace import Keyspace
 
 __all__ = ["GraphModule", "parse_cypher_params", "encode_value"]
@@ -135,6 +139,12 @@ def encode_value(value: Any) -> Any:
     return value
 
 
+def _walk_ops(op):
+    yield op
+    for child in op.children:
+        yield from _walk_ops(child)
+
+
 class _BulkSession:
     """One in-flight GRAPH.BULK load: the target graph plus its writer.
 
@@ -160,9 +170,16 @@ class _BulkSession:
 class GraphModule:
     """Owns the per-key GraphDB instances reachable through a keyspace."""
 
-    def __init__(self, keyspace: Keyspace, config: Optional[GraphConfig] = None) -> None:
+    def __init__(
+        self,
+        keyspace: Keyspace,
+        config: Optional[GraphConfig] = None,
+        durability: Optional[DurabilityManager] = None,
+    ) -> None:
         self.keyspace = keyspace
         self.config = config or GraphConfig()
+        # attached by the server AFTER recovery (replay must not re-log)
+        self.durability = durability
         self._bulk_sessions: Dict[str, _BulkSession] = {}
         self._bulk_lock = threading.Lock()
         self._bulk_counter = itertools.count(1)
@@ -188,8 +205,61 @@ class GraphModule:
     # ------------------------------------------------------------------
     def query(self, key: str, query_text: str) -> list:
         text, params = parse_cypher_params(query_text)
-        result = self._graph(key).query(text, params)
+        db = self._graph(key)
+        compiled, cached = db.engine.get_plan(text)
+        on_commit = None
+        if compiled.writes and self.durability is not None:
+            on_commit = self._log_hook(key, compiled, text, params)
+        result = db.engine.execute(compiled, params, cached=cached, on_commit=on_commit)
+        if on_commit is not None:
+            self._maybe_auto_snapshot(key, db)
         return self._result_reply(result)
+
+    def _log_hook(self, key: str, compiled: CompiledQuery, text: str, params: Dict[str, Any]):
+        """The durability append for one write query, to run inside the
+        graph's write lock after a successful execution.  Index create/
+        drop statements get first-class record kinds (replayed against
+        the graph directly — no recompilation); everything else logs as
+        a ``query`` record."""
+        index_ops: List[Tuple[str, str, str]] = []
+        for planned in compiled.plans:
+            for op in _walk_ops(planned.root):
+                if isinstance(op, CreateIndexOp):
+                    index_ops.append(("create", op._label, op._attribute))
+                elif isinstance(op, DropIndexOp):
+                    index_ops.append(("drop", op._label, op._attribute))
+        if index_ops and len(index_ops) == len(compiled.plans):
+
+            def log_index() -> None:
+                for op, label, attribute in index_ops:
+                    self.durability.log_index(key, op, label, attribute)
+
+            return log_index
+        return lambda: self.durability.log_query(key, text, params)
+
+    def _maybe_auto_snapshot(self, key: str, db: GraphDB) -> None:
+        """Dirty-counter-driven snapshot.  Runs on a background thread so
+        the write that crossed the threshold doesn't pay the snapshot
+        write in its own ack; the manager's in-flight guard collapses
+        racing triggers to one save."""
+        if self.durability is not None and self.durability.should_snapshot(key):
+            threading.Thread(
+                target=self.durability.save_graph,
+                args=(key, db),
+                name=f"auto-snapshot-{key}",
+                daemon=True,
+            ).start()
+
+    def save(self, key: str) -> str:
+        """GRAPH.SAVE — snapshot one graph to the data dir now."""
+        if self.durability is None:
+            raise ResponseError("ERR persistence is not enabled (start the server with a data dir)")
+        db = self._graph(key, create=False)
+        if not self.durability.save_graph(key, db):
+            raise ResponseError(
+                f"ERR background save of graph key {key!r} is already in progress"
+            )
+        return "OK"
 
     def ro_query(self, key: str, query_text: str) -> list:
         text, params = parse_cypher_params(query_text)
@@ -208,7 +278,15 @@ class GraphModule:
 
     def profile(self, key: str, query_text: str) -> List[str]:
         text, params = parse_cypher_params(query_text)
-        _, report = self._graph(key).profile(text, params)
+        db = self._graph(key)
+        on_commit = None
+        if self.durability is not None:
+            compiled, _ = db.engine.get_plan(text)
+            if compiled.writes:
+                on_commit = self._log_hook(key, compiled, text, params)
+        _, report = db.engine.profile(text, params, on_commit=on_commit)
+        if on_commit is not None:
+            self._maybe_auto_snapshot(key, db)
         return report.splitlines()
 
     # ------------------------------------------------------------------
@@ -303,7 +381,13 @@ class GraphModule:
                 raise ResponseError(
                     f"ERR graph key {key!r} was deleted or replaced during the bulk session"
                 )
-            report = session.writer.commit()
+            on_commit = None
+            if self.durability is not None:
+                payload = session.writer.staged_payload()
+                on_commit = lambda: self.durability.log_bulk(key, payload)  # noqa: E731
+            report = session.writer.commit(on_commit=on_commit)
+            if on_commit is not None:
+                self._maybe_auto_snapshot(key, session.db)
         # a GRAPH.DELETE racing the commit orphans the target after the
         # pre-check: re-verify so the client never gets a success reply
         # for data that is no longer reachable under the key
@@ -336,7 +420,14 @@ class GraphModule:
     # ------------------------------------------------------------------
     # GRAPH.CONFIG (runtime knobs, RedisGraph style)
     # ------------------------------------------------------------------
-    _CONFIG_READABLE = ("PLAN_CACHE_SIZE", "THREAD_COUNT", "TRAVERSE_BATCH_SIZE", "DELTA_MAX_PENDING")
+    _CONFIG_READABLE = (
+        "PLAN_CACHE_SIZE",
+        "THREAD_COUNT",
+        "TRAVERSE_BATCH_SIZE",
+        "DELTA_MAX_PENDING",
+        "WAL_FSYNC",
+        "AUTO_SNAPSHOT_OPS",
+    )
 
     def config_get(self, name: str) -> list:
         upper = name.upper()
@@ -347,27 +438,58 @@ class GraphModule:
         return [upper, getattr(self.config, upper.lower())]
 
     def config_set(self, name: str, value: str) -> str:
-        if name.upper() != "PLAN_CACHE_SIZE":
+        upper = name.upper()
+        if upper == "PLAN_CACHE_SIZE":
+            capacity = self._config_int(upper, value)
+            self.config.plan_cache_size = capacity
+            # apply to every live graph: resize its cache and bump its
+            # schema version so pre-change artifacts are not reused
+            for key in self.keyspace.graph_keys():
+                db = self.keyspace.get_graph(key)
+                if db is not None:
+                    db.engine.set_plan_cache_size(capacity)
+        elif upper == "WAL_FSYNC":
+            policy = value.lower()
+            if policy not in FSYNC_POLICIES:
+                raise ResponseError(
+                    f"ERR invalid value {value!r} for WAL_FSYNC (expected one of {', '.join(FSYNC_POLICIES)})"
+                )
+            self.config.wal_fsync = policy
+            if self.durability is not None:
+                self.durability.set_fsync(policy)
+        elif upper == "AUTO_SNAPSHOT_OPS":
+            self.config.auto_snapshot_ops = self._config_int(upper, value)
+        else:
             raise ResponseError(f"ERR configuration parameter {name!r} is not settable at runtime")
-        try:
-            capacity = int(value)
-        except ValueError:
-            raise ResponseError(f"ERR invalid value {value!r} for PLAN_CACHE_SIZE") from None
-        if capacity < 0:
-            raise ResponseError("ERR PLAN_CACHE_SIZE must be >= 0")
-        self.config.plan_cache_size = capacity
-        # apply to every live graph: resize its cache and bump its schema
-        # version so pre-change artifacts are not reused
-        for key in self.keyspace.graph_keys():
-            db = self.keyspace.get_graph(key)
-            if db is not None:
-                db.engine.set_plan_cache_size(capacity)
+        if self.durability is not None:
+            self.durability.log_config(upper, getattr(self.config, upper.lower()))
         return "OK"
 
+    @staticmethod
+    def _config_int(name: str, value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise ResponseError(f"ERR invalid value {value!r} for {name}") from None
+        if parsed < 0:
+            raise ResponseError(f"ERR {name} must be >= 0")
+        return parsed
+
     def delete(self, key: str) -> str:
-        if self.keyspace.get_graph(key) is None:
+        db = self.keyspace.get_graph(key)
+        if db is None:
             raise ResponseError(f"ERR graph key {key!r} does not exist")
-        self.keyspace.delete(key)
+        # log + unmap under the graph's write lock, delete record first:
+        # writers that committed (and logged) before us hold this lock, so
+        # their records sequence below the delete; a re-create of the key
+        # can only observe the keyspace after the delete record is durable,
+        # so its records sequence above it — replay order matches live order
+        with db.graph.lock.write():
+            if self.keyspace.peek_graph(key) is not db:
+                raise ResponseError(f"ERR graph key {key!r} does not exist")
+            if self.durability is not None:
+                self.durability.log_delete(key)
+            self.keyspace.delete(key)
         return "OK"
 
     def list_graphs(self) -> List[str]:

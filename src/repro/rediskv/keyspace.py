@@ -44,6 +44,12 @@ class Keyspace:
             raise WrongTypeError()
         return entry[1]
 
+    def peek_graph(self, key: str):
+        """The GraphDB at ``key``, or None for a missing/non-graph key
+        (never raises — the durability layer's identity probe)."""
+        entry = self._data.get(key)
+        return entry[1] if entry is not None and entry[0] == "graph" else None
+
     def delete(self, *keys: str) -> int:
         removed = 0
         for key in keys:

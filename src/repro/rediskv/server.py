@@ -26,6 +26,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro._version import __version__
 from repro.errors import ReproError, WrongTypeError
 from repro.graph.config import GraphConfig
+from repro.rediskv.durability import DurabilityManager
 from repro.rediskv.graph_module import GraphModule
 from repro.rediskv.keyspace import Keyspace
 from repro.rediskv.resp import NEED_MORE, RespParser, SimpleString, encode
@@ -62,10 +63,19 @@ class RedisLikeServer:
         port: int = 0,
         *,
         config: Optional[GraphConfig] = None,
+        data_dir: Optional[str] = None,
     ) -> None:
         self.config = (config or GraphConfig()).validate()
         self.keyspace = Keyspace()
         self.module = GraphModule(self.keyspace, self.config)
+        # durability: recover (snapshots + write-log tail) BEFORE wiring
+        # the module to the manager, so replay never re-logs itself
+        self.durability: Optional[DurabilityManager] = None
+        self.recovery_stats: Optional[Dict[str, int]] = None
+        if data_dir is not None:
+            self.durability = DurabilityManager(data_dir, self.config, self.keyspace)
+            self.recovery_stats = self.durability.recover(self.module)
+            self.module.durability = self.durability
         self.pool = ThreadPool(self.config.thread_count)
         self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -126,6 +136,8 @@ class RedisLikeServer:
 
     def _teardown(self) -> None:
         self.pool.shutdown()
+        if self.durability is not None:
+            self.durability.close()  # flush + fsync the write log
         for conn in list(self._conns.values()):
             self._close(conn)
         self._selector.close()
@@ -265,6 +277,10 @@ class RedisLikeServer:
             if len(args) != 1:
                 raise WrongArity(name)
             return SimpleString(self.module.delete(args[0]))
+        if name == "GRAPH.SAVE":
+            if len(args) != 1:
+                raise WrongArity(name)
+            return SimpleString(self.module.save(args[0]))
         if name == "GRAPH.LIST":
             return self.module.list_graphs()
         if name == "GRAPH.CONFIG":
@@ -338,11 +354,38 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=6379)
     parser.add_argument("--threads", type=int, default=None, help="graph module thread pool size")
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durability directory (snapshots + write log); restarting against "
+        "the same dir recovers every graph",
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        choices=["always", "everysec", "no"],
+        default=None,
+        help="write-log fsync policy (default everysec)",
+    )
+    parser.add_argument(
+        "--auto-snapshot-ops",
+        type=int,
+        default=None,
+        help="snapshot a graph after this many logged mutations (0 disables)",
+    )
     args = parser.parse_args(argv)
     config = GraphConfig()
     if args.threads is not None:
         config.thread_count = args.threads
-    server = RedisLikeServer(args.host, args.port, config=config.validate())
+    if args.wal_fsync is not None:
+        config.wal_fsync = args.wal_fsync
+    if args.auto_snapshot_ops is not None:
+        config.auto_snapshot_ops = args.auto_snapshot_ops
+    server = RedisLikeServer(args.host, args.port, config=config.validate(), data_dir=args.data_dir)
+    if server.recovery_stats is not None:
+        print(
+            f"recovered {server.recovery_stats['snapshots']} snapshot(s), "
+            f"replayed {server.recovery_stats['replayed']} log record(s) from {args.data_dir}"
+        )
     print(f"repro server listening on {server.host}:{server.port} (pool={server.pool.size})")
     try:
         server.serve_forever()

@@ -103,6 +103,48 @@ class TestTransposeCache:
         t = m.transposed()
         assert t[3, 0] is not None
 
+    def test_base_transpose_cached_across_writes(self):
+        """Writes must not re-transpose the base CSR: only the (small)
+        delta arrays are re-merged per write generation."""
+        m = DeltaMatrix(64, max_pending=10)
+        for i in range(30):  # several flushes: a real base CSR
+            m.add(i, (i * 7) % 64)
+        m.flush()
+        m.transposed()
+        base_t = m._base_T
+        assert base_t is not None
+        for i in range(5):  # pending writes, no flush
+            m.add(40 + i, i)
+            t = m.transposed()
+            assert m._base_T is base_t  # base unchanged -> transpose reused
+            assert t[i, 40 + i] is not None
+        m.flush()  # base rebinds -> the cached transpose is recomputed
+        m.transposed()
+        assert m._base_T is not base_t
+
+    def test_transposed_overlay_matches_materialized_transpose(self):
+        rng = np.random.default_rng(7)
+        m = DeltaMatrix(32, max_pending=20)
+        for i, j in rng.integers(0, 32, size=(60, 2)):
+            m.add(int(i), int(j))
+        m.flush()
+        for i, j in rng.integers(0, 32, size=(15, 2)):
+            m.add(int(i), int(j))
+        for i, j in rng.integers(0, 32, size=(10, 2)):
+            m.delete(int(i), int(j))
+        expected = m.overlay().materialize().transpose().to_dense()
+        got = m.transposed().materialize().to_dense()
+        assert np.array_equal(got, expected)
+        assert m.transposed().nvals == m.nvals()
+
+    def test_transposed_row_reads_without_materializing(self):
+        m = DeltaMatrix(8)
+        m.add(1, 5)
+        m.add(2, 5)
+        t = m.transposed()
+        cols, _ = t.row(5)  # incoming edges of node 5
+        assert cols.tolist() == [1, 2]
+
 
 class TestFlushFreeReads:
     """Reads evaluate the (base ⊕ Δ+) ⊖ Δ− overlay and never flush."""
