@@ -4,7 +4,9 @@ Two knobs the paper's design argues for:
 
 * **batching**: ConditionalTraverse multiplies a whole batch of source
   rows per matrix product.  batch=1 degrades to per-record products
-  (pointer-chasing-with-matrices); batch=64 is the default.
+  (pointer-chasing-with-matrices).  The knob is ``exec_batch_size``
+  (which since ISSUE 5 batches the whole operator pipeline, traversal
+  included; ``traverse_batch_size`` remains as a deprecated alias).
 * **algebra vs adjacency**: the same 2-hop count through the matrix
   engine vs a per-row Python adjacency walk.
 """
@@ -19,7 +21,7 @@ from repro.graph.config import GraphConfig
 @pytest.fixture(scope="module", params=[1, 8, 64], ids=["batch1", "batch8", "batch64"])
 def db_with_batch(request, graph500):
     src, dst, n = graph500
-    config = GraphConfig(node_capacity=max(1, n), traverse_batch_size=request.param)
+    config = GraphConfig(node_capacity=max(1, n), exec_batch_size=request.param)
     db = build_graphdb(src, dst, n, config=config)
     db.graph.flush_all()
     return request.param, db

@@ -1,0 +1,134 @@
+"""Vectorized execution-engine ablation — batched vs row-at-a-time.
+
+The same compiled plans run twice: once with ``exec_batch_size=1``
+(exactly the old ``Iterator[Record]`` engine — every operator handles one
+row per Python-level step) and once at the default batch granularity,
+where scans emit id columns, the traversal keeps its matmul COO output
+columnar, filters evaluate as numpy masks over one bulk property gather,
+and aggregation group-bys factorize through ``np.unique``.
+
+Arms (the graph is a 2 000-source × 50-fanout 1-hop neighborhood,
+~100 000 traversal rows before filtering):
+
+* ``filter_project`` — the headline: filter-heavy 1-hop returning
+  property columns.  CI bar: batched >= 3x row-at-a-time (~10x measured;
+  ``exec_batch_size=1`` gates every vectorized fast path off, so the
+  baseline is the genuine scalar engine).
+* ``return_handles`` — same filter but returning the node variable, so
+  every surviving row pays lazy handle materialization on escape.
+* ``aggregate`` — grouped count over the traversal (np.unique fast path).
+* ``sort_topk`` — ORDER BY … LIMIT over the filtered stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GraphDB
+from repro.graph.config import GraphConfig
+
+N_SRC = 2_000
+N_DST = 5_000
+FANOUT = 50
+DEFAULT_BATCH = 1_024
+
+FILTER_PROJECT = (
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+    "WHERE b.age > 30 AND b.age < 70 RETURN a.age, b.age"
+)
+RETURN_HANDLES = (
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+    "WHERE b.age > 30 AND b.age < 70 RETURN a, b.age"
+)
+AGGREGATE = "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, count(b)"
+SORT_TOPK = (
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+    "WHERE b.age > 30 RETURN b.age ORDER BY b.age DESC LIMIT 100"
+)
+
+ARMS = {
+    "filter_project": FILTER_PROJECT,
+    "return_handles": RETURN_HANDLES,
+    "aggregate": AGGREGATE,
+    "sort_topk": SORT_TOPK,
+}
+
+
+@pytest.fixture(scope="module")
+def db():
+    d = GraphDB("bench-exec-engine", GraphConfig(node_capacity=8192))
+    g = d.graph
+    rng = np.random.default_rng(42)
+    with g.lock.write():
+        src_ids = g.bulk_load_nodes(
+            N_SRC,
+            label="Person",
+            properties={"age": rng.integers(18, 80, N_SRC).tolist()},
+        )
+        dst_ids = g.bulk_load_nodes(
+            N_DST,
+            label="Person",
+            properties={"age": rng.integers(18, 80, N_DST).tolist()},
+        )
+        g.bulk_load_edges(
+            np.repeat(src_ids, FANOUT),
+            rng.choice(dst_ids, size=N_SRC * FANOUT),
+            "KNOWS",
+        )
+    return d
+
+
+def run_query(db, query, batch_size):
+    db.graph.config.exec_batch_size = batch_size
+    try:
+        return len(db.query(query))
+    finally:
+        db.graph.config.exec_batch_size = DEFAULT_BATCH
+
+
+@pytest.mark.parametrize("arm", sorted(ARMS))
+@pytest.mark.parametrize("mode", ["row", "batched"])
+def test_exec_engine(benchmark, db, arm, mode):
+    query = ARMS[arm]
+    batch_size = 1 if mode == "row" else DEFAULT_BATCH
+    run_query(db, query, batch_size)  # prime the plan cache
+    benchmark.extra_info["arm"] = arm
+    benchmark.extra_info["mode"] = mode
+    rows = benchmark(run_query, db, query, batch_size)
+    assert rows > 0
+
+
+def test_differential_rowcounts(db):
+    """Both engines agree on every arm's cardinality (the bench-level
+    slice of the differential net in tests/execplan)."""
+    for arm, query in ARMS.items():
+        assert run_query(db, query, 1) == run_query(db, query, DEFAULT_BATCH), arm
+
+
+def test_batched_speedup_headline(db):
+    """The acceptance check itself (runs even with --benchmark-disable):
+    batched execution >= 3x row-at-a-time on the filter-heavy ~100k-row
+    1-hop arm (ISSUE-5 CI bar; target 5x).
+
+    Best-of-3 with min-time per side so a GC pause on a noisy CI box
+    cannot fake a regression; REPRO_BENCH_EXEC_SPEEDUP_MIN overrides."""
+    import os
+    import time
+
+    def best_of(trials, fn):
+        best = float("inf")
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    run_query(db, FILTER_PROJECT, 1)  # prime
+    row = best_of(3, lambda: run_query(db, FILTER_PROJECT, 1))
+    batched = best_of(3, lambda: run_query(db, FILTER_PROJECT, DEFAULT_BATCH))
+    speedup = row / batched
+    floor = float(os.environ.get("REPRO_BENCH_EXEC_SPEEDUP_MIN", "3"))
+    print(
+        f"\nexec-engine speedup (filter_project): row={row:.4f}s "
+        f"batched={batched:.4f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= floor, f"batched only {speedup:.1f}x faster (need >= {floor}x)"

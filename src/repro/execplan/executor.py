@@ -110,39 +110,48 @@ class QueryEngine:
         started = time.perf_counter()
         lock = self.graph.lock.write() if compiled.writes else self.graph.lock.read()
         with lock:
-            columns, rows = self._run(compiled, ctx)
+            result = self._run(compiled, ctx, stats)
             if on_commit is not None and compiled.writes:
                 on_commit()
         stats.execution_time_ms = (time.perf_counter() - started) * 1e3
-        return ResultSet(columns, rows, stats)
+        return result
 
     def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
         """Execute a query and return its ResultSet."""
         compiled, hit = self.get_plan(text)
         return self.execute(compiled, params, cached=hit)
 
-    def _run(self, compiled: CompiledQuery, ctx: ExecContext):
+    def _run(self, compiled: CompiledQuery, ctx: ExecContext, stats) -> ResultSet:
+        """Execute every plan part; read results serialize column-wise
+        straight from the operator pipeline's RecordBatches."""
         columns: List[str] = []
-        rows: List[tuple] = []
+        column_data: List[List[Any]] = []
         for planned in compiled.plans:
             if planned.columns is not None:
                 columns = planned.columns
-                rows.extend(tuple(rec) for rec in planned.root.produce(ctx))
+                if not column_data:
+                    column_data = [[] for _ in columns]
+                for batch in planned.root.produce_batches(ctx):
+                    if not batch.length:
+                        continue
+                    for out, col in zip(column_data, batch.columns):
+                        out.extend(col.to_objects().tolist())
             else:
                 for _ in planned.root.produce(ctx):
                     pass  # update-only: drain for side effects
         if len(compiled.plans) > 1 and not compiled.union_all:
             from repro.execplan.ops_stream import _hashable
 
+            rows = list(zip(*column_data)) if column_data and column_data[0] else []
             seen = set()
-            deduped = []
+            deduped: List[tuple] = []
             for row in rows:
                 key = tuple(_hashable(v) for v in row)
                 if key not in seen:
                     seen.add(key)
                     deduped.append(row)
-            rows = deduped
-        return columns, rows
+            return ResultSet(columns, deduped, stats)
+        return ResultSet.from_columns(columns, column_data, stats)
 
     # ------------------------------------------------------------------
     # EXPLAIN / PROFILE

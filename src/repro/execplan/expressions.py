@@ -49,7 +49,16 @@ class ExecContext:
       later clauses observe their own earlier writes.
     """
 
-    __slots__ = ("graph", "params", "stats", "args", "profile", "cache_operands", "_operands")
+    __slots__ = (
+        "graph",
+        "params",
+        "stats",
+        "args",
+        "profile",
+        "cache_operands",
+        "_operands",
+        "batch_size",
+    )
 
     def __init__(self, graph, params=None, stats=None, profile=None, *, cache_operands=False) -> None:
         self.graph = graph
@@ -59,6 +68,8 @@ class ExecContext:
         self.profile = profile
         self.cache_operands = cache_operands
         self._operands = {}
+        # record-batch granularity for this run; 1 = row-at-a-time
+        self.batch_size = graph.config.exec_batch_size if graph is not None else 1
 
     def operand(self, key, resolve):
         """Bind one algebraic operand against the live graph (memoized for
@@ -237,8 +248,22 @@ def sort_key(value):
 
 
 def compile_expr(expr: A.Expr, layout: Layout) -> CompiledExpr:
-    """Compile an expression against a record layout."""
+    """Compile an expression against a record layout.
 
+    The returned closure is tagged with the source ``ast`` and ``layout``
+    so the batch compiler (:func:`repro.execplan.batch_expr.vectorize`)
+    can build the vectorized twin of the same expression; closures built
+    by hand (no tag) automatically get the per-row fallback wrapper."""
+    fn = _compile_expr(expr, layout)
+    try:
+        fn.ast = expr
+        fn.layout = layout
+    except AttributeError:  # pragma: no cover - plain functions always accept
+        pass
+    return fn
+
+
+def _compile_expr(expr: A.Expr, layout: Layout) -> CompiledExpr:
     if isinstance(expr, A.Literal):
         value = expr.value
         return lambda r, c: value

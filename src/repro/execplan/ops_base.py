@@ -1,16 +1,22 @@
 """Plan-operation base class and trivial leaves.
 
-Operations form a tree evaluated Volcano-style: ``produce(ctx)`` returns a
-fresh generator of records.  ``produce`` must be re-invocable (Apply-style
-operators re-run their subtree once per outer record) **and re-entrant
-across threads**: compiled plans are cached and shared (see
+Operations form a tree evaluated Volcano-style at *batch* granularity:
+``produce_batches(ctx)`` returns a fresh generator of
+:class:`~repro.execplan.batch.RecordBatch` columnar batches, and
+``produce(ctx)`` the equivalent row stream.  Both must be re-invocable
+(Apply-style operators re-run their subtree once per outer record) **and
+re-entrant across threads**: compiled plans are cached and shared (see
 :mod:`repro.execplan.plan_cache`), so an operation object may be executed
 by many concurrent readers at once.  Subclasses therefore implement
-``_produce`` with all state in generator locals or in the per-run
-:class:`~repro.execplan.expressions.ExecContext` — never on the operation
-object.  The base ``produce`` wrapper is also where per-run PROFILE
-metering attaches (``ctx.profile``), so profiling never mutates a cached
-plan.
+``_produce_batches`` (batch-native operators) or ``_produce``
+(row-oriented operators — updates, Apply subplans) with all state in
+generator locals or in the per-run :class:`~repro.execplan.expressions.
+ExecContext` — never on the operation object; the base class derives the
+missing form automatically (rows are chunked into ``ctx.batch_size``
+batches, batches explode into rows), so batch-native and row operators
+compose freely in one tree.  The public ``produce``/``produce_batches``
+wrappers are also where per-run PROFILE metering attaches
+(``ctx.profile``), so profiling never mutates a cached plan.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, List, Optional
 
+from repro.execplan.batch import RecordBatch
 from repro.execplan.expressions import ExecContext
 from repro.execplan.record import Layout, Record
 
@@ -37,14 +44,40 @@ class PlanOp:
 
     def produce(self, ctx: ExecContext) -> Iterator[Record]:
         """The operation's record stream for one execution (metered when
-        the run profiles).  Final: subclasses implement ``_produce``."""
+        the run profiles).  Final: subclasses implement ``_produce`` or
+        ``_produce_batches``."""
         gen = self._produce(ctx)
         if ctx.profile is not None:
             return ctx.profile.wrap(self, gen)
         return gen
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:  # pragma: no cover
-        raise NotImplementedError
+    def produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        """The operation's columnar batch stream for one execution
+        (metered when the run profiles)."""
+        gen = self._produce_batches(ctx)
+        if ctx.profile is not None:
+            return ctx.profile.wrap_batches(self, gen)
+        return gen
+
+    # Exactly one of the following is overridden by each concrete
+    # operation; the other derives from it.  The derivations call the
+    # *private* sibling so a pull is metered once, at the public entry
+    # the parent actually used.
+    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
+        for batch in self._produce_batches(ctx):
+            yield from batch.iter_rows()
+
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        size = ctx.batch_size
+        layout = self.out_layout
+        rows: List[Record] = []
+        for record in self._produce(ctx):
+            rows.append(record)
+            if len(rows) >= size:
+                yield RecordBatch.from_rows(layout, rows)
+                rows = []
+        if rows:
+            yield RecordBatch.from_rows(layout, rows)
 
     # -- plan rendering --------------------------------------------------
     def describe(self) -> str:

@@ -1,110 +1,156 @@
-"""Scan operations: the leaves that put nodes into the record stream."""
+"""Scan operations: the leaves that put nodes into the record stream.
+
+Batch-native: a childless scan slices its id vector (label-matrix
+diagonal, DataBlock slot array, index postings) straight into
+:class:`~repro.execplan.batch.EntityColumn` batches — no per-row record
+lists, no per-row ``Node`` handle construction.  Scans extending a child
+stream (correlated / cross-product forms) repeat the child batch
+columnarly (``np.repeat`` × ``np.tile``) in the same record-major order
+the row engine produced.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
+import numpy as np
+
+from repro.execplan.batch import EntityColumn, RecordBatch
 from repro.execplan.expressions import CompiledExpr, ExecContext
 from repro.execplan.ops_base import PlanOp
 from repro.execplan.record import Layout, Record
-from repro.graph.entities import Node
 
 __all__ = ["AllNodeScan", "NodeByLabelScan", "NodeByIndexScan", "NodeByIdSeek"]
 
+_I64 = np.int64
 
-class NodeByIdSeek(PlanOp):
+
+def _chunks(n: int, size: int) -> Iterator[slice]:
+    for start in range(0, n, size):
+        yield slice(start, min(start + size, n))
+
+
+class _NodeEmitScan(PlanOp):
+    """Shared machinery: emit an id vector under ``var``, optionally as a
+    nested-loop extension of a child stream."""
+
+    def __init__(self, var: str, child: Optional[PlanOp]) -> None:
+        base = child.out_layout if child is not None else Layout()
+        super().__init__([child] if child else [], base.extend(var))
+        self._var_slot = self.out_layout.slot(var)
+        self._var = var
+
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        """The ids this scan emits; ``record`` is the child row for
+        correlated scans (None for the childless form)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def _record_dependent(self) -> bool:
+        """Whether _node_ids varies per child record (index probes with
+        correlated value expressions)."""
+        return False
+
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        size = ctx.batch_size
+        graph = ctx.graph
+        layout = self.out_layout
+        if not self.children:
+            ids = np.asarray(self._node_ids(ctx, None), dtype=_I64)
+            for sl in _chunks(len(ids), size):
+                col = EntityColumn("node", ids[sl], graph)
+                yield RecordBatch(layout, [col])
+            return
+        if not self._record_dependent():
+            ids = np.asarray(self._node_ids(ctx, None), dtype=_I64)
+            k = len(ids)
+            for batch in self.children[0].produce_batches(ctx):
+                if k == 0 or batch.length == 0:
+                    continue
+                # cross-product indices generated one output chunk at a
+                # time — never the full batch×k arrays (O(size) memory)
+                total = batch.length * k
+                for sl in _chunks(total, size):
+                    flat = np.arange(sl.start, sl.stop, dtype=_I64)
+                    out = batch.take(flat // k).extend(
+                        layout, [EntityColumn("node", ids[flat % k], graph)]
+                    )
+                    yield out
+            return
+        # correlated probe: the id set depends on each child record
+        for batch in self.children[0].produce_batches(ctx):
+            rows = batch.materialize_rows()
+            idx_parts: List[np.ndarray] = []
+            dst_parts: List[np.ndarray] = []
+            for i, record in enumerate(rows):
+                ids = np.asarray(self._node_ids(ctx, record), dtype=_I64)
+                if len(ids):
+                    idx_parts.append(np.full(len(ids), i, dtype=_I64))
+                    dst_parts.append(ids)
+            if not idx_parts:
+                continue
+            idx = np.concatenate(idx_parts)
+            dst = np.concatenate(dst_parts)
+            for sl in _chunks(len(idx), size):
+                yield batch.take(idx[sl]).extend(
+                    layout, [EntityColumn("node", dst[sl], graph)]
+                )
+
+
+class NodeByIdSeek(_NodeEmitScan):
     """O(1) node lookup from a ``WHERE id(n) = <expr>`` predicate — the
     access path the k-hop benchmark's seed queries rely on."""
 
     name = "NodeByIdSeek"
 
     def __init__(self, var: str, id_expr: "CompiledExpr", child: Optional["PlanOp"] = None) -> None:
-        base = child.out_layout if child is not None else Layout()
-        super().__init__([child] if child else [], base.extend(var))
-        self._var_slot = self.out_layout.slot(var)
-        self._var = var
+        super().__init__(var, child)
         self._id_expr = id_expr
 
     def describe(self) -> str:
         return f"NodeByIdSeek | ({self._var})"
 
-    def _emit(self, ctx: ExecContext, record: Record):
-        node_id = self._id_expr(record, ctx)
-        if node_id is None or not isinstance(node_id, int) or not ctx.graph.has_node(node_id):
-            return
-        out = record + [None] * (len(self.out_layout) - len(record))
-        out[self._var_slot] = Node(ctx.graph, node_id)
-        yield out
+    def _record_dependent(self) -> bool:
+        return True
 
-    def _produce(self, ctx: ExecContext) -> "Iterator[Record]":
-        if self.children:
-            for record in self.children[0].produce(ctx):
-                yield from self._emit(ctx, record)
-        else:
-            yield from self._emit(ctx, Layout().new_record())
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        node_id = self._id_expr(record if record is not None else [], ctx)
+        # bools are not ids (id(n) = true must match nothing, like the
+        # residual filter's _equal(1, true) used to guarantee)
+        if type(node_id) is not int or not ctx.graph.has_node(node_id):
+            return np.empty(0, dtype=_I64)
+        return np.asarray([node_id], dtype=_I64)
 
 
-class AllNodeScan(PlanOp):
+class AllNodeScan(_NodeEmitScan):
     """Emit every live node bound to ``var`` (optionally extending a child
     stream as a nested-loop cross product)."""
 
     name = "AllNodeScan"
 
-    def __init__(self, var: str, child: Optional[PlanOp] = None) -> None:
-        base = child.out_layout if child is not None else Layout()
-        super().__init__([child] if child else [], base.extend(var))
-        self._var_slot = self.out_layout.slot(var)
-        self._var = var
-
     def describe(self) -> str:
         return f"AllNodeScan | ({self._var})"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        node_ids = ctx.graph.all_node_ids()
-        if self.children:
-            for record in self.children[0].produce(ctx):
-                for nid in node_ids:
-                    out = record + [None] * (len(self.out_layout) - len(record))
-                    out[self._var_slot] = Node(ctx.graph, int(nid))
-                    yield out
-        else:
-            for nid in node_ids:
-                out = self.out_layout.new_record()
-                out[self._var_slot] = Node(ctx.graph, int(nid))
-                yield out
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        return ctx.graph.all_node_ids()
 
 
-class NodeByLabelScan(PlanOp):
+class NodeByLabelScan(_NodeEmitScan):
     """Emit nodes carrying a label — reads the label matrix diagonal."""
 
     name = "NodeByLabelScan"
 
     def __init__(self, var: str, label: str, child: Optional[PlanOp] = None) -> None:
-        base = child.out_layout if child is not None else Layout()
-        super().__init__([child] if child else [], base.extend(var))
-        self._var_slot = self.out_layout.slot(var)
-        self._var = var
+        super().__init__(var, child)
         self._label = label
 
     def describe(self) -> str:
         return f"NodeByLabelScan | ({self._var}:{self._label})"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        node_ids = ctx.graph.nodes_with_label(self._label)
-        if self.children:
-            for record in self.children[0].produce(ctx):
-                for nid in node_ids:
-                    out = record + [None] * (len(self.out_layout) - len(record))
-                    out[self._var_slot] = Node(ctx.graph, int(nid))
-                    yield out
-        else:
-            for nid in node_ids:
-                out = self.out_layout.new_record()
-                out[self._var_slot] = Node(ctx.graph, int(nid))
-                yield out
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        return ctx.graph.nodes_with_label(self._label)
 
 
-class NodeByIndexScan(PlanOp):
+class NodeByIndexScan(_NodeEmitScan):
     """Probe an exact-match index: ``MATCH (n:L {attr: value})`` where an
     index exists on (L, attr)."""
 
@@ -118,10 +164,7 @@ class NodeByIndexScan(PlanOp):
         value: CompiledExpr,
         child: Optional[PlanOp] = None,
     ) -> None:
-        base = child.out_layout if child is not None else Layout()
-        super().__init__([child] if child else [], base.extend(var))
-        self._var_slot = self.out_layout.slot(var)
-        self._var = var
+        super().__init__(var, child)
         self._label = label
         self._attribute = attribute
         self._value = value
@@ -129,30 +172,22 @@ class NodeByIndexScan(PlanOp):
     def describe(self) -> str:
         return f"NodeByIndexScan | ({self._var}:{self._label} {{{self._attribute}}})"
 
-    def _ids(self, ctx: ExecContext, record: Record):
+    def _record_dependent(self) -> bool:
+        return True
+
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
         index = ctx.graph.get_index(self._label, self._attribute)
-        value = self._value(record, ctx)
+        value = self._value(record if record is not None else [], ctx)
         if index is None:
             # the index vanished between plan lookup and execution (the
             # schema-version bump invalidates the cached plan for the NEXT
             # request); degrade to a filtered label scan rather than fail
-            return [
-                int(nid)
-                for nid in ctx.graph.nodes_with_label(self._label)
-                if ctx.graph.node_property(int(nid), self._attribute) == value
-            ]
-        return sorted(index.lookup(value))
-
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        if self.children:
-            for record in self.children[0].produce(ctx):
-                for nid in self._ids(ctx, record):
-                    out = record + [None] * (len(self.out_layout) - len(record))
-                    out[self._var_slot] = Node(ctx.graph, int(nid))
-                    yield out
-        else:
-            empty = Layout().new_record()
-            for nid in self._ids(ctx, empty):
-                out = self.out_layout.new_record()
-                out[self._var_slot] = Node(ctx.graph, int(nid))
-                yield out
+            return np.asarray(
+                [
+                    int(nid)
+                    for nid in ctx.graph.nodes_with_label(self._label)
+                    if ctx.graph.node_property(int(nid), self._attribute) == value
+                ],
+                dtype=_I64,
+            )
+        return np.asarray(sorted(index.lookup(value)), dtype=_I64)

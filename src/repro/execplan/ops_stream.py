@@ -1,11 +1,46 @@
 """Record-stream operations: filter, project, aggregate, sort, distinct,
-skip/limit, unwind, cartesian product, optional (apply) and results."""
+skip/limit, unwind, cartesian product, optional (apply) and results.
+
+Batch-native since the vectorized-engine refactor: operators consume and
+emit :class:`~repro.execplan.batch.RecordBatch` columns —
+
+* Filter   = predicate kernel → boolean-mask compress,
+* Project  = column-at-a-time expression evaluation,
+* Aggregate= ``np.unique``-keyed group-by fast path for
+  count/sum/avg/min/max (object-dict fallback for everything else),
+* Distinct = unique over handle-free key columns,
+* Sort     = ``np.lexsort`` on typed key columns (+ top-k slice),
+* Skip/Limit = batch slicing with cross-batch carry,
+* Unwind/CartesianProduct = ``np.repeat``/``np.tile`` row gathers.
+
+Semantics guard rail: every vectorized evaluation that raises a Cypher
+error is retried per row (the scalar closures), so batching can only
+change *when* an error surfaces, never *whether* one does or what a
+result contains; ``exec_batch_size=1`` is exactly the row engine.  One
+documented exception: ``sum``/``avg`` over *floats* may differ in the
+last ULP across batch sizes — per-batch subtotals re-associate float
+addition (integer sums stay exact below 2**53).
+``ApplyOptional`` stays row-oriented — its contract is inherently
+one-outer-record-at-a-time — and interoperates through the base-class
+row/batch bridges.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import CypherTypeError
+import numpy as np
+
+from repro.errors import CypherError, CypherSemanticError, CypherTypeError
+from repro.execplan.batch import (
+    Column,
+    EntityColumn,
+    RecordBatch,
+    ValueColumn,
+    float64_exact as _float64_exact,
+    object_column,
+)
+from repro.execplan.batch_expr import as_column, true_mask, vectorize
 from repro.execplan.expressions import CompiledExpr, ExecContext, sort_key
 from repro.execplan.ops_base import Argument, PlanOp
 from repro.execplan.record import Layout, Record
@@ -26,6 +61,10 @@ __all__ = [
     "Results",
 ]
 
+_I64 = np.int64
+_NoneType = type(None)
+_NUMERIC_TYPES = frozenset((int, float))
+
 
 def _hashable(value) -> Any:
     """Turn any runtime value into a hashable grouping/dedup key."""
@@ -40,24 +79,77 @@ def _hashable(value) -> Any:
     return value
 
 
+def _eval_column(batch_fn, scalar_fn, batch: RecordBatch, ctx: ExecContext) -> Column:
+    """One expression as a column over the batch, vectorized with the
+    exact-semantics fallback: a Cypher error re-runs the rows through the
+    scalar closure, reproducing row-engine error order.  At
+    ``exec_batch_size=1`` the scalar closure runs directly — the
+    differential hook must exercise the row engine, not 1-row kernels."""
+    if ctx.batch_size == 1:
+        rows = batch.materialize_rows()
+        return ValueColumn(object_column([scalar_fn(r, ctx) for r in rows]))
+    try:
+        return as_column(batch_fn(batch, ctx), batch.length)
+    except CypherError:
+        rows = batch.materialize_rows()
+        return ValueColumn(object_column([scalar_fn(r, ctx) for r in rows]))
+
+
+def _chunk_rows(layout: Layout, rows: List[Record], size: int) -> Iterator[RecordBatch]:
+    for start in range(0, len(rows), size):
+        yield RecordBatch.from_rows(layout, rows[start : start + size])
+
+
 class Filter(PlanOp):
-    """Keep records whose predicate evaluates to exactly true."""
+    """Keep records whose predicate evaluates to exactly true.
+
+    Holds a *list* of predicates (the optimizer's filter fusion appends
+    instead of composing closures): each predicate compresses the batch
+    before the next evaluates, preserving the fused row engine's
+    short-circuit at batch granularity.
+    """
 
     name = "Filter"
 
-    def __init__(self, child: PlanOp, predicate: CompiledExpr, label: str = "") -> None:
+    def __init__(self, child: PlanOp, predicate, label: str = "") -> None:
         super().__init__([child], child.out_layout)
-        self._predicate = predicate
+        self._predicates: List[CompiledExpr] = (
+            list(predicate) if isinstance(predicate, (list, tuple)) else [predicate]
+        )
+        self._batch_predicates = [vectorize(p) for p in self._predicates]
+        self._pairs = list(zip(self._predicates, self._batch_predicates))
         self._label = label
 
     def describe(self) -> str:
         return f"Filter | {self._label}" if self._label else "Filter"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        pred = self._predicate
-        for record in self.children[0].produce(ctx):
-            if pred(record, ctx) is True:
-                yield record
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        scalar_only = ctx.batch_size == 1  # the row engine, exactly
+        for batch in self.children[0].produce_batches(ctx):
+            for scalar, batched in self._pairs:
+                if not batch.length:
+                    break
+                if scalar_only:
+                    rows = batch.materialize_rows()
+                    mask = np.fromiter(
+                        (scalar(r, ctx) is True for r in rows),
+                        dtype=np.bool_,
+                        count=len(rows),
+                    )
+                    batch = batch.compress(mask)
+                    continue
+                try:
+                    mask = true_mask(batched(batch, ctx), batch.length)
+                except CypherError:
+                    rows = batch.materialize_rows()
+                    mask = np.fromiter(
+                        (scalar(r, ctx) is True for r in rows),
+                        dtype=np.bool_,
+                        count=len(rows),
+                    )
+                batch = batch.compress(mask)
+            if batch.length:
+                yield batch
 
 
 class Project(PlanOp):
@@ -68,14 +160,29 @@ class Project(PlanOp):
     def __init__(self, child: PlanOp, items: Sequence[Tuple[str, CompiledExpr]]) -> None:
         super().__init__([child], Layout([name for name, _ in items]))
         self._items = list(items)
+        self._batch_items = [vectorize(fn) for _, fn in self._items]
 
     def describe(self) -> str:
         return f"Project | {', '.join(n for n, _ in self._items)}"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
         fns = [fn for _, fn in self._items]
-        for record in self.children[0].produce(ctx):
-            yield [fn(record, ctx) for fn in fns]
+        scalar_only = ctx.batch_size == 1  # the row engine, exactly
+        for batch in self.children[0].produce_batches(ctx):
+            n = batch.length
+            if not n:
+                continue
+            if not scalar_only:
+                try:
+                    cols = [as_column(bfn(batch, ctx), n) for bfn in self._batch_items]
+                except CypherError:
+                    pass
+                else:
+                    yield RecordBatch(self.out_layout, cols, length=n)
+                    continue
+            rows = batch.materialize_rows()
+            out_rows = [[fn(r, ctx) for fn in fns] for r in rows]
+            yield RecordBatch.from_rows(self.out_layout, out_rows)
 
 
 class AggSpec:
@@ -105,6 +212,14 @@ class Aggregate(PlanOp):
 
     With no group keys, exactly one output row is emitted even on empty
     input (``count(*)`` over nothing is 0, ``sum`` is 0, others null).
+
+    Per batch the group keys factorize through ``np.unique`` when the key
+    column is an id vector or a homogeneous numeric/string column, and
+    count/sum/avg/min/max accumulate per group via ``bincount``/sorted
+    first-hit gathers; anything else (DISTINCT aggregates, collect, mixed
+    or composite keys) drops to the object-dict row loop for that batch.
+    Group *emission order* is first-appearance order in both paths, like
+    the row engine's insertion-ordered dict.
     """
 
     name = "Aggregate"
@@ -119,6 +234,17 @@ class Aggregate(PlanOp):
         super().__init__([child], Layout(names))
         self._group = list(group_items)
         self._aggs = list(agg_items)
+        self._batch_group = [vectorize(fn) for _, fn in self._group]
+        self._batch_aggs = [
+            vectorize(spec.expr) if spec.expr is not None else None
+            for _, spec in self._aggs
+        ]
+        # loop-invariant: whether every aggregate can take the vectorized
+        # path (otherwise skip the per-batch key factorization entirely)
+        self._fast_specs = all(
+            not spec.distinct and spec.kind in ("count", "sum", "avg", "min", "max")
+            for _, spec in self._aggs
+        )
 
     def describe(self) -> str:
         return (
@@ -126,33 +252,259 @@ class Aggregate(PlanOp):
             f"aggs=[{', '.join(n for n, _ in self._aggs)}]"
         )
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
+    # ------------------------------------------------------------------
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
         groups: dict = {}
-        group_fns = [fn for _, fn in self._group]
         specs = [spec for _, spec in self._aggs]
-        for record in self.children[0].produce(ctx):
-            key_values = [fn(record, ctx) for fn in group_fns]
-            key = tuple(_hashable(v) for v in key_values)
-            entry = groups.get(key)
-            if entry is None:
-                entry = (key_values, [_AggState() for _ in specs])
-                groups[key] = entry
-            for spec, state in zip(specs, entry[1]):
-                self._accumulate(spec, state, record, ctx)
+        for batch in self.children[0].produce_batches(ctx):
+            n = batch.length
+            if not n:
+                continue
+            key_cols: List[Column] = []
+            for (name, fn), bfn in zip(self._group, self._batch_group):
+                key_cols.append(_eval_column(bfn, fn, batch, ctx))
+            val_cols: List[Optional[Column]] = []
+            for (name, spec), bfn in zip(self._aggs, self._batch_aggs):
+                if bfn is None:
+                    val_cols.append(None)  # count(*)
+                else:
+                    val_cols.append(_eval_column(bfn, spec.expr, batch, ctx))
+            self._absorb(ctx, groups, key_cols, val_cols, specs, n)
         if not groups and not self._group:
             groups[()] = ([], [_AggState() for _ in specs])
+        out_rows: List[Record] = []
         for key_values, states in groups.values():
             row = list(key_values)
             for spec, state in zip(specs, states):
                 row.append(self._finalize(spec, state))
-            yield row
+            out_rows.append(row)
+        yield from _chunk_rows(self.out_layout, out_rows, ctx.batch_size)
+
+    # ------------------------------------------------------------------
+    def _absorb(self, ctx, groups, key_cols, val_cols, specs, n) -> None:
+        # exec_batch_size=1 must BE the row engine: the vectorized
+        # group-by is gated off so the differential leg really exercises
+        # the scalar accumulation path
+        codes_info = (
+            self._group_codes(key_cols, n)
+            if ctx.batch_size > 1 and self._fast_specs
+            else None
+        )
+        if codes_info is None:
+            self._absorb_rows(groups, key_cols, val_cols, specs, n)
+            return
+        codes, appearance, keys, values_fn = codes_info
+        states_by_code: List[Optional[list]] = [None] * len(keys)
+        for pos in appearance:
+            key = keys[pos]
+            entry = groups.get(key)
+            if entry is None:
+                entry = (values_fn(pos), [_AggState() for _ in specs])
+                groups[key] = entry
+            states_by_code[pos] = entry[1]
+        for spec_idx, (spec, col) in enumerate(zip(specs, val_cols)):
+            if not self._accumulate_fast(spec, col, codes, states_by_code, spec_idx, n):
+                self._accumulate_rows_one(
+                    spec, col.to_objects(), codes, states_by_code, spec_idx, n
+                )
+
+    def _group_codes(self, key_cols: List[Column], n: int):
+        """Factorize the group key: ``(codes, appearance_order, dict_keys,
+        values_fn)`` or None when the key shape needs the row loop.  Codes
+        index ``dict_keys``; ``appearance_order`` lists codes by first
+        occurrence so dict insertion order matches the row engine.
+
+        ``dict_keys`` entries MUST be shaped exactly like the row loop's
+        ``tuple(hash per key column)`` — one run may route different
+        batches through different paths, and both must land in the same
+        ``groups`` entry."""
+        if not self._group:
+            return (
+                np.zeros(n, dtype=_I64),
+                [0],
+                [()],
+                lambda pos: [],
+            )
+        if len(self._group) != 1:
+            return None
+        col = key_cols[0]
+        if isinstance(col, EntityColumn):
+            uniq, first_idx, codes = np.unique(
+                col.ids, return_index=True, return_inverse=True
+            )
+            kind = col.kind
+            graph = col.graph
+            ctor = Node if kind == "node" else Edge
+            keys = [((kind, i),) if i >= 0 else (None,) for i in uniq.tolist()]
+            ids = uniq.tolist()
+
+            def values_fn(pos):
+                i = ids[pos]
+                return [None if i < 0 else ctor(graph, i)]
+
+            appearance = np.argsort(first_idx, kind="stable").tolist()
+            return codes, appearance, keys, values_fn
+        values = col.to_objects()
+        lst = values.tolist()
+        types = set(map(type, lst))
+        if types == {int}:
+            try:
+                # exact: int64 keys never collapse like float64 would for
+                # values past 2**53 (overflow past int64 -> row loop)
+                arr = np.array(lst, dtype=_I64)
+            except OverflowError:
+                return None
+        elif types <= _NUMERIC_TYPES and types:
+            if not _float64_exact(lst):
+                return None  # ints past 2**53 would collapse: row loop
+            try:
+                arr = np.array(lst, dtype=np.float64)
+            except OverflowError:
+                return None  # int beyond float64 range: row loop
+            if np.isnan(arr).any():
+                return None  # NaN identity-grouping quirks: row loop
+        elif types == {str}:
+            if any("\x00" in s for s in lst):
+                return None  # numpy U-dtype NUL padding would merge keys
+            arr = np.array(lst)
+        else:
+            return None
+        uniq, first_idx, codes = np.unique(arr, return_index=True, return_inverse=True)
+        firsts = first_idx.tolist()
+        reps = [lst[i] for i in firsts]  # first-seen Python value, type kept
+        keys = [(v,) for v in reps]
+
+        def values_fn(pos):
+            return [reps[pos]]
+
+        appearance = np.argsort(first_idx, kind="stable").tolist()
+        return codes, appearance, keys, values_fn
+
+    def _accumulate_fast(self, spec, col: Optional[Column], codes, states_by_code, spec_idx, n) -> bool:
+        k = len(states_by_code)
+        if spec.expr is None:  # count(*)
+            if k == 1:
+                states_by_code[0][spec_idx].count += n
+                return True
+            counts = np.bincount(codes, minlength=k)
+            for code in range(k):
+                c = int(counts[code])
+                if c:
+                    states_by_code[code][spec_idx].count += c
+            return True
+        nulls = col.null_mask()
+        if spec.kind == "count":
+            # handle-free: counting an entity column never materializes it
+            if k == 1:
+                states_by_code[0][spec_idx].count += n - int(nulls.sum())
+                return True
+            counts = np.bincount(codes[np.flatnonzero(~nulls)], minlength=k)
+            for code in range(k):
+                c = int(counts[code])
+                if c:
+                    states_by_code[code][spec_idx].count += c
+            return True
+        nz = np.flatnonzero(~nulls)
+        if not len(nz):
+            return True
+        values = col.to_objects()
+        present = [values[i] for i in nz.tolist()]
+        ptypes = set(map(type, present))
+        if not ptypes <= _NUMERIC_TYPES:
+            return False  # row loop raises/compares exactly like the scalar path
+        nz_codes = codes[nz]
+        counts = np.bincount(nz_codes, minlength=k)
+        if spec.kind in ("sum", "avg"):
+            # float64 accumulation like the row engine (state.total is a
+            # Python float there too), but per-batch subtotals re-associate
+            # the additions: float sums may differ in the last ULP across
+            # batch sizes (integer sums below 2**53 stay exact).  Ints
+            # beyond float64 overflow in the row loop instead, at the
+            # exact offending record
+            try:
+                floats = np.array(present, dtype=np.float64)
+            except OverflowError:
+                return False
+            sums = np.bincount(nz_codes, weights=floats, minlength=k)
+            for code in range(k):
+                c = int(counts[code])
+                if c:
+                    state = states_by_code[code][spec_idx]
+                    state.count += c
+                    state.total += float(sums[code])
+            return True
+        # min/max: stable first-hit per group so ties keep the earliest
+        # value object, like the row engine.  Pure-int columns order as
+        # int64 so values past 2**53 keep their exact order; anything the
+        # dtype cannot represent exactly drops to the row loop.
+        if ptypes == {int}:
+            try:
+                ordkeys = np.array(present, dtype=_I64)
+            except OverflowError:
+                return False
+        else:
+            if not _float64_exact(present):
+                return False  # ints past 2**53 would misorder ties
+            try:
+                ordkeys = np.array(present, dtype=np.float64)
+            except OverflowError:
+                return False
+            if np.isnan(ordkeys).any():
+                return False  # NaN ordering: row loop matches sort_key
+        if spec.kind == "min":
+            primary = ordkeys
+        else:
+            if ordkeys.dtype == _I64 and bool(
+                (ordkeys == np.iinfo(np.int64).min).any()
+            ):
+                return False  # negating INT64_MIN wraps onto itself
+            primary = -ordkeys
+        order = np.lexsort((np.arange(len(nz)), primary))
+        sorted_codes = nz_codes[order]
+        uniq_codes, first_pos = np.unique(sorted_codes, return_index=True)
+        for code, pos in zip(uniq_codes.tolist(), first_pos.tolist()):
+            value = present[int(order[pos])]
+            state = states_by_code[code][spec_idx]
+            state.count += int(counts[code])
+            if state.best is None:
+                state.best = value
+            elif spec.kind == "min":
+                if sort_key(value) < sort_key(state.best):
+                    state.best = value
+            elif sort_key(value) > sort_key(state.best):
+                state.best = value
+        return True
+
+    def _accumulate_rows_one(self, spec, col, codes, states_by_code, spec_idx, n) -> None:
+        codes_list = codes.tolist()
+        for i in range(n):
+            state = states_by_code[codes_list[i]][spec_idx]
+            self._accumulate_value(spec, state, None if col is None else col[i])
+
+    def _absorb_rows(self, groups, key_cols, val_cols, specs, n) -> None:
+        hash_cols = [c.hash_keys() for c in key_cols]
+        obj_cols: List[Optional[np.ndarray]] = [None] * len(key_cols)
+        vals = [None if c is None else c.to_objects() for c in val_cols]
+        for i in range(n):
+            key = tuple(h[i] for h in hash_cols)
+            entry = groups.get(key)
+            if entry is None:
+                key_values = []
+                for c_idx, col in enumerate(key_cols):
+                    if obj_cols[c_idx] is None:
+                        obj_cols[c_idx] = col.to_objects()
+                    key_values.append(obj_cols[c_idx][i])
+                entry = (key_values, [_AggState() for _ in specs])
+                groups[key] = entry
+            states = entry[1]
+            for spec, state, col in zip(specs, states, vals):
+                self._accumulate_value(spec, state, None if col is None else col[i])
 
     @staticmethod
-    def _accumulate(spec: AggSpec, state: _AggState, record: Record, ctx: ExecContext) -> None:
+    def _accumulate_value(spec: AggSpec, state: _AggState, value) -> None:
         if spec.expr is None:  # count(*)
             state.count += 1
             return
-        value = spec.expr(record, ctx)
         if value is None:
             return
         if spec.distinct:
@@ -196,9 +548,12 @@ class Aggregate(PlanOp):
 class Sort(PlanOp):
     """Materializing sort with the Cypher type-aware ordering.
 
+    The whole input is gathered into one batch; homogeneous numeric (any
+    direction) or string (ascending) key columns sort via a stable
+    ``np.lexsort``, anything else through the type-ranked ``sort_key``
+    row sort — both stable, so tie order always matches the row engine.
     When the optimizer sets ``top`` (a following LIMIT with a literal
-    count) and all keys share one direction, a bounded heap replaces the
-    full materialize-and-sort.
+    count) only the head of the order is emitted.
     """
 
     name = "Sort"
@@ -206,30 +561,117 @@ class Sort(PlanOp):
     def __init__(self, child: PlanOp, keys: Sequence[Tuple[CompiledExpr, bool]]) -> None:
         super().__init__([child], child.out_layout)
         self._keys = list(keys)
+        self._batch_keys = [vectorize(fn) for fn, _ in self._keys]
         self.top = -1  # set by the optimizer
 
     def describe(self) -> str:
         return f"Sort | top={self.top}" if self.top >= 0 else "Sort"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        directions = {asc for _, asc in self._keys}
-        if self.top >= 0 and len(directions) == 1:
-            import heapq
+    @staticmethod
+    def _descending(arr: np.ndarray) -> Optional[np.ndarray]:
+        """The key negated for a descending lexsort, or None when the
+        negation would wrap (INT64_MIN)."""
+        if arr.dtype == _I64 and bool((arr == np.iinfo(np.int64).min).any()):
+            return None
+        return -arr
 
-            ascending = directions == {True}
-            keyed = (
-                (tuple(sort_key(expr(rec, ctx)) for expr, _ in self._keys), i, rec)
-                for i, rec in enumerate(self.children[0].produce(ctx))
-            )
-            pick = heapq.nsmallest if ascending else heapq.nlargest
-            for _, _, rec in pick(self.top, keyed, key=lambda t: t[0]):
-                yield rec
-            return
-        rows = list(self.children[0].produce(ctx))
+    def _sort_array(self, res, n: int, ascending: bool) -> Optional[np.ndarray]:
+        """A lexsort-able key array, or None when this key needs sort_key."""
+        col = as_column(res, n)
+        if isinstance(col, EntityColumn):
+            # entities order by id within one type class (sort_key does the
+            # same); nulls would need type-rank handling — bail on those
+            if col.null_mask().any():
+                return None
+            return col.ids if ascending else self._descending(col.ids)
+        values = col.to_objects()
+        lst = values.tolist()
+        types = set(map(type, lst))
+        if types == {int}:
+            # exact: int64 keys never collapse ties like float64 would
+            # past 2**53 (beyond int64 -> sort_key row sort)
+            try:
+                arr = np.array(lst, dtype=_I64)
+            except OverflowError:
+                return None
+        elif types and types <= _NUMERIC_TYPES:
+            if not _float64_exact(lst):
+                return None  # ints past 2**53 would misorder ties
+            try:
+                arr = np.array(lst, dtype=np.float64)
+            except OverflowError:
+                return None
+            if np.isnan(arr).any():
+                return None
+        elif types == {str} and ascending:
+            if any("\x00" in s for s in lst):
+                return None  # numpy U-dtype NUL padding would tie keys
+            return np.array(lst)
+        else:
+            return None
+        return arr if ascending else self._descending(arr)
+
+    def _sorted_batch(self, big: RecordBatch, ctx: ExecContext, limit: int) -> RecordBatch:
+        """``big`` stably sorted on the keys (head only when ``limit`` is
+        set).  exec_batch_size=1 must BE the row engine: the lexsort fast
+        path stays off so the differential leg exercises the sort_key
+        sort."""
+        n = big.length
+        arrays: Optional[List[np.ndarray]] = [] if ctx.batch_size > 1 else None
+        for bfn, (fn, ascending) in zip(self._batch_keys, self._keys):
+            if arrays is None:
+                break
+            try:
+                res = bfn(big, ctx)
+            except CypherError:
+                arrays = None
+                break
+            arr = self._sort_array(res, n, ascending)
+            if arr is None:
+                arrays = None
+                break
+            arrays.append(arr)
+        if arrays is not None:
+            # np.lexsort: last key is primary; append row index for
+            # explicit stability
+            order = np.lexsort(tuple([np.arange(n)] + list(reversed(arrays))))
+            if limit >= 0:
+                order = order[:limit]
+            return big.take(order)
+        rows = list(big.materialize_rows())
         # stable multi-key sort: apply keys right-to-left
         for expr, ascending in reversed(self._keys):
             rows.sort(key=lambda rec: sort_key(expr(rec, ctx)), reverse=not ascending)
-        yield from rows
+        if limit >= 0:
+            rows = rows[:limit]
+        return RecordBatch.from_rows(self.out_layout, rows)
+
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        size = ctx.batch_size
+        stream = self.children[0].produce_batches(ctx)
+        if 0 <= self.top <= 16 * size:
+            # streaming top-k: fold each batch into the kept head, holding
+            # O(top + batch) rows instead of materializing the input (ties
+            # stay stable — kept rows precede the new batch in the merge).
+            # Huge literal LIMITs fall through to the single full sort.
+            kept: Optional[RecordBatch] = None
+            for batch in stream:
+                if not batch.length:
+                    continue
+                merged = (
+                    batch
+                    if kept is None
+                    else RecordBatch.concat(self.out_layout, [kept, batch])
+                )
+                kept = self._sorted_batch(merged, ctx, self.top)
+            if kept is not None:
+                yield from kept.chunks(size)
+            return
+        batches = [b for b in stream if b.length]
+        if not batches:
+            return
+        big = RecordBatch.concat(self.out_layout, batches)
+        yield from self._sorted_batch(big, ctx, self.top).chunks(size)
 
 
 class Distinct(PlanOp):
@@ -238,13 +680,45 @@ class Distinct(PlanOp):
     def __init__(self, child: PlanOp) -> None:
         super().__init__([child], child.out_layout)
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        seen = set()
-        for record in self.children[0].produce(ctx):
-            key = tuple(_hashable(v) for v in record)
-            if key not in seen:
-                seen.add(key)
-                yield record
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        seen: set = set()
+        for batch in self.children[0].produce_batches(ctx):
+            n = batch.length
+            if not n:
+                continue
+            hash_cols = [c.hash_keys() for c in batch.columns]
+            mask = np.empty(n, dtype=np.bool_)
+            if len(hash_cols) == 1:
+                keys = hash_cols[0]
+                for i in range(n):
+                    key = keys[i]
+                    if key in seen:
+                        mask[i] = False
+                    else:
+                        seen.add(key)
+                        mask[i] = True
+            else:
+                for i in range(n):
+                    key = tuple(h[i] for h in hash_cols)
+                    if key in seen:
+                        mask[i] = False
+                    else:
+                        seen.add(key)
+                        mask[i] = True
+            out = batch.compress(mask)
+            if out.length:
+                yield out
+
+
+def _checked_count(count_fn: CompiledExpr, ctx: ExecContext, keyword: str) -> int:
+    """SKIP/LIMIT operand: evaluated once per run, must be a non-negative
+    integer (matching RedisGraph's semantic check)."""
+    value = count_fn([], ctx)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise CypherSemanticError(
+            f"{keyword} must be a non-negative integer (got {value!r})"
+        )
+    return value
 
 
 class Skip(PlanOp):
@@ -254,11 +728,18 @@ class Skip(PlanOp):
         super().__init__([child], child.out_layout)
         self._count = count
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        n = int(self._count([], ctx))
-        for i, record in enumerate(self.children[0].produce(ctx)):
-            if i >= n:
-                yield record
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        n = _checked_count(self._count, ctx, "SKIP")
+        skipped = 0
+        for batch in self.children[0].produce_batches(ctx):
+            if skipped < n:
+                take = min(batch.length, n - skipped)
+                skipped += take
+                if take >= batch.length:
+                    continue
+                batch = batch.slice(take, batch.length)
+            if batch.length:
+                yield batch
 
 
 class Limit(PlanOp):
@@ -268,46 +749,64 @@ class Limit(PlanOp):
         super().__init__([child], child.out_layout)
         self._count = count
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        n = int(self._count([], ctx))
-        if n <= 0:
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        remaining = _checked_count(self._count, ctx, "LIMIT")
+        if remaining <= 0:
             return
-        for i, record in enumerate(self.children[0].produce(ctx)):
-            yield record
-            if i + 1 >= n:
+        for batch in self.children[0].produce_batches(ctx):
+            if batch.length >= remaining:
+                yield batch.slice(0, remaining)
                 return
+            if batch.length:
+                yield batch
+                remaining -= batch.length
 
 
 class Unwind(PlanOp):
-    """Fan a list value out into one record per element."""
+    """Fan a list value out into one record per element.  Null produces
+    zero rows; any other non-list value is a type error (openCypher)."""
 
     name = "Unwind"
 
     def __init__(self, child: PlanOp, expr: CompiledExpr, alias: str) -> None:
         super().__init__([child], child.out_layout.extend(alias))
         self._expr = expr
+        self._batch_expr = vectorize(expr)
         self._slot = self.out_layout.slot(alias)
         self._alias = alias
 
     def describe(self) -> str:
         return f"Unwind | {self._alias}"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        width = len(self.out_layout)
-        for record in self.children[0].produce(ctx):
-            value = self._expr(record, ctx)
-            if value is None:
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        for batch in self.children[0].produce_batches(ctx):
+            n = batch.length
+            if not n:
                 continue
-            items = value if isinstance(value, list) else [value]
-            for item in items:
-                out = record + [None] * (width - len(record))
-                out[self._slot] = item
-                yield out
+            values = _eval_column(self._batch_expr, self._expr, batch, ctx).to_objects()
+            idx: List[int] = []
+            items: List[Any] = []
+            for i in range(n):
+                value = values[i]
+                if value is None:
+                    continue
+                if not isinstance(value, list):
+                    raise CypherTypeError(
+                        f"UNWIND expects a list or null, got {type(value).__name__}"
+                    )
+                idx.extend([i] * len(value))
+                items.extend(value)
+            if not idx:
+                continue
+            out = batch.take(np.asarray(idx, dtype=_I64)).extend(
+                self.out_layout, [ValueColumn(object_column(items))]
+            )
+            yield out
 
 
 class CartesianProduct(PlanOp):
     """Cross product of disconnected pattern streams (right side
-    materialized once)."""
+    materialized once, then tiled columnarly against each left batch)."""
 
     name = "CartesianProduct"
 
@@ -315,21 +814,52 @@ class CartesianProduct(PlanOp):
         merged = left.out_layout.extend(*right.out_layout.names)
         super().__init__([left, right], merged)
         self._right_slots = [merged.slot(n) for n in right.out_layout.names]
+        # columnar tiling requires the right columns to land in fresh
+        # trailing slots; overlapping names fall back to the row loop
+        left_width = len(left.out_layout)
+        self._disjoint = all(slot >= left_width for slot in self._right_slots)
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        right_rows = list(self.children[1].produce(ctx))
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        right_layout = self.children[1].out_layout
+        right_batches = [b for b in self.children[1].produce_batches(ctx) if b.length]
+        if not right_batches:
+            return
+        right = RecordBatch.concat(right_layout, right_batches)
+        m = len(right)
+        size = ctx.batch_size
         width = len(self.out_layout)
-        for left_rec in self.children[0].produce(ctx):
-            for right_rec in right_rows:
-                out = left_rec + [None] * (width - len(left_rec))
-                for slot, value in zip(self._right_slots, right_rec):
-                    out[slot] = value
+        if not self._disjoint:
+            right_rows = right.materialize_rows()
+            for batch in self.children[0].produce_batches(ctx):
+                out_rows = []
+                for left_rec in batch.iter_rows():
+                    for right_rec in right_rows:
+                        out = left_rec + [None] * (width - len(left_rec))
+                        for slot, value in zip(self._right_slots, right_rec):
+                            out[slot] = value
+                        out_rows.append(out)
+                yield from _chunk_rows(self.out_layout, out_rows, size)
+            return
+        for batch in self.children[0].produce_batches(ctx):
+            n = batch.length
+            if not n:
+                continue
+            # gather indices generated one output chunk at a time — never
+            # the full n×m arrays (O(size) memory)
+            total = n * m
+            for start in range(0, total, size):
+                flat = np.arange(start, min(start + size, total), dtype=_I64)
+                out = batch.take(flat // m).extend(
+                    self.out_layout, [c.take(flat % m) for c in right.columns]
+                )
                 yield out
 
 
 class ApplyOptional(PlanOp):
     """OPTIONAL MATCH: run the right subtree once per left record (seeded
-    through its Argument leaf); emit null-extended records when empty."""
+    through its Argument leaf); emit null-extended records when empty.
+    Inherently one-outer-record-at-a-time; the base-class bridges batch
+    its output."""
 
     name = "Optional"
 
@@ -351,7 +881,8 @@ class ApplyOptional(PlanOp):
 
 class Results(PlanOp):
     """Plan root: passes records through (column naming happens in the
-    executor, which owns the final projection)."""
+    executor, which owns the final projection and serializes straight
+    from the batch columns)."""
 
     name = "Results"
 
@@ -359,4 +890,7 @@ class Results(PlanOp):
         super().__init__([child], child.out_layout)
 
     def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        yield from self.children[0].produce(ctx)
+        return self.children[0].produce(ctx)
+
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        return self.children[0].produce_batches(ctx)

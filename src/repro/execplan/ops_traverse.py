@@ -1,11 +1,14 @@
 """Traversal operations — where Cypher meets GraphBLAS.
 
-``ConditionalTraverse`` batches incoming records, builds a frontier
-extraction matrix, and fires one sparse matrix-product chain per batch
-(paper §II: "graph traversals … translated into linear algebraic
-operations on sparse matrices").  ``ExpandInto`` closes cycles whose both
-endpoints are already bound; ``CondVarLenTraverse`` runs the masked-BFS
-loop for ``[*min..max]`` patterns.
+``ConditionalTraverse`` consumes incoming record *batches*, builds a
+frontier extraction matrix, and fires one sparse matrix-product chain per
+batch (paper §II: "graph traversals … translated into linear algebraic
+operations on sparse matrices").  The product's COO output stays columnar
+— ``(src_row, dst_id, edge_id)`` arrays become the next batch via one
+``take`` gather instead of exploding into per-row Python lists.
+``ExpandInto`` closes cycles whose both endpoints are already bound;
+``CondVarLenTraverse`` runs the masked-BFS loop for ``[*min..max]``
+patterns.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.execplan.algebraic import AlgebraicExpression, frontier_matrix
+from repro.execplan.batch import EntityColumn, RecordBatch, as_entity_ids
 from repro.execplan.expressions import ExecContext
 from repro.execplan.ops_base import PlanOp
 from repro.execplan.record import Layout, Record
@@ -26,6 +30,24 @@ from repro.grblas.descriptor import Descriptor
 __all__ = ["ConditionalTraverse", "ExpandInto", "CondVarLenTraverse"]
 
 _REPLACE = Descriptor(replace=True)
+_I64 = np.int64
+
+
+def _src_ids(batch: RecordBatch, slot: int) -> np.ndarray:
+    """Source-node id vector of a batch column (handles either column
+    form; traversal sources are never null, as in the row engine)."""
+    entity = as_entity_ids(batch.columns[slot])
+    if entity is not None:
+        return entity[1]
+    values = batch.columns[slot].to_objects()
+    return np.fromiter((v.id for v in values), dtype=_I64, count=batch.length)
+
+
+def _rechunk(source: Iterator[RecordBatch], size: int) -> Iterator[RecordBatch]:
+    """Split oversized batches (an upstream Unwind may overshoot) so one
+    frontier matrix never exceeds the configured granularity."""
+    for batch in source:
+        yield from batch.chunks(size)
 
 
 def _edge_candidates(graph, src: int, dst: int, types: Tuple[str, ...], direction: str) -> List[Tuple[int, bool]]:
@@ -44,10 +66,11 @@ def _edge_candidates(graph, src: int, dst: int, types: Tuple[str, ...], directio
 class ConditionalTraverse(PlanOp):
     """One relationship hop: ``(src)-[:T]->(dst)`` with ``src`` bound.
 
-    Consumes records in batches of ``config.traverse_batch_size``; each
-    batch becomes one frontier matrix multiplied through the algebraic
-    expression.  Destination labels ride inside the expression as diagonal
-    matrices.
+    Each incoming record batch (``config.exec_batch_size`` granularity)
+    becomes one frontier matrix multiplied through the algebraic
+    expression; the product's COO stays columnar all the way into the
+    output batch.  Destination labels ride inside the expression as
+    diagonal matrices.
     """
 
     name = "ConditionalTraverse"
@@ -81,55 +104,64 @@ class ConditionalTraverse(PlanOp):
             f"expr=[{self._expr.describe()}]"
         )
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        batch_size = ctx.graph.config.traverse_batch_size
-        batch: List[Record] = []
-        for record in self.children[0].produce(ctx):
-            batch.append(record)
-            if len(batch) >= batch_size:
-                yield from self._expand(ctx, batch)
-                batch = []
-        if batch:
-            yield from self._expand(ctx, batch)
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        for batch in _rechunk(self.children[0].produce_batches(ctx), ctx.batch_size):
+            out = self._expand(ctx, batch)
+            if out is not None and out.length:
+                yield out
 
-    def _expand(self, ctx: ExecContext, batch: List[Record]) -> Iterator[Record]:
+    def _expand(self, ctx: ExecContext, batch: RecordBatch) -> Optional[RecordBatch]:
         graph = ctx.graph
-        src_ids = [rec[self._src_slot].id for rec in batch]
-        if len(batch) == 1:
+        src_ids = _src_ids(batch, self._src_slot)
+        if batch.length == 1:
             # point-read fast path: one source row, no frontier matrix
-            dst_ids = self._expr.evaluate_single(ctx, src_ids[0])
-            rec_idx = np.zeros(len(dst_ids), dtype=np.int64)
+            dst_ids = np.asarray(
+                self._expr.evaluate_single(ctx, int(src_ids[0])), dtype=_I64
+            )
+            rec_idx = np.zeros(len(dst_ids), dtype=_I64)
         else:
             F = frontier_matrix(src_ids, graph.capacity)
             D = self._expr.evaluate(ctx, F)
             rec_idx, dst_ids, _ = D.to_coo()
-        width = len(self.out_layout)
-        # probed once per batch, not per emitted record: nvals on the
-        # flush-free overlay view never rewrites matrix state
-        matrix_nonempty = self._edge_slot is not None and bool(
+        if not len(dst_ids):
+            return None
+        if self._edge_slot is None:
+            return batch.take(rec_idx).extend(
+                self.out_layout, [EntityColumn("node", dst_ids, graph)]
+            )
+        # edge variable: fan each (src, dst) hop out into its edge records,
+        # in the same (record, dst, edge) order the row engine emitted
+        # (matrix probed once per batch: nvals on the flush-free overlay
+        # view never rewrites matrix state)
+        matrix_nonempty = bool(
             graph.relation_matrix(self._types[0] if self._types else None).nvals
         )
+        out_idx: List[int] = []
+        out_dst: List[int] = []
+        out_eid: List[int] = []
         for r, dst in zip(rec_idx.tolist(), dst_ids.tolist()):
-            base = batch[r]
-            if self._edge_slot is None:
-                out = base + [None] * (width - len(base))
-                out[self._dst_slot] = Node(graph, dst)
-                yield out
-            else:
-                src = src_ids[r]
-                candidates = _edge_candidates(graph, src, dst, self._types, self._direction)
-                if not candidates and matrix_nonempty:
-                    # connected per the matrix but no edge records: the graph
-                    # was bulk-loaded without materialized edges
-                    raise GraphError(
-                        "edge variables require materialized edges; this graph was bulk-loaded "
-                        "(re-load with per-edge creation to bind edge variables)"
-                    )
-                for eid, _reversed in candidates:
-                    out = base + [None] * (width - len(base))
-                    out[self._dst_slot] = Node(graph, dst)
-                    out[self._edge_slot] = Edge(graph, eid)
-                    yield out
+            src = int(src_ids[r])
+            candidates = _edge_candidates(graph, src, dst, self._types, self._direction)
+            if not candidates and matrix_nonempty:
+                # connected per the matrix but no edge records: the graph
+                # was bulk-loaded without materialized edges
+                raise GraphError(
+                    "edge variables require materialized edges; this graph was bulk-loaded "
+                    "(re-load with per-edge creation to bind edge variables)"
+                )
+            for eid, _reversed in candidates:
+                out_idx.append(r)
+                out_dst.append(dst)
+                out_eid.append(eid)
+        if not out_idx:
+            return None
+        return batch.take(np.asarray(out_idx, dtype=_I64)).extend(
+            self.out_layout,
+            [
+                EntityColumn("node", np.asarray(out_dst, dtype=_I64), graph),
+                EntityColumn("edge", np.asarray(out_eid, dtype=_I64), graph),
+            ],
+        )
 
 
 class ExpandInto(PlanOp):
@@ -163,39 +195,44 @@ class ExpandInto(PlanOp):
     def describe(self) -> str:
         return f"ExpandInto | ({self._src_var})->({self._dst_var}) expr=[{self._expr.describe()}]"
 
-    def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        batch_size = ctx.graph.config.traverse_batch_size
-        batch: List[Record] = []
-        for record in self.children[0].produce(ctx):
-            batch.append(record)
-            if len(batch) >= batch_size:
-                yield from self._probe(ctx, batch)
-                batch = []
-        if batch:
-            yield from self._probe(ctx, batch)
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        for batch in _rechunk(self.children[0].produce_batches(ctx), ctx.batch_size):
+            out = self._probe(ctx, batch)
+            if out is not None and out.length:
+                yield out
 
-    def _probe(self, ctx: ExecContext, batch: List[Record]) -> Iterator[Record]:
+    def _probe(self, ctx: ExecContext, batch: RecordBatch) -> Optional[RecordBatch]:
         graph = ctx.graph
-        src_ids = [rec[self._src_slot].id for rec in batch]
-        dst_ids = [rec[self._dst_slot].id for rec in batch]
-        if len(batch) == 1:
-            reach = self._expr.evaluate_single(ctx, src_ids[0])
-            hit = [bool(np.any(reach == dst_ids[0]))]
+        src_ids = _src_ids(batch, self._src_slot)
+        dst_ids = _src_ids(batch, self._dst_slot)
+        if batch.length == 1:
+            reach = self._expr.evaluate_single(ctx, int(src_ids[0]))
+            hit = np.asarray([bool(np.any(reach == dst_ids[0]))])
         else:
             F = frontier_matrix(src_ids, graph.capacity)
             D = self._expr.evaluate(ctx, F)
-            hit = [D[r, dst_ids[r]] is not None for r in range(len(batch))]
-        width = len(self.out_layout)
-        for r, record in enumerate(batch):
-            if not hit[r]:
-                continue
-            if self._edge_slot is None:
-                yield list(record) if width == len(record) else record + [None] * (width - len(record))
-                continue
-            for eid, _rev in _edge_candidates(graph, src_ids[r], dst_ids[r], self._types, self._direction):
-                out = record + [None] * (width - len(record))
-                out[self._edge_slot] = Edge(graph, eid)
-                yield out
+            hit = np.fromiter(
+                (D[r, int(dst_ids[r])] is not None for r in range(batch.length)),
+                dtype=np.bool_,
+                count=batch.length,
+            )
+        if not hit.any():
+            return None
+        if self._edge_slot is None:
+            return batch.compress(hit)
+        out_idx: List[int] = []
+        out_eid: List[int] = []
+        for r in np.flatnonzero(hit).tolist():
+            for eid, _rev in _edge_candidates(
+                graph, int(src_ids[r]), int(dst_ids[r]), self._types, self._direction
+            ):
+                out_idx.append(r)
+                out_eid.append(eid)
+        if not out_idx:
+            return None
+        return batch.take(np.asarray(out_idx, dtype=_I64)).extend(
+            self.out_layout, [EntityColumn("edge", np.asarray(out_eid, dtype=_I64), graph)]
+        )
 
 
 class CondVarLenTraverse(PlanOp):

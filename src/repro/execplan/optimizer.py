@@ -48,15 +48,15 @@ def _rewrite(op: PlanOp) -> PlanOp:
         if n >= 0:
             sort.top = n
 
-    # Filter(Filter(x)) -> fused Filter
+    # Filter(Filter(x)) -> one Filter holding both predicate lists (the
+    # inner predicates compress each batch before the outer ones run, so
+    # fusion keeps the row engine's short-circuit order)
     if isinstance(op, Filter) and op.children and isinstance(op.children[0], Filter):
         inner = op.children[0]
-        outer_pred = op._predicate
-        inner_pred = inner._predicate
-
-        def fused(record, ctx, _a=inner_pred, _b=outer_pred):
-            return _a(record, ctx) is True and _b(record, ctx) is True
-
-        fused_op = Filter(inner.children[0], fused, f"{inner._label} AND {op._label}".strip(" AND "))
+        fused_op = Filter(
+            inner.children[0],
+            inner._predicates + op._predicates,
+            f"{inner._label} AND {op._label}".strip(" AND "),
+        )
         return fused_op
     return op

@@ -22,10 +22,14 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import CypherSemanticError
 from repro.cypher import ast_nodes as A
 from repro.cypher.semantic import AGGREGATE_FUNCTIONS, has_aggregate
 from repro.execplan.algebraic import build_traverse_expression
+from repro.execplan.batch import ValueColumn, as_entity_ids
+from repro.execplan.batch_expr import as_column, vectorize
 from repro.execplan.expressions import CompiledExpr, ExecContext, _equal, compile_expr
 from repro.execplan.ops_base import Argument, PlanOp, Unit
 from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
@@ -86,6 +90,7 @@ class _Planner:
         self.writes = False
         self.columns: Optional[List[str]] = None
         self._id_seeks: Dict[str, A.Expr] = {}
+        self._consumed_seeks: Set[str] = set()
 
     # ------------------------------------------------------------------
     def _anon_var(self) -> str:
@@ -142,15 +147,23 @@ class _Planner:
             self._plan_optional_match(clause)
             return
         # `WHERE id(n) = <expr>` gives the anchor an O(1) id-seek access
-        # path (the k-hop benchmark's seed lookup); the residual filter
-        # still runs and is trivially true.
+        # path (the k-hop benchmark's seed lookup).  When every conjunct
+        # of the WHERE was consumed by a seek, the residual filter is
+        # provably true (the seek emits exactly the node with that id, or
+        # nothing for null/non-integer ids) and is dropped entirely.
         self._id_seeks = _extract_id_seeks(clause.where)
+        self._consumed_seeks = set()
+        seeks = self._id_seeks
         try:
             for path in clause.patterns:
                 self._plan_path(path)
+            consumed = self._consumed_seeks
         finally:
             self._id_seeks = {}
-        if clause.where is not None:
+            self._consumed_seeks = set()
+        if clause.where is not None and not _fully_consumed_by_seeks(
+            clause.where, consumed, seeks
+        ):
             self.root = Filter(self.root, compile_expr(clause.where, self._layout()), "WHERE")
 
     def _plan_optional_match(self, clause: A.MatchClause) -> None:
@@ -535,6 +548,7 @@ class _PathChain:
             id_fn = compile_expr(seek_expr, base_layout or Layout())
             self.root = NodeByIdSeek(var, id_fn, child)
             self.bound_in_chain.add(var)
+            planner._consumed_seeks.add(var)
             self.filter_node_constraints(node, var)
             return
         if node.labels:
@@ -563,15 +577,8 @@ class _PathChain:
         labels = node.labels[1:] if skip_first_label else node.labels
         if labels:
             slot = self.root.out_layout.slot(var)
-            wanted = tuple(labels)
-
-            def label_check(record, ctx, _slot=slot, _wanted=wanted):
-                entity = record[_slot]
-                return isinstance(entity, Node) and all(
-                    ctx.graph.has_label(entity.id, l) for l in _wanted
-                )
-
-            self.root = Filter(self.root, label_check, f"{var}:{':'.join(labels)}")
+            predicate = _LabelCheckPredicate(slot, tuple(labels))
+            self.root = Filter(self.root, predicate, f"{var}:{':'.join(labels)}")
         if node.properties:
             self._property_filter(var, node.properties)
 
@@ -579,18 +586,8 @@ class _PathChain:
         layout = self.root.out_layout
         slot = layout.slot(var)
         checks = [(key, compile_expr(value, layout)) for key, value in properties]
-
-        def prop_check(record, ctx, _slot=slot, _checks=checks):
-            entity = record[_slot]
-            if entity is None:
-                return False
-            props = entity.properties
-            for key, fn in _checks:
-                if _equal(props.get(key), fn(record, ctx)) is not True:
-                    return False
-            return True
-
-        self.root = Filter(self.root, prop_check, f"{var}{{{', '.join(k for k, _ in checks)}}}")
+        predicate = _PropertyCheckPredicate(slot, checks)
+        self.root = Filter(self.root, predicate, f"{var}{{{', '.join(k for k, _ in checks)}}}")
 
     def traverse(
         self,
@@ -666,6 +663,98 @@ class _PathChain:
             self._property_filter(edge_var, rel.properties)
 
 
+class _LabelCheckPredicate:
+    """Residual label filter with a vectorized twin: per batch, one bulk
+    ``nodes_have_labels`` gather instead of per-row ``has_label`` probes.
+    Scalar form kept for the row bridges and error fallback."""
+
+    __slots__ = ("_slot", "_wanted")
+
+    def __init__(self, slot: int, wanted: Tuple[str, ...]) -> None:
+        self._slot = slot
+        self._wanted = wanted
+
+    def __call__(self, record, ctx):
+        entity = record[self._slot]
+        return isinstance(entity, Node) and all(
+            ctx.graph.has_label(entity.id, l) for l in self._wanted
+        )
+
+    def batch_eval(self, batch, ctx):
+        col = batch.columns[self._slot]
+        entity = as_entity_ids(col)
+        if entity is not None and entity[0] == "node":
+            return ValueColumn(ctx.graph.nodes_have_labels(entity[1], self._wanted))
+        values = col.to_objects()
+        wanted = self._wanted
+        return ValueColumn(
+            np.fromiter(
+                (
+                    isinstance(v, Node)
+                    and all(ctx.graph.has_label(v.id, l) for l in wanted)
+                    for v in values
+                ),
+                dtype=np.bool_,
+                count=len(values),
+            )
+        )
+
+
+class _PropertyCheckPredicate:
+    """Inline property-map filter ``(n {k: v})`` with a vectorized twin:
+    one property-column gather + elementwise Cypher-equality per key."""
+
+    __slots__ = ("_slot", "_checks", "_batch_values")
+
+    def __init__(self, slot: int, checks) -> None:
+        self._slot = slot
+        self._checks = list(checks)
+        self._batch_values = [(key, vectorize(fn)) for key, fn in self._checks]
+
+    def __call__(self, record, ctx):
+        entity = record[self._slot]
+        if entity is None:
+            return False
+        props = entity.properties
+        for key, fn in self._checks:
+            if _equal(props.get(key), fn(record, ctx)) is not True:
+                return False
+        return True
+
+    def batch_eval(self, batch, ctx):
+        col = batch.columns[self._slot]
+        entity = as_entity_ids(col)
+        if entity is None:
+            rows = batch.materialize_rows()
+            return ValueColumn(
+                np.fromiter(
+                    (self(r, ctx) is True for r in rows),
+                    dtype=np.bool_,
+                    count=len(rows),
+                )
+            )
+        kind, ids = entity
+        gather = (
+            ctx.graph.node_property_column
+            if kind == "node"
+            else ctx.graph.edge_property_column
+        )
+        mask = ids >= 0
+        n = len(batch)
+        for (key, _), (_, bfn) in zip(self._checks, self._batch_values):
+            if not mask.any():
+                break
+            props = gather(ids, key)
+            wanted = as_column(bfn(batch, ctx), n).to_objects()
+            eq = np.fromiter(
+                (_equal(p, w) is True for p, w in zip(props, wanted)),
+                dtype=np.bool_,
+                count=n,
+            )
+            mask = mask & eq
+        return ValueColumn(mask)
+
+
 def _identifier_names(expr: A.Expr) -> Set[str]:
     from repro.cypher.semantic import _identifiers
 
@@ -696,6 +785,32 @@ def _extract_id_seeks(where: Optional[A.Expr]) -> Dict[str, A.Expr]:
 
     visit(where)
     return out
+
+
+def _fully_consumed_by_seeks(
+    where: A.Expr, consumed: Set[str], seeks: Dict[str, A.Expr]
+) -> bool:
+    """True when every AND-conjunct of ``where`` is the ``id(var) = expr``
+    comparison a NodeByIdSeek access path was built from — the residual
+    filter would re-test exactly what the seek already guarantees.  The
+    id-expression must match the one the seek consumed, so a repeated
+    ``id(a) = 1 AND id(a) = 2`` keeps its filter."""
+    if isinstance(where, A.BoolOp) and where.op == "AND":
+        return _fully_consumed_by_seeks(where.left, consumed, seeks) and _fully_consumed_by_seeks(
+            where.right, consumed, seeks
+        )
+    if isinstance(where, A.Comparison) and where.op == "=":
+        for fn_side, val_side in ((where.left, where.right), (where.right, where.left)):
+            if (
+                isinstance(fn_side, A.FunctionCall)
+                and fn_side.name == "id"
+                and len(fn_side.args) == 1
+                and isinstance(fn_side.args[0], A.Identifier)
+                and fn_side.args[0].name in consumed
+                and seeks.get(fn_side.args[0].name) == val_side
+            ):
+                return True
+    return False
 
 
 def _replace_order_by(clause, order_by):

@@ -17,10 +17,11 @@ __all__ = ["ProfileRun"]
 
 
 class _OpCounters:
-    __slots__ = ("rows", "ms")
+    __slots__ = ("rows", "batches", "ms")
 
     def __init__(self) -> None:
         self.rows = 0
+        self.batches = 0
         self.ms = 0.0
 
 
@@ -47,8 +48,27 @@ class ProfileRun:
             start = time.perf_counter()
             for record in gen:
                 counters.rows += 1
+                counters.batches += 1  # row pulls: one record per "batch"
                 counters.ms += (time.perf_counter() - start) * 1e3
                 yield record
+                start = time.perf_counter()
+            counters.ms += (time.perf_counter() - start) * 1e3
+
+        return metered()
+
+    def wrap_batches(self, op, gen: Iterator) -> Iterator:
+        """Meter a produce_batches() generator: rows accumulate by batch
+        length, so per-op row counts are identical to what the
+        row-at-a-time engine (``exec_batch_size=1``) reports."""
+        counters = self._counters_for(op)
+
+        def metered():
+            start = time.perf_counter()
+            for batch in gen:
+                counters.rows += len(batch)
+                counters.batches += 1
+                counters.ms += (time.perf_counter() - start) * 1e3
+                yield batch
                 start = time.perf_counter()
             counters.ms += (time.perf_counter() - start) * 1e3
 
@@ -57,4 +77,7 @@ class ProfileRun:
     def suffix(self, op) -> str:
         """The EXPLAIN-line decoration for one operation."""
         counters = self._counters.get(id(op)) or _OpCounters()
-        return f" | Records produced: {counters.rows}, Execution time: {counters.ms:.6f} ms"
+        return (
+            f" | Records produced: {counters.rows}, Batches: {counters.batches}, "
+            f"Execution time: {counters.ms:.6f} ms"
+        )

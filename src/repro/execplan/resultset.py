@@ -1,9 +1,15 @@
-"""Query results and side-effect statistics (RedisGraph's ResultSet)."""
+"""Query results and side-effect statistics (RedisGraph's ResultSet).
+
+Since the vectorized-engine refactor, read results arrive as columnar
+batches: :meth:`ResultSet.from_columns` keeps the column arrays and
+materializes row tuples lazily on first ``rows`` access, so columnar
+consumers (``column()``, ``scalar()``) never pay the transpose.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = ["QueryStatistics", "ResultSet"]
 
@@ -48,10 +54,41 @@ class ResultSet:
 
     def __init__(self, columns: Sequence[str], rows: List[Tuple[Any, ...]], stats: QueryStatistics) -> None:
         self.columns = list(columns)
-        self.rows = rows
+        self._rows = rows
+        self._column_data: Optional[List[List[Any]]] = None
         self.stats = stats
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[str],
+        column_data: List[List[Any]],
+        stats: QueryStatistics,
+    ) -> "ResultSet":
+        """Build from column-major data (one list per column, equal
+        lengths); row tuples materialize lazily on first access."""
+        rs = cls(columns, None, stats)  # type: ignore[arg-type]
+        rs._column_data = column_data
+        return rs
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        if self._rows is None:
+            data = self._column_data or []
+            if data:
+                self._rows = list(zip(*data))
+            else:
+                self._rows = []
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: List[Tuple[Any, ...]]) -> None:
+        self._rows = value
+        self._column_data = None
+
     def __len__(self) -> int:
+        if self._rows is None and self._column_data is not None:
+            return len(self._column_data[0]) if self._column_data else 0
         return len(self.rows)
 
     def __iter__(self):
@@ -59,11 +96,16 @@ class ResultSet:
 
     def scalar(self):
         """The single value of a 1x1 result (e.g. RETURN count(*))."""
+        if self._rows is None and self._column_data is not None:
+            assert len(self._column_data) == 1 and len(self._column_data[0]) == 1, "result is not 1x1"
+            return self._column_data[0][0]
         assert len(self.rows) == 1 and len(self.rows[0]) == 1, "result is not 1x1"
         return self.rows[0][0]
 
     def column(self, name: str) -> List[Any]:
         idx = self.columns.index(name)
+        if self._rows is None and self._column_data is not None:
+            return list(self._column_data[idx])
         return [row[idx] for row in self.rows]
 
     def to_dicts(self) -> List[dict]:

@@ -4,10 +4,23 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 def _default_thread_count() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+def _default_exec_batch_size() -> int:
+    """Default record-batch granularity; ``REPRO_EXEC_BATCH_SIZE`` overrides
+    it process-wide (the CI row-at-a-time leg runs the suite with ``1``)."""
+    raw = os.environ.get("REPRO_EXEC_BATCH_SIZE")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1024
 
 
 @dataclass
@@ -26,9 +39,19 @@ class GraphConfig:
     delta_max_pending:
         Flush a delta matrix into its base CSR once this many pending
         changes accumulate, even without an intervening read.
+    exec_batch_size:
+        Number of records per :class:`~repro.execplan.batch.RecordBatch`
+        flowing through the vectorized operator pipeline — one knob for
+        the whole engine (it subsumes the former ``traverse_batch_size``,
+        which batched only the traversal matmul).  ``1`` reproduces
+        row-at-a-time execution exactly (the differential-testing hook);
+        the ``REPRO_EXEC_BATCH_SIZE`` environment variable overrides the
+        default process-wide.
     traverse_batch_size:
-        Number of source rows batched into one algebraic traversal by the
-        ConditionalTraverse plan operation.
+        Deprecated alias of ``exec_batch_size``.  When passed explicitly
+        (or read back from an old snapshot) it wins, so pre-migration
+        configs keep their tuned granularity; after :meth:`validate` it
+        always mirrors ``exec_batch_size``.
     plan_cache_size:
         Capacity of the per-graph LRU plan cache (distinct query texts
         whose compiled plans are kept), the analogue of RedisGraph's
@@ -55,8 +78,20 @@ class GraphConfig:
     thread_count: int = field(default_factory=_default_thread_count)
     node_capacity: int = 256
     delta_max_pending: int = 10_000
-    traverse_batch_size: int = 64
+    exec_batch_size: int = field(default_factory=_default_exec_batch_size)
+    traverse_batch_size: Optional[int] = None
     plan_cache_size: int = 256
+
+    def __setattr__(self, name, value) -> None:
+        # the knob and its deprecated alias stay mirrored in BOTH
+        # directions, so a later direct write to either is never reverted
+        # by a re-validate (validate() only resolves the construction-time
+        # None default)
+        object.__setattr__(self, name, value)
+        if name == "exec_batch_size":
+            object.__setattr__(self, "traverse_batch_size", value)
+        elif name == "traverse_batch_size" and value is not None:
+            object.__setattr__(self, "exec_batch_size", value)
     wal_fsync: str = "everysec"
     wal_rotate_bytes: int = 64 * 1024 * 1024
     auto_snapshot_ops: int = 0
@@ -68,8 +103,11 @@ class GraphConfig:
             raise ValueError("node_capacity must be >= 1")
         if self.delta_max_pending < 1:
             raise ValueError("delta_max_pending must be >= 1")
-        if self.traverse_batch_size < 1:
-            raise ValueError("traverse_batch_size must be >= 1")
+        if self.exec_batch_size < 1:
+            raise ValueError("exec_batch_size must be >= 1")
+        # resolve the alias's None default; from here __setattr__ keeps
+        # the two names mirrored
+        self.traverse_batch_size = self.exec_batch_size
         if self.plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0 (0 disables caching)")
         if self.wal_fsync not in ("always", "everysec", "no"):

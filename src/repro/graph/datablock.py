@@ -93,6 +93,27 @@ class DataBlock(Generic[T]):
             raise EntityNotFound(f"entity id {item_id} does not exist")
         return self._slots[item_id]  # type: ignore[return-value]
 
+    def gather(self, ids: Sequence[int]) -> List[Optional[T]]:
+        """Fetch many records in one pass — the columnar property-gather
+        primitive.  ``-1`` marks a null slot (an OPTIONAL MATCH hole) and
+        yields ``None``; any other dead/out-of-range id raises, matching
+        per-id :meth:`get` semantics."""
+        slots = self._slots
+        n = len(slots)
+        out: List[Optional[T]] = []
+        append = out.append
+        for i in ids:
+            if 0 <= i < n:
+                item = slots[i]
+                if item is not _TOMBSTONE:
+                    append(item)
+                    continue
+            elif i == -1:
+                append(None)
+                continue
+            raise EntityNotFound(f"entity id {i} does not exist")
+        return out
+
     def exists(self, item_id: int) -> bool:
         return 0 <= item_id < len(self._slots) and self._slots[item_id] is not _TOMBSTONE
 

@@ -121,16 +121,31 @@ class DeltaMatrixView:
         return len(self._add) == 0 and len(self._del) == 0
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Row ``i``'s (column indices, values) under the overlay."""
+        """Row ``i``'s (column indices, values) under the overlay.
+
+        Point-read fast path: the delta arrays are sorted linear keys, so
+        the slice touching row ``i`` is two binary searches — a row with
+        no pending deltas returns the base CSR slice zero-copy, and a
+        touched row merges only its own deltas (the execution engine's
+        single-source 1-hop lives on this)."""
         base = self._vbase
         if not 0 <= i < base.nrows:
             raise IndexOutOfBounds(f"row {i} out of range [0, {base.nrows})")
         if self._clean:
             return base.row(i)
-        merged = K.overlay_merge_rows(
-            np.asarray([i], dtype=_I64), base.ncols, base.indptr, base.indices, self._add, self._del
-        )
-        cols = merged - _I64(i) * _I64(base.ncols)
+        lo = _I64(i) * _I64(base.ncols)
+        hi = lo + _I64(base.ncols)
+        a0, a1 = np.searchsorted(self._add, (lo, hi))
+        d0, d1 = np.searchsorted(self._del, (lo, hi))
+        cols, vals = base.row(i)
+        if a0 == a1 and d0 == d1:
+            return cols, vals
+        keys = np.asarray(cols, dtype=_I64) + lo
+        if a0 != a1:
+            keys = K.merge_sorted_unique(keys, self._add[a0:a1])
+        if d0 != d1:
+            keys = keys[K.setdiff_sorted(keys, self._del[d0:d1])]
+        cols = keys - lo
         return cols, np.ones(len(cols), dtype=np.bool_)
 
     def __getitem__(self, key):

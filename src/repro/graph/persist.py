@@ -566,6 +566,7 @@ def save_graph_v1(graph: Graph, target: Union[str, Path, BinaryIO]) -> None:
             "thread_count": graph.config.thread_count,
             "node_capacity": graph.config.node_capacity,
             "delta_max_pending": graph.config.delta_max_pending,
+            "exec_batch_size": graph.config.exec_batch_size,
             "traverse_batch_size": graph.config.traverse_batch_size,
         },
         "labels": graph.schema.labels(),

@@ -423,7 +423,8 @@ class GraphModule:
     _CONFIG_READABLE = (
         "PLAN_CACHE_SIZE",
         "THREAD_COUNT",
-        "TRAVERSE_BATCH_SIZE",
+        "EXEC_BATCH_SIZE",
+        "TRAVERSE_BATCH_SIZE",  # deprecated alias of EXEC_BATCH_SIZE
         "DELTA_MAX_PENDING",
         "WAL_FSYNC",
         "AUTO_SNAPSHOT_OPS",
@@ -459,6 +460,13 @@ class GraphModule:
                 self.durability.set_fsync(policy)
         elif upper == "AUTO_SNAPSHOT_OPS":
             self.config.auto_snapshot_ops = self._config_int(upper, value)
+        elif upper in ("EXEC_BATCH_SIZE", "TRAVERSE_BATCH_SIZE"):
+            size = self._config_int(upper, value)
+            if size < 1:
+                raise ResponseError(f"ERR {upper} must be >= 1")
+            self.config.exec_batch_size = size
+            self.config.traverse_batch_size = size  # keep the legacy mirror in sync
+            upper = "EXEC_BATCH_SIZE"  # one durability-log record kind
         else:
             raise ResponseError(f"ERR configuration parameter {name!r} is not settable at runtime")
         if self.durability is not None:
