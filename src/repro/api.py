@@ -18,10 +18,10 @@ For the full client/server path (RESP protocol, thread pool) see
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 from repro.execplan.executor import QueryEngine
-from repro.execplan.resultset import ResultSet
+from repro.execplan.resultset import QueryResult
 from repro.graph.bulk import BulkReport, BulkWriter
 from repro.graph.config import GraphConfig
 from repro.graph.graph import Graph
@@ -40,9 +40,20 @@ class GraphDB:
     def name(self) -> str:
         return self.graph.name
 
-    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
-        """Run a Cypher query (read or update)."""
+    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        """Run a Cypher query (read or update).
+
+        Returns the unified :class:`~repro.execplan.resultset.QueryResult`
+        — ``.rows`` / ``.columns`` / ``.stats`` / ``.plan`` / ``.profile``
+        — which iterates like the old ResultSet."""
         return self.engine.query(text, params)
+
+    def ro_query(self, text: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        """Run a query that must be read-only (GRAPH.RO_QUERY): raises
+        before executing anything when the plan contains updates.  Read
+        plans here (and in :meth:`query`) run morsel-parallel when
+        ``parallel_workers`` > 1."""
+        return self.engine.ro_query(text, params)
 
     def explain(self, text: str, params: Optional[Dict[str, Any]] = None) -> str:
         """The query's execution plan without running it.  ``params`` are
@@ -107,8 +118,9 @@ class GraphDB:
             )
         return writer.commit()
 
-    def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> Tuple[ResultSet, str]:
-        """Run the query and return (results, per-operation profile)."""
+    def profile(self, text: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        """Run the query with per-operation metering; the report is the
+        returned result's ``.profile`` attribute."""
         return self.engine.profile(text, params)
 
     def delete(self) -> None:

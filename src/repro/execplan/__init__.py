@@ -9,6 +9,6 @@ chasing.
 """
 
 from repro.execplan.executor import QueryEngine
-from repro.execplan.resultset import ResultSet, QueryStatistics
+from repro.execplan.resultset import QueryResult, ResultSet, QueryStatistics
 
-__all__ = ["QueryEngine", "ResultSet", "QueryStatistics"]
+__all__ = ["QueryEngine", "QueryResult", "ResultSet", "QueryStatistics"]

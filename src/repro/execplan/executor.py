@@ -27,12 +27,13 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import CypherSemanticError
+from repro.errors import CypherSemanticError, GraphError
 from repro.execplan.compiled import CompiledQuery, PlanSchema, compile_query
 from repro.execplan.expressions import ExecContext
+from repro.execplan.morsel import MorselDriver
 from repro.execplan.plan_cache import PlanCache
 from repro.execplan.profiling import ProfileRun
-from repro.execplan.resultset import QueryStatistics, ResultSet
+from repro.execplan.resultset import QueryResult, QueryStatistics, ResultSet
 from repro.graph.graph import Graph
 
 __all__ = ["QueryEngine"]
@@ -107,6 +108,13 @@ class QueryEngine:
             # lock.  Writers re-resolve so later clauses see earlier writes.
             cache_operands=not compiled.writes,
         )
+        # Intra-query morsel parallelism: read plans only (writers hold
+        # the write lock and mutate — they stay strictly serial), gated
+        # on the parallel_workers knob.  parallel_workers=1 leaves the
+        # driver off and reproduces the serial engine exactly.
+        workers = self.graph.config.parallel_workers
+        if workers > 1 and not compiled.writes:
+            ctx.driver = MorselDriver(workers, self.graph.config.morsel_size)
         started = time.perf_counter()
         lock = self.graph.lock.write() if compiled.writes else self.graph.lock.read()
         with lock:
@@ -114,12 +122,32 @@ class QueryEngine:
             if on_commit is not None and compiled.writes:
                 on_commit()
         stats.execution_time_ms = (time.perf_counter() - started) * 1e3
+        if ctx.driver is not None and ctx.driver.morsels:
+            stats.parallel_workers = ctx.driver.workers
+            stats.morsels = ctx.driver.morsels
         return result
 
-    def query(self, text: str, params: Optional[Dict[str, Any]] = None) -> ResultSet:
-        """Execute a query and return its ResultSet."""
+    def query(
+        self,
+        text: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        on_commit: Optional[Callable[[], None]] = None,
+    ) -> QueryResult:
+        """Execute a query and return its :class:`QueryResult`."""
         compiled, hit = self.get_plan(text)
-        return self.execute(compiled, params, cached=hit)
+        result = self.execute(compiled, params, cached=hit, on_commit=on_commit)
+        return QueryResult.wrap(result, compiled=compiled)
+
+    def ro_query(self, text: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        """Execute a query after asserting it is read-only (GRAPH.RO_QUERY)."""
+        compiled, hit = self.get_plan(text)
+        if compiled.writes:
+            raise GraphError(
+                "graph.RO_QUERY is to be executed only on read-only queries"
+            )
+        result = self.execute(compiled, params, cached=hit)
+        return QueryResult.wrap(result, compiled=compiled)
 
     def _run(self, compiled: CompiledQuery, ctx: ExecContext, stats) -> ResultSet:
         """Execute every plan part; read results serialize column-wise
@@ -177,14 +205,15 @@ class QueryEngine:
         params: Optional[Dict[str, Any]] = None,
         *,
         on_commit: Optional[Callable[[], None]] = None,
-    ) -> Tuple[ResultSet, str]:
+    ) -> QueryResult:
         """Execute with per-operation record counts and timings
-        (GRAPH.PROFILE).  Metering lives in the run's ProfileRun, so
-        profiling a cached plan neither mutates it nor races concurrent
-        executions of the same artifact.  ``on_commit`` behaves as in
-        :meth:`execute` — a PROFILE of a write query is still a write."""
+        (GRAPH.PROFILE); the report is the result's ``.profile``.
+        Metering lives in the run's ProfileRun, so profiling a cached
+        plan neither mutates it nor races concurrent executions of the
+        same artifact.  ``on_commit`` behaves as in :meth:`execute` — a
+        PROFILE of a write query is still a write."""
         compiled, hit = self.get_plan(text)
         run = ProfileRun()
         result = self.execute(compiled, params, cached=hit, profile_run=run, on_commit=on_commit)
         report = compiled.explain(profile=run)
-        return result, report
+        return QueryResult.wrap(result, compiled=compiled, profile_report=report)

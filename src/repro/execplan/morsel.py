@@ -1,0 +1,137 @@
+"""Morsel-driven intra-query parallelism (ISSUE 6).
+
+A read-only plan is split into *morsels* — slices of a leaf scan's id
+range, carried through the stateless stretch of operators sitting on top
+of it — and the morsels run concurrently on a process-wide worker pool.
+The coordinator (the thread executing the query) consumes results in
+partition order, so the merged stream is byte-for-byte the serial
+stream: partition order equals serial emission order, and every
+per-partition operator chain is a pure map over its slice.
+
+Scheduling is cooperative: up to ``workers + 2`` morsels are in flight;
+when the coordinator reaches the head morsel before any worker picked it
+up, it cancels the queued job and runs the morsel inline instead of
+idling.  Morsel thunks never submit work themselves (stateful operators
+are never inside a partition chain), so the pool cannot deadlock on
+nested waits.  Safety: the coordinator holds the graph read lock for the
+whole query, which excludes writers, so morsel workers read the graph
+lock-free (reads have been non-mutating since the delta-flush redesign).
+
+``parallel_workers=1`` disables the driver entirely and reproduces the
+serial engine exactly — the differential-testing hook, mirroring what
+``exec_batch_size=1`` does for vectorization.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle via repro.rediskv package
+    from repro.rediskv.threadpool import ThreadPool
+
+__all__ = ["MorselDriver", "shared_pool", "shutdown_shared_pool"]
+
+# One pool for all queries' morsels, grown to the largest worker count
+# requested.  Separate from the server's query pool on purpose: a query
+# coordinator waiting on its morsels must never occupy the same pool its
+# morsels are queued behind.
+_pool: Optional["ThreadPool"] = None
+_pool_lock = threading.Lock()
+
+# Bounded queue: queries racing to submit past this depth run morsels
+# inline on their own coordinator instead of piling up memory.
+_MAX_QUEUED_MORSELS = 256
+
+
+def shared_pool(workers: int) -> "ThreadPool":
+    """The process-wide morsel pool, grown to at least ``workers``."""
+    # imported lazily: repro.rediskv's package __init__ pulls in the server
+    # stack, which imports execplan back — a cycle at module-import time
+    from repro.rediskv.threadpool import ThreadPool
+
+    global _pool
+    with _pool_lock:
+        if _pool is None or _pool._shutdown:
+            _pool = ThreadPool(workers, name="morsel-worker", max_queue=_MAX_QUEUED_MORSELS)
+        elif _pool.size < workers:
+            _pool.grow(workers)
+        return _pool
+
+
+def shutdown_shared_pool() -> None:
+    """Drain and stop the shared pool (tests; a later query recreates it)."""
+    global _pool
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(cancel_pending=True)
+            _pool = None
+
+
+class MorselDriver:
+    """Schedules one query's pipeline fragments across the shared pool.
+
+    Attached to the run's :class:`~repro.execplan.expressions.
+    ExecContext` by the executor for read-only plans when
+    ``parallel_workers > 1``; operators reach it through
+    ``PlanOp.child_stream`` / ``PlanOp.partitions``.
+    """
+
+    __slots__ = ("workers", "morsel_size", "morsels")
+
+    def __init__(self, workers: int, morsel_size: int) -> None:
+        self.workers = workers
+        self.morsel_size = morsel_size
+        self.morsels = 0  # total morsels dispatched by this run
+
+    def stream(self, op, ctx) -> Optional[Iterator]:
+        """``op``'s batch stream evaluated morsel-parallel, or None when
+        the operator (or its slice of the plan) cannot partition."""
+        parts = op.partitions(ctx)
+        if parts is None or len(parts) < 2:
+            return None
+        self.morsels += len(parts)
+        return self._merged(parts)
+
+    def _merged(self, parts: List[Callable[[], Iterator]]) -> Iterator:
+        # each worker materializes its partition's batches; the
+        # coordinator re-yields them in partition order
+        thunks = [(lambda t=t: list(t())) for t in parts]
+        for batches in self.run_ordered(thunks):
+            yield from batches
+
+    def run_ordered(self, thunks: List[Callable[[], object]]) -> Iterator:
+        """Run thunks on the pool, yielding results in submission order.
+
+        Keeps a bounded in-flight window; the head thunk is stolen back
+        (cancel + run inline) whenever no worker has started it, so the
+        coordinator thread is itself a worker rather than a waiter.
+        """
+        pool = shared_pool(self.workers)
+        it = iter(thunks)
+        window: deque = deque()
+        limit = self.workers + 2
+
+        def fill() -> None:
+            while len(window) < limit:
+                try:
+                    t = next(it)
+                except StopIteration:
+                    return
+                window.append((t, pool.try_submit(t)))
+
+        try:
+            fill()
+            while window:
+                t, job = window.popleft()
+                fill()
+                if job is None or job.cancel():
+                    yield t()  # queue full, or stolen back before a worker got it
+                else:
+                    yield job.result()
+        finally:
+            while window:
+                _, job = window.popleft()
+                if job is not None:
+                    job.cancel()

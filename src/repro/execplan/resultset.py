@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
-__all__ = ["QueryStatistics", "ResultSet"]
+__all__ = ["QueryStatistics", "ResultSet", "QueryResult"]
 
 
 @dataclass
@@ -26,6 +26,9 @@ class QueryStatistics:
     indices_deleted: int = 0
     execution_time_ms: float = 0.0
     cached_execution: bool = False
+    # intra-query parallelism (0/0 on serial runs and write queries)
+    parallel_workers: int = 0
+    morsels: int = 0
 
     def summary(self) -> List[str]:
         """Human-readable non-zero counters, RedisGraph reply style."""
@@ -43,6 +46,11 @@ class QueryStatistics:
             value = getattr(self, attr)
             if value:
                 parts.append(f"{label}: {value}")
+        if self.morsels:
+            parts.append(
+                f"Parallel execution: {self.parallel_workers} workers, "
+                f"{self.morsels} morsels"
+            )
         # always reported, like RedisGraph: 1 = the plan came from the cache
         parts.append(f"Cached execution: {1 if self.cached_execution else 0}")
         parts.append(f"Query internal execution time: {self.execution_time_ms:.6f} milliseconds")
@@ -113,3 +121,45 @@ class ResultSet:
 
     def __repr__(self) -> str:
         return f"<ResultSet {self.columns} rows={len(self.rows)}>"
+
+
+class QueryResult(ResultSet):
+    """The unified result of ``query`` / ``ro_query`` / ``profile``.
+
+    One shape for every entry point: ``.rows``, ``.columns``, ``.stats``,
+    plus ``.plan`` (the EXPLAIN tree of the compiled artifact that ran)
+    and ``.profile`` (the per-operation PROFILE report, None unless the
+    run profiled).  It *is* a :class:`ResultSet` — iteration, ``len``,
+    ``scalar()``, ``column()`` and ``to_dicts()`` all keep working — so
+    pre-redesign callers continue unchanged (the deprecation shim).
+    """
+
+    @classmethod
+    def wrap(
+        cls,
+        result: ResultSet,
+        *,
+        compiled=None,
+        profile_report: Optional[str] = None,
+    ) -> "QueryResult":
+        qr = cls.__new__(cls)
+        qr.columns = result.columns
+        qr._rows = result._rows
+        qr._column_data = result._column_data
+        qr.stats = result.stats
+        qr._compiled = compiled
+        qr._profile_report = profile_report
+        return qr
+
+    @property
+    def plan(self) -> Optional[str]:
+        """The executed plan as an indented EXPLAIN tree (lazy)."""
+        return self._compiled.explain() if self._compiled is not None else None
+
+    @property
+    def profile(self) -> Optional[str]:
+        """The per-operation PROFILE report; None outside profile runs."""
+        return self._profile_report
+
+    def __repr__(self) -> str:
+        return f"<QueryResult {self.columns} rows={len(self.rows)}>"

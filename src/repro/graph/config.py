@@ -1,86 +1,221 @@
-"""Graph/module configuration, mirroring RedisGraph's load-time options."""
+"""Graph/module configuration, mirroring RedisGraph's load-time options.
+
+Every knob is described once, declaratively, in :data:`CONFIG_SPECS` —
+name, type, default, environment override, runtime mutability, legacy
+aliases, bounds.  :class:`GraphConfig` (still a dataclass, so snapshots
+keep round-tripping through ``dataclasses.asdict``) draws its defaults
+and validation from the table, and ``GRAPH.CONFIG GET/SET`` in
+``rediskv/graph_module.py`` is generated from it rather than hand-coding
+each knob.
+"""
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Optional, Tuple
 
 
 def _default_thread_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _default_exec_batch_size() -> int:
-    """Default record-batch granularity; ``REPRO_EXEC_BATCH_SIZE`` overrides
-    it process-wide (the CI row-at-a-time leg runs the suite with ``1``)."""
-    raw = os.environ.get("REPRO_EXEC_BATCH_SIZE")
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
-    return 1024
+@dataclass(frozen=True)
+class ConfigSpec:
+    """Declarative description of one configuration knob.
+
+    ``name`` is the python attribute on :class:`GraphConfig`; the
+    ``GRAPH.CONFIG`` name is its upper-case form.  ``aliases`` are extra
+    ``GRAPH.CONFIG`` names resolving to the same knob (the legacy
+    ``TRAVERSE_BATCH_SIZE`` rides here).  ``mutable`` marks knobs
+    settable at runtime via ``GRAPH.CONFIG SET``; the rest are load-time
+    only.  ``env`` names an environment variable consulted for the
+    default at construction time (invalid values fall back silently,
+    out-of-range ones clamp to ``min``).
+    """
+
+    name: str
+    type: type = int
+    default: Any = None
+    default_factory: Optional[Callable[[], Any]] = None
+    env: Optional[str] = None
+    mutable: bool = False
+    aliases: Tuple[str, ...] = ()
+    min: Optional[int] = None
+    choices: Optional[Tuple[str, ...]] = None
+    note: str = ""
+    doc: str = ""
+
+    @property
+    def redis_name(self) -> str:
+        return self.name.upper()
+
+    def parse(self, raw: Any) -> Any:
+        """Coerce a raw (possibly string) value to the knob's type."""
+        if self.type is int:
+            if isinstance(raw, bool):
+                raise ValueError(f"{self.redis_name} expects an integer")
+            try:
+                return int(raw)
+            except (TypeError, ValueError):
+                raise ValueError(f"{self.redis_name} expects an integer") from None
+        return str(raw)
+
+    def check(self, value: Any) -> None:
+        """Validate one value; raises ValueError with the knob's message."""
+        suffix = f" ({self.note})" if self.note else ""
+        if self.min is not None and value < self.min:
+            raise ValueError(f"{self.name} must be >= {self.min}{suffix}")
+        if self.choices is not None and value not in self.choices:
+            allowed = ", ".join(repr(c) for c in self.choices)
+            raise ValueError(f"{self.name} must be one of {allowed}")
+
+    def resolve_default(self) -> Any:
+        if self.env:
+            raw = os.environ.get(self.env)
+            if raw:
+                try:
+                    value = self.parse(raw)
+                    if self.min is not None and value < self.min:
+                        value = self.min
+                    self.check(value)
+                    return value
+                except ValueError:
+                    pass
+        if self.default_factory is not None:
+            return self.default_factory()
+        return self.default
+
+
+CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
+    ConfigSpec(
+        name="thread_count",
+        default_factory=_default_thread_count,
+        min=1,
+        doc="Size of the query-execution thread pool (set at module load).",
+    ),
+    ConfigSpec(
+        name="node_capacity",
+        default=256,
+        min=1,
+        doc="Initial matrix dimension; grows geometrically as nodes are created.",
+    ),
+    ConfigSpec(
+        name="delta_max_pending",
+        default=10_000,
+        min=1,
+        doc="Flush a delta matrix into its base CSR after this many pending changes.",
+    ),
+    ConfigSpec(
+        name="exec_batch_size",
+        default=1024,
+        env="REPRO_EXEC_BATCH_SIZE",
+        mutable=True,
+        aliases=("TRAVERSE_BATCH_SIZE",),
+        min=1,
+        doc=(
+            "Records per RecordBatch in the vectorized pipeline; 1 reproduces "
+            "row-at-a-time execution exactly (the differential hook)."
+        ),
+    ),
+    ConfigSpec(
+        name="plan_cache_size",
+        default=256,
+        mutable=True,
+        min=0,
+        note="0 disables caching",
+        doc="Capacity of the per-graph LRU plan cache; 0 disables caching.",
+    ),
+    ConfigSpec(
+        name="parallel_workers",
+        default=1,
+        env="REPRO_PARALLEL_WORKERS",
+        mutable=True,
+        min=1,
+        doc=(
+            "Morsel workers cooperating on one read query; 1 reproduces the "
+            "serial engine exactly (the parallel differential hook)."
+        ),
+    ),
+    ConfigSpec(
+        name="morsel_size",
+        default=2048,
+        env="REPRO_MORSEL_SIZE",
+        mutable=True,
+        min=1,
+        doc="Rows per morsel when a read plan is split across parallel workers.",
+    ),
+    ConfigSpec(
+        name="io_threads",
+        default=1,
+        env="REPRO_IO_THREADS",
+        min=1,
+        doc="Socket I/O event-loop threads in the server (set at startup).",
+    ),
+    ConfigSpec(
+        name="wal_fsync",
+        type=str,
+        default="everysec",
+        mutable=True,
+        choices=("always", "everysec", "no"),
+        doc="Write-log fsync policy: always, everysec, or no.",
+    ),
+    ConfigSpec(
+        name="wal_rotate_bytes",
+        default=64 * 1024 * 1024,
+        min=4096,
+        doc="Size at which the active write-log segment rotates.",
+    ),
+    ConfigSpec(
+        name="auto_snapshot_ops",
+        default=0,
+        mutable=True,
+        min=0,
+        note="0 disables auto-snapshots",
+        doc="Snapshot a graph automatically after this many logged mutations.",
+    ),
+)
+
+_SPEC: Dict[str, ConfigSpec] = {s.name: s for s in CONFIG_SPECS}
+
+# GRAPH.CONFIG name (canonical upper-case or alias) -> spec
+_BY_REDIS_NAME: Dict[str, ConfigSpec] = {}
+for _s in CONFIG_SPECS:
+    _BY_REDIS_NAME[_s.redis_name] = _s
+    for _a in _s.aliases:
+        _BY_REDIS_NAME[_a] = _s
+
+
+def config_spec(redis_name: str) -> Optional[ConfigSpec]:
+    """Resolve a ``GRAPH.CONFIG`` name (case-insensitive, aliases included)."""
+    return _BY_REDIS_NAME.get(redis_name.upper())
+
+
+def _spec_default(name: str) -> Callable[[], Any]:
+    return _SPEC[name].resolve_default
 
 
 @dataclass
 class GraphConfig:
     """Tunables of the graph engine.
 
-    Attributes
-    ----------
-    thread_count:
-        Size of the query-execution thread pool (the paper: "a threadpool
-        that takes a configurable number of threads at the module's loading
-        time").  Each query runs on exactly one of these threads.
-    node_capacity:
-        Initial matrix dimension; grows geometrically as nodes are created
-        (RedisGraph grows its matrices in blocks for the same reason).
-    delta_max_pending:
-        Flush a delta matrix into its base CSR once this many pending
-        changes accumulate, even without an intervening read.
-    exec_batch_size:
-        Number of records per :class:`~repro.execplan.batch.RecordBatch`
-        flowing through the vectorized operator pipeline — one knob for
-        the whole engine (it subsumes the former ``traverse_batch_size``,
-        which batched only the traversal matmul).  ``1`` reproduces
-        row-at-a-time execution exactly (the differential-testing hook);
-        the ``REPRO_EXEC_BATCH_SIZE`` environment variable overrides the
-        default process-wide.
-    traverse_batch_size:
-        Deprecated alias of ``exec_batch_size``.  When passed explicitly
-        (or read back from an old snapshot) it wins, so pre-migration
-        configs keep their tuned granularity; after :meth:`validate` it
-        always mirrors ``exec_batch_size``.
-    plan_cache_size:
-        Capacity of the per-graph LRU plan cache (distinct query texts
-        whose compiled plans are kept), the analogue of RedisGraph's
-        ``GRAPH.CONFIG SET QUERY_CACHE_SIZE``.  ``0`` disables plan
-        caching entirely; changing it at runtime (``GRAPH.CONFIG SET
-        PLAN_CACHE_SIZE``) bumps the graph's schema version so stale
-        artifacts are dropped.
-    wal_fsync:
-        Write-log fsync policy when the server runs with a data dir:
-        ``"always"`` (fsync every append), ``"everysec"`` (at most one
-        fsync per second — Redis's default appendfsync), ``"no"`` (leave
-        flushing to the OS).  Settable at runtime via ``GRAPH.CONFIG SET
-        WAL_FSYNC``.
-    wal_rotate_bytes:
-        Size at which the active write-log segment rotates; snapshot
-        truncation drops whole redundant segments.
-    auto_snapshot_ops:
-        Snapshot a graph automatically once this many mutations have been
-        logged against it since its last snapshot (``0`` disables — the
-        analogue of Redis's ``save`` thresholds).  Settable at runtime
-        via ``GRAPH.CONFIG SET AUTO_SNAPSHOT_OPS``.
+    Field semantics, defaults, env overrides and runtime mutability all
+    live in :data:`CONFIG_SPECS`; see each spec's ``doc``.  The one
+    field outside the table is ``traverse_batch_size``, the deprecated
+    alias of ``exec_batch_size``: when passed explicitly (or read back
+    from an old snapshot) it wins, and after :meth:`validate` it always
+    mirrors ``exec_batch_size``.
     """
 
-    thread_count: int = field(default_factory=_default_thread_count)
-    node_capacity: int = 256
-    delta_max_pending: int = 10_000
-    exec_batch_size: int = field(default_factory=_default_exec_batch_size)
+    thread_count: int = field(default_factory=_spec_default("thread_count"))
+    node_capacity: int = field(default_factory=_spec_default("node_capacity"))
+    delta_max_pending: int = field(default_factory=_spec_default("delta_max_pending"))
+    exec_batch_size: int = field(default_factory=_spec_default("exec_batch_size"))
     traverse_batch_size: Optional[int] = None
-    plan_cache_size: int = 256
+    plan_cache_size: int = field(default_factory=_spec_default("plan_cache_size"))
+    parallel_workers: int = field(default_factory=_spec_default("parallel_workers"))
+    morsel_size: int = field(default_factory=_spec_default("morsel_size"))
+    io_threads: int = field(default_factory=_spec_default("io_threads"))
 
     def __setattr__(self, name, value) -> None:
         # the knob and its deprecated alias stay mirrored in BOTH
@@ -92,28 +227,22 @@ class GraphConfig:
             object.__setattr__(self, "traverse_batch_size", value)
         elif name == "traverse_batch_size" and value is not None:
             object.__setattr__(self, "exec_batch_size", value)
-    wal_fsync: str = "everysec"
-    wal_rotate_bytes: int = 64 * 1024 * 1024
-    auto_snapshot_ops: int = 0
+
+    wal_fsync: str = field(default_factory=_spec_default("wal_fsync"))
+    wal_rotate_bytes: int = field(default_factory=_spec_default("wal_rotate_bytes"))
+    auto_snapshot_ops: int = field(default_factory=_spec_default("auto_snapshot_ops"))
 
     def validate(self) -> "GraphConfig":
-        if self.thread_count < 1:
-            raise ValueError("thread_count must be >= 1")
-        if self.node_capacity < 1:
-            raise ValueError("node_capacity must be >= 1")
-        if self.delta_max_pending < 1:
-            raise ValueError("delta_max_pending must be >= 1")
-        if self.exec_batch_size < 1:
-            raise ValueError("exec_batch_size must be >= 1")
+        for spec in CONFIG_SPECS:
+            spec.check(getattr(self, spec.name))
         # resolve the alias's None default; from here __setattr__ keeps
         # the two names mirrored
         self.traverse_batch_size = self.exec_batch_size
-        if self.plan_cache_size < 0:
-            raise ValueError("plan_cache_size must be >= 0 (0 disables caching)")
-        if self.wal_fsync not in ("always", "everysec", "no"):
-            raise ValueError("wal_fsync must be one of 'always', 'everysec', 'no'")
-        if self.wal_rotate_bytes < 4096:
-            raise ValueError("wal_rotate_bytes must be >= 4096")
-        if self.auto_snapshot_ops < 0:
-            raise ValueError("auto_snapshot_ops must be >= 0 (0 disables auto-snapshots)")
         return self
+
+
+# Every registry entry must be a real dataclass field (and vice versa,
+# modulo the alias) — catches drift between the table and the class.
+assert {s.name for s in CONFIG_SPECS} == {
+    f.name for f in fields(GraphConfig)
+} - {"traverse_batch_size"}

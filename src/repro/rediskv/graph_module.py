@@ -35,9 +35,8 @@ from repro.execplan.compiled import CompiledQuery
 from repro.execplan.ops_update import CreateIndexOp, DropIndexOp
 from repro.execplan.resultset import ResultSet
 from repro.graph.bulk import BulkWriter
-from repro.graph.config import GraphConfig
+from repro.graph.config import CONFIG_SPECS, GraphConfig, config_spec
 from repro.graph.entities import Edge, Node
-from repro.graph.wal import FSYNC_POLICIES
 from repro.rediskv.durability import DurabilityManager
 from repro.rediskv.keyspace import Keyspace
 
@@ -190,8 +189,7 @@ class GraphModule:
         if db is None:
             if not create:
                 raise ResponseError(f"ERR graph key {key!r} does not exist")
-            db = GraphDB(key, self.config)
-            self.keyspace.set_graph(key, db)
+            db = self.keyspace.get_or_create_graph(key, lambda: GraphDB(key, self.config))
         return db
 
     @staticmethod
@@ -284,10 +282,10 @@ class GraphModule:
             compiled, _ = db.engine.get_plan(text)
             if compiled.writes:
                 on_commit = self._log_hook(key, compiled, text, params)
-        _, report = db.engine.profile(text, params, on_commit=on_commit)
+        result = db.engine.profile(text, params, on_commit=on_commit)
         if on_commit is not None:
             self._maybe_auto_snapshot(key, db)
-        return report.splitlines()
+        return result.profile.splitlines()
 
     # ------------------------------------------------------------------
     # GRAPH.BULK (columnar bulk ingestion)
@@ -419,69 +417,78 @@ class GraphModule:
 
     # ------------------------------------------------------------------
     # GRAPH.CONFIG (runtime knobs, RedisGraph style)
+    #
+    # Entirely generated from the declarative registry in
+    # ``repro.graph.config``: every knob in CONFIG_SPECS (plus its
+    # aliases) is readable, knobs flagged ``mutable`` are settable at
+    # runtime, and side effects beyond mutating the shared GraphConfig
+    # live in the ``_CONFIG_APPLY`` hooks below.  Adding a knob is one
+    # ConfigSpec entry — no per-name branch here.
     # ------------------------------------------------------------------
-    _CONFIG_READABLE = (
-        "PLAN_CACHE_SIZE",
-        "THREAD_COUNT",
-        "EXEC_BATCH_SIZE",
-        "TRAVERSE_BATCH_SIZE",  # deprecated alias of EXEC_BATCH_SIZE
-        "DELTA_MAX_PENDING",
-        "WAL_FSYNC",
-        "AUTO_SNAPSHOT_OPS",
-    )
-
     def config_get(self, name: str) -> list:
         upper = name.upper()
         if upper == "*":
-            return [self.config_get(n) for n in self._CONFIG_READABLE]
-        if upper not in self._CONFIG_READABLE:
+            names: List[str] = []
+            for spec in CONFIG_SPECS:
+                names.append(spec.redis_name)
+                names.extend(spec.aliases)
+            return [self.config_get(n) for n in names]
+        spec = config_spec(upper)
+        if spec is None:
             raise ResponseError(f"ERR Unknown configuration parameter {name!r}")
-        return [upper, getattr(self.config, upper.lower())]
+        return [upper, getattr(self.config, spec.name)]
 
     def config_set(self, name: str, value: str) -> str:
         upper = name.upper()
-        if upper == "PLAN_CACHE_SIZE":
-            capacity = self._config_int(upper, value)
-            self.config.plan_cache_size = capacity
-            # apply to every live graph: resize its cache and bump its
-            # schema version so pre-change artifacts are not reused
-            for key in self.keyspace.graph_keys():
-                db = self.keyspace.get_graph(key)
-                if db is not None:
-                    db.engine.set_plan_cache_size(capacity)
-        elif upper == "WAL_FSYNC":
-            policy = value.lower()
-            if policy not in FSYNC_POLICIES:
-                raise ResponseError(
-                    f"ERR invalid value {value!r} for WAL_FSYNC (expected one of {', '.join(FSYNC_POLICIES)})"
-                )
-            self.config.wal_fsync = policy
-            if self.durability is not None:
-                self.durability.set_fsync(policy)
-        elif upper == "AUTO_SNAPSHOT_OPS":
-            self.config.auto_snapshot_ops = self._config_int(upper, value)
-        elif upper in ("EXEC_BATCH_SIZE", "TRAVERSE_BATCH_SIZE"):
-            size = self._config_int(upper, value)
-            if size < 1:
-                raise ResponseError(f"ERR {upper} must be >= 1")
-            self.config.exec_batch_size = size
-            self.config.traverse_batch_size = size  # keep the legacy mirror in sync
-            upper = "EXEC_BATCH_SIZE"  # one durability-log record kind
+        spec = config_spec(upper)
+        if spec is None or not spec.mutable:
+            raise ResponseError(
+                f"ERR configuration parameter {name!r} is not settable at runtime"
+            )
+        if spec.choices is not None:
+            parsed = str(value).lower()
         else:
-            raise ResponseError(f"ERR configuration parameter {name!r} is not settable at runtime")
+            try:
+                parsed = spec.parse(value)
+            except ValueError:
+                raise ResponseError(
+                    f"ERR invalid value {value!r} for {spec.redis_name}"
+                ) from None
+        try:
+            spec.check(parsed)
+        except ValueError:
+            if spec.choices is not None:
+                raise ResponseError(
+                    f"ERR invalid value {value!r} for {spec.redis_name} "
+                    f"(expected one of {', '.join(spec.choices)})"
+                ) from None
+            raise ResponseError(f"ERR {spec.redis_name} must be >= {spec.min}") from None
+        # GraphConfig.__setattr__ keeps deprecated aliases mirrored
+        setattr(self.config, spec.name, parsed)
+        apply = self._CONFIG_APPLY.get(spec.name)
+        if apply is not None:
+            apply(self, parsed)
         if self.durability is not None:
-            self.durability.log_config(upper, getattr(self.config, upper.lower()))
+            # one durability-log record kind per knob: aliases canonicalize
+            self.durability.log_config(spec.redis_name, getattr(self.config, spec.name))
         return "OK"
 
-    @staticmethod
-    def _config_int(name: str, value: str) -> int:
-        try:
-            parsed = int(value)
-        except ValueError:
-            raise ResponseError(f"ERR invalid value {value!r} for {name}") from None
-        if parsed < 0:
-            raise ResponseError(f"ERR {name} must be >= 0")
-        return parsed
+    def _apply_plan_cache_size(self, capacity: int) -> None:
+        # apply to every live graph: resize its cache and bump its
+        # schema version so pre-change artifacts are not reused
+        for key in self.keyspace.graph_keys():
+            db = self.keyspace.get_graph(key)
+            if db is not None:
+                db.engine.set_plan_cache_size(capacity)
+
+    def _apply_wal_fsync(self, policy: str) -> None:
+        if self.durability is not None:
+            self.durability.set_fsync(policy)
+
+    _CONFIG_APPLY = {
+        "plan_cache_size": _apply_plan_cache_size,
+        "wal_fsync": _apply_wal_fsync,
+    }
 
     def delete(self, key: str) -> str:
         db = self.keyspace.get_graph(key)

@@ -1,17 +1,23 @@
-"""The Redis-like server: a single-threaded event loop plus the module pool.
+"""The Redis-like server: N I/O event loops plus the module pool.
 
-Faithful to the paper's architecture:
+Faithful to the paper's architecture, extended with Redis 6-style
+``io-threads``:
 
-* one ``selectors``-based main thread parses RESP commands and executes
-  plain key-value commands inline (Redis is single-threaded by default),
+* ``io_threads`` ``selectors``-based event loops (default 1 — exactly
+  the classic single-threaded Redis shape) parse RESP commands and
+  execute plain key-value commands inline.  Loop 0 owns the listening
+  socket and deals accepted connections round-robin across loops; a
+  connection lives on one loop for its whole life, so per-connection
+  state is never shared between I/O threads.
 * ``GRAPH.*`` commands are handed to the module's :class:`ThreadPool`;
-  the worker computes the reply and wakes the loop through a self-pipe,
+  the worker computes the reply and wakes the owning loop through its
+  self-pipe,
 * replies are flushed strictly in per-connection request order, so a slow
   graph query never reorders a connection's replies (Redis semantics).
 
 Run standalone::
 
-    python -m repro.rediskv.server --port 6379 --threads 4
+    python -m repro.rediskv.server --port 6379 --threads 4 --io-threads 2
 """
 
 from __future__ import annotations
@@ -56,6 +62,166 @@ class _Connection:
         self.closing = False
 
 
+class _IOLoop:
+    """One event loop: a selector, a wake pipe, and the connections it owns.
+
+    Everything here runs on the loop's own thread except :meth:`adopt`
+    and :meth:`wake` (the cross-thread entry points, guarded by a lock
+    around the handoff queue and the wake pipe).
+    """
+
+    def __init__(self, server: "RedisLikeServer", index: int) -> None:
+        self.server = server
+        self.index = index
+        self.selector = selectors.DefaultSelector()
+        # self-pipe: workers/acceptor wake the loop when there is work
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self.selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self.conns: Dict[socket.socket, _Connection] = {}
+        self._handoff: Deque[socket.socket] = deque()
+        self._lock = threading.Lock()
+        self.commands = 0  # incremented only on this loop's thread
+
+    # -- cross-thread entry points -------------------------------------
+    def adopt(self, sock: socket.socket) -> None:
+        """Hand a freshly accepted socket to this loop (acceptor thread)."""
+        with self._lock:
+            self._handoff.append(sock)
+        self.wake()
+
+    def wake(self) -> None:
+        with self._lock:
+            try:
+                self._wake_w.send(b"x")
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- loop thread ---------------------------------------------------
+    def run(self) -> None:
+        while self.server._running:
+            self.run_once(timeout=0.2)
+
+    def run_once(self, timeout: float) -> None:
+        events = self.selector.select(timeout=timeout)
+        for key, mask in events:
+            tag = key.data
+            if tag == "accept":
+                self.server._accept()
+            elif tag == "wake":
+                try:
+                    self._wake_r.recv(4096)
+                except BlockingIOError:  # pragma: no cover
+                    pass
+            elif isinstance(tag, _Connection):
+                if mask & selectors.EVENT_READ:
+                    self._read(tag)
+        self._register_adopted()
+        self._flush_ready()
+
+    def _register_adopted(self) -> None:
+        while True:
+            with self._lock:
+                if not self._handoff:
+                    return
+                sock = self._handoff.popleft()
+            conn = _Connection(sock)
+            self.conns[sock] = conn
+            self.selector.register(sock, selectors.EVENT_READ, conn)
+
+    def close_conn(self, conn: _Connection) -> None:
+        try:
+            self.selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        self.conns.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):  # pragma: no cover
+            return
+        except ConnectionError:
+            self.close_conn(conn)
+            return
+        if not data:
+            self.close_conn(conn)
+            return
+        conn.parser.feed(data)
+        while True:
+            command = conn.parser.parse_one()
+            if command is NEED_MORE:
+                break
+            self._dispatch(conn, command)
+
+    def _dispatch(self, conn: _Connection, command: Any) -> None:
+        self.commands += 1
+        slot = _PendingReply()
+        conn.outbox.append(slot)
+        if not isinstance(command, list) or not command:
+            slot.data = encode(Exception("protocol error: expected a command array"))
+            slot.ready = True
+            return
+        name = str(command[0]).upper()
+        args = [str(a) for a in command[1:]]
+        server = self.server
+
+        if name.startswith("GRAPH."):
+            # module command: compute the reply on one pool thread
+            def run() -> bytes:
+                try:
+                    return encode(server._graph_command(name, args))
+                except ReproError as exc:
+                    return encode(exc)
+                except Exception as exc:  # noqa: BLE001 - reply, don't kill the worker
+                    return encode(exc)
+
+            def done(job: Job, _slot=slot) -> None:
+                _slot.data = job.result()
+                _slot.ready = True
+                self.wake()
+
+            server.pool.submit(run, callback=done)
+            return
+
+        # plain commands execute inline on the owning I/O thread
+        try:
+            slot.data = encode(server._plain_command(name, args))
+        except ReproError as exc:
+            slot.data = encode(exc)
+        except Exception as exc:  # noqa: BLE001
+            slot.data = encode(exc)
+        slot.ready = True
+
+    def _flush_ready(self) -> None:
+        for conn in list(self.conns.values()):
+            while conn.outbox and conn.outbox[0].ready:
+                conn.write_buffer.extend(conn.outbox.popleft().data)
+            if conn.write_buffer:
+                try:
+                    sent = conn.sock.send(conn.write_buffer)
+                    del conn.write_buffer[:sent]
+                except (BlockingIOError, InterruptedError):  # pragma: no cover
+                    pass
+                except (ConnectionError, OSError):
+                    self.close_conn(conn)
+                    continue
+            if conn.closing and not conn.outbox and not conn.write_buffer:
+                self.close_conn(conn)
+
+    def teardown(self) -> None:
+        """Release loop resources (called after the loop thread exited)."""
+        for conn in list(self.conns.values()):
+            self.close_conn(conn)
+        self.selector.close()
+        self._wake_r.close()
+        self._wake_w.close()
+
+
 class RedisLikeServer:
     def __init__(
         self,
@@ -83,17 +249,18 @@ class RedisLikeServer:
         self._listen.listen(128)
         self._listen.setblocking(False)
         self.host, self.port = self._listen.getsockname()
-        self._selector = selectors.DefaultSelector()
-        self._selector.register(self._listen, selectors.EVENT_READ, "accept")
-        # self-pipe: workers wake the loop when an async reply is ready
-        self._wake_r, self._wake_w = socket.socketpair()
-        self._wake_r.setblocking(False)
-        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        # I/O loops: loop 0 owns the listening socket; the rest receive
+        # connections round-robin from the acceptor
+        self.loops: List[_IOLoop] = [_IOLoop(self, i) for i in range(self.config.io_threads)]
+        self.loops[0].selector.register(self._listen, selectors.EVENT_READ, "accept")
+        self._rr = 0  # round-robin cursor (acceptor thread only)
         self._running = False
         self._thread: Optional[threading.Thread] = None
-        self._conns: Dict[socket.socket, _Connection] = {}
-        self._lock = threading.Lock()  # guards cross-thread wake bookkeeping
-        self.commands_processed = 0
+        self._io_threads: List[threading.Thread] = []
+
+    @property
+    def commands_processed(self) -> int:
+        return sum(loop.commands for loop in self.loops)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -107,46 +274,33 @@ class RedisLikeServer:
 
     def serve_forever(self) -> None:
         self._running = True
-        while self._running:
-            events = self._selector.select(timeout=0.2)
-            for key, mask in events:
-                tag = key.data
-                if tag == "accept":
-                    self._accept()
-                elif tag == "wake":
-                    try:
-                        self._wake_r.recv(4096)
-                    except BlockingIOError:  # pragma: no cover
-                        pass
-                elif isinstance(tag, _Connection):
-                    if mask & selectors.EVENT_READ:
-                        self._read(tag)
-            self._flush_ready()
+        self._io_threads = []
+        for loop in self.loops[1:]:
+            t = threading.Thread(target=loop.run, name=f"redis-io-{loop.index}", daemon=True)
+            t.start()
+            self._io_threads.append(t)
+        self.loops[0].run()
         self._teardown()
 
     def stop(self) -> None:
         self._running = False
-        with self._lock:
-            try:
-                self._wake_w.send(b"x")
-            except OSError:  # pragma: no cover
-                pass
+        for loop in self.loops:
+            loop.wake()
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5)
 
     def _teardown(self) -> None:
+        for t in self._io_threads:
+            t.join(timeout=5)
         self.pool.shutdown()
         if self.durability is not None:
             self.durability.close()  # flush + fsync the write log
-        for conn in list(self._conns.values()):
-            self._close(conn)
-        self._selector.close()
+        for loop in self.loops:
+            loop.teardown()
         self._listen.close()
-        self._wake_r.close()
-        self._wake_w.close()
 
     # ------------------------------------------------------------------
-    # Event handling (main thread only)
+    # Accepting (loop 0's thread only)
     # ------------------------------------------------------------------
     def _accept(self) -> None:
         try:
@@ -155,98 +309,15 @@ class RedisLikeServer:
             return
         sock.setblocking(False)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = _Connection(sock)
-        self._conns[sock] = conn
-        self._selector.register(sock, selectors.EVENT_READ, conn)
-
-    def _close(self, conn: _Connection) -> None:
-        try:
-            self._selector.unregister(conn.sock)
-        except (KeyError, ValueError):  # pragma: no cover
-            pass
-        self._conns.pop(conn.sock, None)
-        try:
-            conn.sock.close()
-        except OSError:  # pragma: no cover
-            pass
-
-    def _read(self, conn: _Connection) -> None:
-        try:
-            data = conn.sock.recv(65536)
-        except (BlockingIOError, InterruptedError):  # pragma: no cover
-            return
-        except ConnectionError:
-            self._close(conn)
-            return
-        if not data:
-            self._close(conn)
-            return
-        conn.parser.feed(data)
-        while True:
-            command = conn.parser.parse_one()
-            if command is NEED_MORE:
-                break
-            self._dispatch(conn, command)
-
-    def _dispatch(self, conn: _Connection, command: Any) -> None:
-        self.commands_processed += 1
-        slot = _PendingReply()
-        conn.outbox.append(slot)
-        if not isinstance(command, list) or not command:
-            slot.data = encode(Exception("protocol error: expected a command array"))
-            slot.ready = True
-            return
-        name = str(command[0]).upper()
-        args = [str(a) for a in command[1:]]
-
-        if name.startswith("GRAPH."):
-            # module command: compute the reply on one pool thread
-            def run() -> bytes:
-                try:
-                    return encode(self._graph_command(name, args))
-                except ReproError as exc:
-                    return encode(exc)
-                except Exception as exc:  # noqa: BLE001 - reply, don't kill the worker
-                    return encode(exc)
-
-            def done(job: Job, _slot=slot) -> None:
-                _slot.data = job.result()
-                _slot.ready = True
-                with self._lock:
-                    try:
-                        self._wake_w.send(b"x")
-                    except OSError:  # pragma: no cover
-                        pass
-
-            self.pool.submit(run, callback=done)
-            return
-
-        # plain commands execute inline on the main thread, like Redis
-        try:
-            slot.data = encode(self._plain_command(name, args))
-        except ReproError as exc:
-            slot.data = encode(exc)
-        except Exception as exc:  # noqa: BLE001
-            slot.data = encode(exc)
-        slot.ready = True
-
-    def _flush_ready(self) -> None:
-        for conn in list(self._conns.values()):
-            changed = False
-            while conn.outbox and conn.outbox[0].ready:
-                conn.write_buffer.extend(conn.outbox.popleft().data)
-                changed = True
-            if conn.write_buffer:
-                try:
-                    sent = conn.sock.send(conn.write_buffer)
-                    del conn.write_buffer[:sent]
-                except (BlockingIOError, InterruptedError):  # pragma: no cover
-                    pass
-                except (ConnectionError, OSError):
-                    self._close(conn)
-                    continue
-            if conn.closing and not conn.outbox and not conn.write_buffer:
-                self._close(conn)
+        loop = self.loops[self._rr % len(self.loops)]
+        self._rr += 1
+        if loop is self.loops[0]:
+            # no cross-thread handoff needed: register directly
+            conn = _Connection(sock)
+            loop.conns[sock] = conn
+            loop.selector.register(sock, selectors.EVENT_READ, conn)
+        else:
+            loop.adopt(sock)
 
     # ------------------------------------------------------------------
     # Command implementations
@@ -333,6 +404,7 @@ class RedisLikeServer:
             return (
                 f"# Server\r\nrepro_version:{__version__}\r\n"
                 f"graph_thread_count:{self.pool.size}\r\n"
+                f"io_threads:{len(self.loops)}\r\n"
                 f"commands_processed:{self.commands_processed}\r\n"
                 f"keys:{len(self.keyspace)}\r\n"
             )
@@ -340,6 +412,8 @@ class RedisLikeServer:
             return []
         if name == "SHUTDOWN":
             self._running = False
+            for loop in self.loops:
+                loop.wake()
             return SimpleString("OK")
         raise Exception(f"unknown command '{name}'")
 
@@ -354,6 +428,18 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=6379)
     parser.add_argument("--threads", type=int, default=None, help="graph module thread pool size")
+    parser.add_argument(
+        "--io-threads",
+        type=int,
+        default=None,
+        help="number of I/O event loops (like Redis io-threads; default 1)",
+    )
+    parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        help="intra-query morsel workers for read queries (default 1 = serial)",
+    )
     parser.add_argument(
         "--data-dir",
         default=None,
@@ -376,6 +462,10 @@ def main(argv: Optional[List[str]] = None) -> None:
     config = GraphConfig()
     if args.threads is not None:
         config.thread_count = args.threads
+    if args.io_threads is not None:
+        config.io_threads = args.io_threads
+    if args.parallel_workers is not None:
+        config.parallel_workers = args.parallel_workers
     if args.wal_fsync is not None:
         config.wal_fsync = args.wal_fsync
     if args.auto_snapshot_ops is not None:
@@ -386,7 +476,10 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"recovered {server.recovery_stats['snapshots']} snapshot(s), "
             f"replayed {server.recovery_stats['replayed']} log record(s) from {args.data_dir}"
         )
-    print(f"repro server listening on {server.host}:{server.port} (pool={server.pool.size})")
+    print(
+        f"repro server listening on {server.host}:{server.port} "
+        f"(pool={server.pool.size}, io-threads={len(server.loops)})"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover

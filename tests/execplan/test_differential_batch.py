@@ -122,7 +122,7 @@ def test_profile_rowcounts_match_row_engine(db, query):
     def counts(size):
         db.graph.config.exec_batch_size = size
         try:
-            _, report = db.profile(query)
+            report = db.profile(query).profile
         finally:
             db.graph.config.exec_batch_size = 1024
         out = []

@@ -320,6 +320,6 @@ class TestExplain:
         assert "ExpandInto" in plan
 
     def test_profile_counts_records(self, social):
-        _, report = social.profile("MATCH (n:Person) RETURN count(n)")
+        report = social.profile("MATCH (n:Person) RETURN count(n)").profile
         assert "Records produced" in report
         assert "NodeByLabelScan" in report

@@ -76,7 +76,7 @@ class TestCacheHits:
         db.explain(q)
         misses_after_explain = db.engine.plan_cache.info()["misses"]
         db.query(q)
-        _, report = db.profile(q)
+        report = db.profile(q).profile
         assert "Records produced" in report
         assert db.engine.plan_cache.info()["misses"] == misses_after_explain
 
@@ -229,8 +229,8 @@ class TestProfilePerRun:
         def row_counts(report):
             return [line.split(", Execution time")[0] for line in report.splitlines()]
 
-        _, first = db.profile(q)
-        _, second = db.profile(q)
+        first = db.profile(q).profile
+        second = db.profile(q).profile
         # cached plan, fresh counters each run — a second PROFILE must not
         # report doubled record counts
         assert row_counts(first) == row_counts(second)
@@ -289,7 +289,8 @@ class TestConcurrentCachedExecution:
         def profiled():
             try:
                 for _ in range(10):
-                    result, report = db.profile(q)
+                    result = db.profile(q)
+                    report = result.profile
                     assert result.scalar() == expected
                     assert "Records produced" in report
             except Exception as exc:  # noqa: BLE001

@@ -102,13 +102,13 @@ class TestOptimizer:
 
 class TestProfileInstrumentation:
     def test_row_counts_accurate(self, db):
-        _, report = db.profile("MATCH (n:Person) RETURN n")
+        report = db.profile("MATCH (n:Person) RETURN n").profile
         scan_line = next(l for l in report.splitlines() if "NodeByLabelScan" in l)
         assert "Records produced: 2" in scan_line
 
     def test_profile_returns_same_rows_as_query(self, db):
         plain = db.query("MATCH (n:Person) RETURN n.name ORDER BY n.name")
-        profiled, _ = db.profile("MATCH (n:Person) RETURN n.name ORDER BY n.name")
+        profiled = db.profile("MATCH (n:Person) RETURN n.name ORDER BY n.name")
         assert plain.rows == profiled.rows
 
 

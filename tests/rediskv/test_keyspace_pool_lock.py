@@ -8,7 +8,7 @@ import pytest
 from repro.errors import WrongTypeError
 from repro.graph.rwlock import RWLock
 from repro.rediskv.keyspace import Keyspace
-from repro.rediskv.threadpool import ThreadPool
+from repro.rediskv.threadpool import JobCancelledError, ThreadPool
 
 
 class TestKeyspace:
@@ -117,6 +117,143 @@ class TestThreadPool:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             ThreadPool(0)
+
+    def test_get_or_create_graph_is_atomic(self):
+        ks = Keyspace()
+        made = []
+
+        def factory():
+            made.append(1)
+            return object()
+
+        barrier = threading.Barrier(4, timeout=5)
+        got = []
+
+        def racer():
+            barrier.wait()
+            got.append(ks.get_or_create_graph("g", factory))
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(made) == 1  # exactly one instance built
+        assert all(g is got[0] for g in got)
+
+
+class TestThreadPoolFutures:
+    """The futures surface grown for morsel scheduling (ISSUE 6)."""
+
+    def test_cancel_queued_job(self):
+        pool = ThreadPool(1)
+        release = threading.Event()
+        try:
+            blocker = pool.submit(release.wait, 5)
+            victim = pool.submit(lambda: "never")
+            assert victim.cancel() is True
+            assert victim.cancelled
+            release.set()
+            blocker.result(timeout=5)
+            with pytest.raises(JobCancelledError):
+                victim.result(timeout=5)
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_cannot_cancel_finished_job(self):
+        pool = ThreadPool(1)
+        try:
+            job = pool.submit(lambda: 7)
+            assert job.result(timeout=5) == 7
+            assert job.cancel() is False
+        finally:
+            pool.shutdown()
+
+    def test_worker_traceback_travels(self):
+        pool = ThreadPool(1)
+
+        def deep():
+            raise KeyError("inner-marker")
+
+        try:
+            job = pool.submit(deep)
+            with pytest.raises(KeyError):
+                job.result(timeout=5)
+            tb = job.error_traceback()
+            assert "inner-marker" in tb and "deep" in tb
+        finally:
+            pool.shutdown()
+
+    def test_bounded_queue_try_submit(self):
+        pool = ThreadPool(1, max_queue=1)
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            return release.wait(5)
+
+        try:
+            blocker = pool.submit(block)
+            assert started.wait(5)  # worker holds it; the queue slot is free
+            queued = pool.try_submit(lambda: "q")
+            assert queued is not None
+            overflow = pool.try_submit(lambda: "nope")
+            assert overflow is None  # queue full -> caller runs it inline
+            release.set()
+            assert blocker.result(timeout=5) is True
+            assert queued.result(timeout=5) == "q"
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_grow(self):
+        pool = ThreadPool(1, name="growable")
+        try:
+            pool.grow(3)
+            assert pool.size == 3
+            pool.grow(2)  # never shrinks
+            assert pool.size == 3
+            barrier = threading.Barrier(3, timeout=5)
+            jobs = [pool.submit(barrier.wait) for _ in range(3)]
+            for j in jobs:
+                j.result(timeout=5)  # needs all 3 workers live
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_drains_queued_jobs(self):
+        pool = ThreadPool(1)
+        release = threading.Event()
+        done = []
+        blocker = pool.submit(release.wait, 5)
+        queued = pool.submit(lambda: done.append(1))
+        release.set()
+        pool.shutdown()  # default: drain
+        assert blocker.done and queued.done
+        assert done == [1]
+
+    def test_shutdown_cancel_pending(self):
+        pool = ThreadPool(1)
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+
+        def block():
+            started.set()
+            return release.wait(5)
+
+        blocker = pool.submit(block)
+        assert started.wait(5)  # blocker is in flight, not queued
+        queued = pool.submit(lambda: ran.append(1))
+        stopper = threading.Thread(target=lambda: pool.shutdown(cancel_pending=True))
+        stopper.start()
+        with pytest.raises(JobCancelledError):
+            queued.result(timeout=5)  # cancelled while the worker was busy
+        release.set()
+        stopper.join(timeout=5)
+        assert blocker.result(timeout=5) is True  # in-flight job finished
+        assert ran == []
 
 
 class TestRWLock:

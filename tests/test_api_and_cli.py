@@ -24,7 +24,8 @@ class TestGraphDB:
     def test_profile_returns_pair(self):
         db = GraphDB("demo")
         db.query("CREATE (:A)")
-        result, report = db.profile("MATCH (n) RETURN n")
+        result = db.profile("MATCH (n) RETURN n")
+        report = result.profile
         assert len(result.rows) == 1 and "Records produced" in report
 
     def test_lazy_import_attribute(self):
