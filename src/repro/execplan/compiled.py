@@ -39,11 +39,19 @@ class PlanSchema:
     looked up by name at execution time.
     """
 
-    __slots__ = ("indexes", "version")
+    __slots__ = ("indexes", "version", "stats")
 
-    def __init__(self, indexes: FrozenSet[Tuple[str, str]] = frozenset(), version: int = 0) -> None:
+    def __init__(
+        self,
+        indexes: FrozenSet[Tuple[str, str]] = frozenset(),
+        version: int = 0,
+        stats=None,
+    ) -> None:
         self.indexes = frozenset(indexes)
         self.version = version
+        # GraphStatistics snapshot, or None when cost_based_planner=0 —
+        # its absence is what switches the planner back to pure rules
+        self.stats = stats
 
     @classmethod
     def snapshot(cls, graph) -> "PlanSchema":
@@ -52,9 +60,11 @@ class PlanSchema:
         # race harmless: if the index set changes after the read, the
         # artifact is stamped with the older version, fails the next
         # cache-freshness check, and is recompiled — a plan is never
-        # marked fresher than the schema it actually saw.
+        # marked fresher than the schema it actually saw.  The statistics
+        # snapshot races the same way, at worst carrying an older epoch.
         version = graph.schema_version
-        return cls(frozenset(graph.index_specs()), version)
+        stats = graph.stats.snapshot() if graph.config.cost_based_planner else None
+        return cls(frozenset(graph.index_specs()), version, stats)
 
     def has_index(self, label: str, attribute: str) -> bool:
         return (label, attribute) in self.indexes
@@ -69,7 +79,16 @@ class CompiledQuery:
     execution's :class:`~repro.execplan.expressions.ExecContext`.
     """
 
-    __slots__ = ("text", "plans", "writes", "union_all", "param_names", "schema_version")
+    __slots__ = (
+        "text",
+        "plans",
+        "writes",
+        "union_all",
+        "param_names",
+        "schema_version",
+        "stats_epoch",
+        "est_max_rows",
+    )
 
     def __init__(
         self,
@@ -79,6 +98,8 @@ class CompiledQuery:
         union_all: bool,
         param_names: FrozenSet[str],
         schema_version: int,
+        stats_epoch: Optional[int] = None,
+        est_max_rows: Optional[float] = None,
     ) -> None:
         self.text = text
         self.plans = plans
@@ -86,6 +107,10 @@ class CompiledQuery:
         self.union_all = union_all
         self.param_names = param_names
         self.schema_version = schema_version
+        # statistics epoch the estimates were priced at (None = rule-based)
+        self.stats_epoch = stats_epoch
+        # largest per-op estimate in the tree (morsel pre-sizing signal)
+        self.est_max_rows = est_max_rows
 
     @property
     def columns(self) -> Optional[List[str]]:
@@ -131,6 +156,14 @@ def compile_query(text: str, schema: PlanSchema) -> CompiledQuery:
     plans = [plan_single_query(part, schema) for part in ast.parts]
     for planned in plans:
         planned.root = optimize(planned.root)
+    est_max: Optional[float] = None
+    if schema.stats is not None:
+        from repro.execplan.cost import CostModel, annotate_estimates
+
+        model = CostModel(schema.stats)
+        est_max = 0.0
+        for planned in plans:
+            est_max = max(est_max, annotate_estimates(planned.root, model))
     writes = any(p.writes for p in plans)
     return CompiledQuery(
         text=text,
@@ -139,4 +172,6 @@ def compile_query(text: str, schema: PlanSchema) -> CompiledQuery:
         union_all=ast.union_all,
         param_names=collect_param_names(ast),
         schema_version=schema.version,
+        stats_epoch=schema.stats.epoch if schema.stats is not None else None,
+        est_max_rows=est_max,
     )

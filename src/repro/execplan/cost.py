@@ -1,0 +1,336 @@
+"""Cardinality estimation — the planner's price list.
+
+The model turns a :class:`~repro.graph.statistics.GraphStatistics`
+snapshot into per-operation row estimates using the textbook
+System-R-style rules (the query-optimization layer Besta et al. name as
+what separates production graph engines from toys):
+
+* **scan cardinality** from per-label node counts (an AllNodeScan costs
+  ``N``, a label scan the label's count, an index probe the index's
+  average posting size ``size / NDV``),
+* **expansion fan-out** from per-type degree statistics: a traversal
+  multiplies the frontier by the type's mean entries-per-node, a
+  variable-length hop by the clamped geometric series of that fan,
+* **filter selectivity** from NDV where an index provides it, with the
+  standard defaults elsewhere (0.1 per equality conjunct, 0.25 per
+  opaque predicate).
+
+Estimates are *relative* prices for comparing alternatives — anchor
+choice, join order, index-vs-scan — not promises about result sizes;
+:func:`annotate_estimates` also stamps every op with ``est_rows`` so
+EXPLAIN shows the numbers the plan was chosen by and PROFILE exposes
+estimated-vs-actual drift.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.execplan.ops_base import Argument, PlanOp, Unit
+from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
+from repro.execplan.ops_stream import (
+    Aggregate,
+    ApplyOptional,
+    CartesianProduct,
+    Filter,
+    Limit,
+    Unwind,
+)
+from repro.execplan.ops_traverse import CondVarLenTraverse, ConditionalTraverse, ExpandInto
+from repro.execplan.planner import _LabelCheckPredicate, _PropertyCheckPredicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.statistics import GraphStatistics
+
+__all__ = ["CostModel", "annotate_estimates", "DEFAULT_EQ_SELECTIVITY", "DEFAULT_FILTER_SELECTIVITY"]
+
+#: selectivity of one equality conjunct with no index NDV to price it
+DEFAULT_EQ_SELECTIVITY = 0.1
+#: selectivity of an opaque predicate (WHERE expressions we don't model)
+DEFAULT_FILTER_SELECTIVITY = 0.25
+#: average list length assumed for UNWIND of a non-literal expression
+UNWIND_FANOUT = 10.0
+
+
+def _parse_rel_operand(label: str) -> Tuple[Tuple[str, ...], str]:
+    """Invert :func:`~repro.execplan.algebraic.build_traverse_expression`'s
+    relation-operand display label back into (types, direction)."""
+    direction = "out"
+    if label.startswith("T(") and label.endswith(")"):
+        direction, label = "in", label[2:-1]
+    elif label.startswith("(") and label.endswith("+T)"):
+        direction, label = "any", label[1:-3]
+    types = () if label == "ADJ" else tuple(label.split("|"))
+    return types, direction
+
+
+def _diag_labels(expr) -> Tuple[str, ...]:
+    """Destination labels folded into an algebraic expression."""
+    return tuple(
+        lbl[5:-1] for lbl in expr.labels if lbl.startswith("diag(") and lbl.endswith(")")
+    )
+
+
+class CostModel:
+    """Prices access paths and traversal steps from one statistics snapshot."""
+
+    def __init__(self, stats: "GraphStatistics") -> None:
+        self.stats = stats
+        self.node_count = max(1, stats.node_count)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def label_count(self, label: str) -> float:
+        return float(self.stats.label_counts.get(label, 0))
+
+    def label_selectivity(self, label: str) -> float:
+        return min(1.0, self.label_count(label) / self.node_count)
+
+    def index_estimate(self, label: str, attribute: str) -> float:
+        """Expected postings of one equality probe: size / NDV (falls back
+        to the default equality selectivity of the label's count when the
+        index isn't in the snapshot yet)."""
+        entry = self.stats.indexes.get((label, attribute))
+        if entry is None:
+            return self.label_count(label) * DEFAULT_EQ_SELECTIVITY
+        size, ndv = entry
+        return size / max(1, ndv)
+
+    def entries(self, types: Sequence[str], direction: str) -> float:
+        """Distinct matrix entries the step's relation operand holds."""
+        if types:
+            total = sum(
+                self.stats.rels[t].entries for t in types if t in self.stats.rels
+            )
+        else:
+            total = sum(rel.entries for rel in self.stats.rels.values())
+        return float(total * 2 if direction == "any" else total)
+
+    def fan(self, types: Sequence[str], direction: str) -> float:
+        """Mean per-frontier-row fan-out of one hop (uniform model)."""
+        return self.entries(types, direction) / self.node_count
+
+    def source_nodes(self, types: Sequence[str], direction: str) -> int:
+        """Distinct nodes with at least one step-source-side entry — the
+        in/out asymmetry signal.  Walking ``-[:R]->`` forward reads R and
+        fans out of ``out_nodes`` sources; walking it backwards reads the
+        cached transpose and fans out of ``in_nodes``.  Fewer distinct
+        sources means a sparser frontier matrix for the same entry count."""
+        total = 0
+        rels = (
+            [self.stats.rels[t] for t in types if t in self.stats.rels]
+            if types
+            else list(self.stats.rels.values())
+        )
+        for rel in rels:
+            if direction == "out":
+                total += rel.out_nodes
+            elif direction == "in":
+                total += rel.in_nodes
+            else:
+                total += max(rel.out_nodes, rel.in_nodes)
+        return total
+
+    # ------------------------------------------------------------------
+    # Composite prices (what the planner compares)
+    # ------------------------------------------------------------------
+    def access_estimate(
+        self,
+        labels: Sequence[str],
+        prop_keys: Sequence[str],
+        schema,
+        *,
+        id_seek: bool = False,
+    ) -> Tuple[float, float, int]:
+        """(estimated rows, work, rule score) of scanning one node pattern.
+
+        ``work`` is what the access op itself materializes — the rows any
+        residual property/label Filter must then examine — while the first
+        value is the post-filter cardinality carried into the next step.
+        Pricing anchors by work (not output) is what stops a cheap-looking
+        filter from hiding an expensive scan behind it.  The rule score
+        mirrors ``_best_scan_anchor``'s syntactic ranking (id-seek 3 >
+        indexed 2 > label 1 > bare 0) and tie-breaks equal estimates, so
+        empty or uniform statistics reproduce the rule-based choice
+        exactly."""
+        if id_seek:
+            return 1.0, 1.0, 3
+        if labels:
+            extra = 1.0
+            for lbl in labels[1:]:
+                extra *= self.label_selectivity(lbl)
+            indexed = [k for k in prop_keys if schema.has_index(labels[0], k)]
+            if indexed:
+                best = min(self.index_estimate(labels[0], k) for k in indexed)
+                residual = DEFAULT_EQ_SELECTIVITY ** (len(prop_keys) - 1)
+                return best * residual * extra, best, 2
+            count = self.label_count(labels[0])
+            sel = DEFAULT_EQ_SELECTIVITY ** len(prop_keys)
+            return count * sel * extra, count, 1
+        n = float(self.node_count)
+        return n * DEFAULT_EQ_SELECTIVITY ** len(prop_keys), n, 0
+
+    def step_estimate(
+        self,
+        src_est: float,
+        types: Sequence[str],
+        direction: str,
+        dst_labels: Sequence[str],
+        dst_prop_count: int,
+        *,
+        variable_length: bool = False,
+        min_hops: int = 1,
+        max_hops: int = 1,
+        dst_bound: bool = False,
+    ) -> Tuple[float, float, float]:
+        """(rows after the step, work, source-side distinct fraction).
+
+        ``work`` is what the traversal materializes before any
+        destination *property* Filter runs (labels are free — they fold
+        into the algebraic expression as a diagonal operand, so wrong-label
+        rows never exist); the first value applies the property
+        selectivity on top and is the frontier carried into the next
+        step.  The last value is the direction-asymmetry tie-break: when
+        two extensions price identically, the one whose source side
+        touches fewer distinct nodes wins (its frontier matrix is
+        sparser)."""
+        n = self.node_count
+        src_frac = min(1.0, self.source_nodes(types, direction) / n)
+        label_sel = 1.0
+        for lbl in dst_labels:
+            label_sel *= self.label_selectivity(lbl)
+        prop_sel = DEFAULT_EQ_SELECTIVITY ** dst_prop_count
+        fan = self.fan(types, direction)
+        if dst_bound:
+            # both endpoints fixed: P(entry exists) per row
+            est = src_est * min(1.0, fan / n)
+            return est, est, src_frac
+        if variable_length:
+            lo = max(1, min_hops)
+            hi = max(lo, max_hops)
+            total = 1.0 if min_hops == 0 else 0.0
+            power = fan ** lo
+            for _ in range(lo, hi + 1):
+                total += min(float(n), power)
+                power *= fan
+                if total >= n:  # per-source reach cannot exceed N
+                    total = float(n)
+                    break
+            work = src_est * total * label_sel
+            return work * prop_sel, work, src_frac
+        work = src_est * fan * label_sel
+        return work * prop_sel, work, src_frac
+
+
+# ---------------------------------------------------------------------------
+# Plan annotation (EXPLAIN est_rows / PROFILE estimated-vs-actual)
+# ---------------------------------------------------------------------------
+
+
+def _predicate_selectivity(model: CostModel, predicate) -> float:
+    if isinstance(predicate, _LabelCheckPredicate):
+        sel = 1.0
+        for lbl in predicate._wanted:
+            sel *= model.label_selectivity(lbl)
+        return sel
+    if isinstance(predicate, _PropertyCheckPredicate):
+        return DEFAULT_EQ_SELECTIVITY ** len(predicate._checks)
+    return DEFAULT_FILTER_SELECTIVITY
+
+
+def _literal_limit(limit: Limit) -> Optional[int]:
+    try:
+        value = limit._count([], None)
+    except (AttributeError, IndexError, KeyError, TypeError):
+        return None  # dynamic: parameter or upstream-column reference
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        return None
+    return value
+
+
+def annotate_estimates(root: PlanOp, model: CostModel) -> float:
+    """Post-order pass stamping ``op.est_rows`` on every operation.
+
+    Returns the largest estimate in the tree (the executor's
+    morsel-worthiness signal).  Estimates are heuristic row counts, never
+    used for correctness — operators ignore the attribute at runtime."""
+    peak = 0.0
+
+    def visit(op: PlanOp) -> float:
+        nonlocal peak
+        for child in op.children:
+            visit(child)
+        est = _estimate(op, model)
+        op.est_rows = est
+        peak = max(peak, est)
+        return est
+
+    visit(root)
+    return peak
+
+
+def _child_est(op: PlanOp, index: int = 0) -> float:
+    if index < len(op.children):
+        return getattr(op.children[index], "est_rows", 1.0)
+    return 1.0
+
+
+def _estimate(op: PlanOp, model: CostModel) -> float:
+    n = float(model.node_count)
+    if isinstance(op, (Unit, Argument)):
+        return 1.0
+    if isinstance(op, NodeByIdSeek):
+        return _child_est(op) if op.children else 1.0
+    if isinstance(op, AllNodeScan):
+        return (_child_est(op) if op.children else 1.0) * n
+    if isinstance(op, NodeByIndexScan):
+        base = model.index_estimate(op._label, op._attribute)
+        return (_child_est(op) if op.children else 1.0) * base
+    if isinstance(op, NodeByLabelScan):
+        return (_child_est(op) if op.children else 1.0) * model.label_count(op._label)
+    if isinstance(op, ConditionalTraverse):
+        est, _, _ = model.step_estimate(
+            _child_est(op), op._types, op._direction, _diag_labels(op._expr), 0
+        )
+        return est
+    if isinstance(op, ExpandInto):
+        est, _, _ = model.step_estimate(
+            _child_est(op), op._types, op._direction, (), 0, dst_bound=True
+        )
+        return est
+    if isinstance(op, CondVarLenTraverse):
+        types, direction = _parse_rel_operand(op._expr.labels[0]) if op._expr.labels else ((), "out")
+        est, _, _ = model.step_estimate(
+            _child_est(op),
+            types,
+            direction,
+            (),
+            0,
+            variable_length=True,
+            min_hops=op._min,
+            max_hops=op._max,
+        )
+        return est
+    if isinstance(op, Filter):
+        sel = 1.0
+        for predicate in op._predicates:
+            sel *= _predicate_selectivity(model, predicate)
+        return _child_est(op) * sel
+    if isinstance(op, Limit):
+        literal = _literal_limit(op)
+        child = _child_est(op)
+        return child if literal is None else min(child, float(literal))
+    if isinstance(op, Aggregate):
+        child = _child_est(op)
+        return max(1.0, child ** 0.5) if op._group else 1.0
+    if isinstance(op, Unwind):
+        return _child_est(op) * UNWIND_FANOUT
+    if isinstance(op, CartesianProduct):
+        return _child_est(op, 0) * _child_est(op, 1)
+    if isinstance(op, ApplyOptional):
+        # right subtree was annotated per outer row (its Argument is 1);
+        # empty matches still emit one null-extended row
+        return _child_est(op, 0) * max(1.0, _child_est(op, 1))
+    # Project / Sort / Skip / Distinct / Results / updates: passthrough
+    return _child_est(op) if op.children else 1.0

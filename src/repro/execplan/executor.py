@@ -58,7 +58,10 @@ class QueryEngine:
         """The compiled plan for ``text`` plus whether it came from the
         cache.  One compilation is shared by QUERY / RO_QUERY / EXPLAIN /
         PROFILE and by every subsequent request with the same text."""
-        compiled = self.plan_cache.get(text, self.graph.schema_version)
+        stats_epoch = (
+            self.graph.stats.epoch if self.graph.config.cost_based_planner else None
+        )
+        compiled = self.plan_cache.get(text, self.graph.schema_version, stats_epoch)
         if compiled is not None:
             return compiled, True
         compiled = self.compile(text)
@@ -114,7 +117,12 @@ class QueryEngine:
         # driver off and reproduces the serial engine exactly.
         workers = self.graph.config.parallel_workers
         if workers > 1 and not compiled.writes:
-            ctx.driver = MorselDriver(workers, self.graph.config.morsel_size)
+            # morsel pre-sizing from the cost model: a plan whose largest
+            # estimated operator output fits inside one morsel can't split
+            # into 2+ partitions — skip the driver (and its pool handshake)
+            est = compiled.est_max_rows
+            if est is None or est >= self.graph.config.morsel_size:
+                ctx.driver = MorselDriver(workers, self.graph.config.morsel_size)
         started = time.perf_counter()
         lock = self.graph.lock.write() if compiled.writes else self.graph.lock.read()
         with lock:

@@ -124,6 +124,11 @@ class PlanOp:
         """The indented plan tree; ``profile`` is the run's ProfileRun
         (or None for a bare EXPLAIN)."""
         line = "    " * indent + self.describe()
+        est = getattr(self, "est_rows", None)
+        if est is not None:
+            # cost-based planning: the estimate the plan was priced with;
+            # under PROFILE it sits next to the actual Records produced
+            line += f" | est_rows: {int(round(est))}"
         if profile is not None:
             line += profile.suffix(self)
         lines = [line]

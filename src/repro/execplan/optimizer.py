@@ -31,11 +31,18 @@ def optimize(root: PlanOp) -> PlanOp:
 
 def _literal_count(limit: Limit) -> int:
     """The LIMIT's count when it is a literal (no record/params needed);
-    -1 when it is dynamic and only knowable per execution."""
+    -1 when it is dynamic and only knowable per execution.
+
+    Only the errors a dynamic count raises when probed without a record
+    or parameters are treated as "dynamic" — anything else is a planner
+    bug and must propagate instead of silently degrading the top-k sort."""
     try:
-        return int(limit._count([], None))
-    except Exception:
+        value = limit._count([], None)
+    except (AttributeError, IndexError, KeyError, TypeError):
         return -1
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        return -1  # execution raises the proper type error for these
+    return value
 
 
 def _rewrite(op: PlanOp) -> PlanOp:

@@ -55,16 +55,29 @@ class PlanCache:
             return len(self._entries)
 
     # ------------------------------------------------------------------
-    def get(self, text: str, schema_version: int) -> Optional[CompiledQuery]:
+    def get(
+        self, text: str, schema_version: int, stats_epoch: Optional[int] = None
+    ) -> Optional[CompiledQuery]:
         """The cached plan for ``text`` if present *and* compiled at
-        ``schema_version``; stale entries are evicted on sight."""
+        ``schema_version``; stale entries are evicted on sight.
+
+        ``stats_epoch`` (cost-based planning only) adds a second freshness
+        axis: an entry priced at an older statistics epoch is stale even
+        though the schema hasn't moved — the graph's size drifted enough
+        that its estimates may pick a different plan.  Rule-compiled
+        entries (``stats_epoch is None`` on the entry) never expire this
+        way, and callers with the knob off pass None and skip the check."""
         key = self.canonical(text)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return None
-            if entry.schema_version != schema_version:
+            if entry.schema_version != schema_version or (
+                stats_epoch is not None
+                and entry.stats_epoch is not None
+                and entry.stats_epoch != stats_epoch
+            ):
                 del self._entries[key]
                 self.misses += 1
                 return None

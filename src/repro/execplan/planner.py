@@ -91,6 +91,15 @@ class _Planner:
         self.columns: Optional[List[str]] = None
         self._id_seeks: Dict[str, A.Expr] = {}
         self._consumed_seeks: Set[str] = set()
+        stats = getattr(schema, "stats", None)
+        if stats is not None:
+            from repro.execplan.cost import CostModel  # planner<->cost cycle
+
+            self.cost: Optional["CostModel"] = CostModel(stats)
+        else:
+            # cost_based_planner=0: no statistics snapshot, every choice
+            # below falls back to the syntactic rules verbatim
+            self.cost = None
 
     # ------------------------------------------------------------------
     def _anon_var(self) -> str:
@@ -220,7 +229,10 @@ class _Planner:
             correlated = bool(refs & bound)
 
         if anchor is None:
-            anchor = self._best_scan_anchor(nodes, node_vars)
+            if self.cost is not None:
+                anchor = self._cost_scan_anchor(nodes, node_vars, rels)
+            else:
+                anchor = self._best_scan_anchor(nodes, node_vars)
 
         # build the path subtree; disconnected paths start their own chain
         chain_root = self.root if (connected or correlated) else None
@@ -232,10 +244,28 @@ class _Planner:
             # anchor node's labels/props still need checking when restated
             chain.filter_node_constraints(nodes[anchor], node_vars[anchor])
 
-        for i in range(anchor, len(rels)):
-            chain.traverse(rels[i], nodes[i + 1], node_vars[i], node_vars[i + 1], forward=True)
-        for i in range(anchor - 1, -1, -1):
-            chain.traverse(rels[i], nodes[i], node_vars[i + 1], node_vars[i], forward=False)
+        if self.cost is not None:
+            # greedy join order: at each point extend whichever side of the
+            # bound [l, r] range keeps the estimated frontier smallest
+            anchor_est, _, _ = self._anchor_access_estimate(nodes[anchor], node_vars[anchor])
+            steps = self._greedy_steps(
+                anchor,
+                1.0 if connected else anchor_est,
+                nodes,
+                node_vars,
+                rels,
+                bound=set(chain.bound_in_chain),
+            )
+            for i, forward, _ in steps:
+                if forward:
+                    chain.traverse(rels[i], nodes[i + 1], node_vars[i], node_vars[i + 1], forward=True)
+                else:
+                    chain.traverse(rels[i], nodes[i], node_vars[i + 1], node_vars[i], forward=False)
+        else:
+            for i in range(anchor, len(rels)):
+                chain.traverse(rels[i], nodes[i + 1], node_vars[i], node_vars[i + 1], forward=True)
+            for i in range(anchor - 1, -1, -1):
+                chain.traverse(rels[i], nodes[i], node_vars[i + 1], node_vars[i], forward=False)
 
         subtree = chain.root
         if connected or correlated or self.root is None:
@@ -263,6 +293,114 @@ class _Planner:
                             break
             if score > best_score:
                 best, best_score = i, score
+        return best
+
+    # ------------------------------------------------------------------
+    # Cost-based path planning (cost_based_planner=1)
+    # ------------------------------------------------------------------
+    def _anchor_access_estimate(
+        self, node: A.NodePattern, var: str
+    ) -> Tuple[float, float, int]:
+        return self.cost.access_estimate(
+            node.labels,
+            tuple(k for k, _ in node.properties),
+            self.schema,
+            id_seek=var in self._id_seeks,
+        )
+
+    def _price_step(
+        self, rel: A.RelPattern, dst_node: A.NodePattern, dst_var: str,
+        src_est: float, seen: Set[str], *, forward: bool,
+    ) -> Tuple[float, float, float]:
+        direction = rel.direction
+        if not forward:
+            direction = {"out": "in", "in": "out", "any": "any"}[direction]
+        dst_bound = dst_var in seen
+        if rel.variable_length:
+            min_hops, max_hops = rel.min_hops, rel.max_hops if rel.max_hops >= 0 else 8
+        else:
+            min_hops = max_hops = 1
+        return self.cost.step_estimate(
+            src_est,
+            rel.types,
+            direction,
+            () if dst_bound else dst_node.labels,
+            0 if dst_bound else len(dst_node.properties),
+            variable_length=rel.variable_length,
+            min_hops=min_hops,
+            max_hops=max_hops,
+            dst_bound=dst_bound,
+        )
+
+    def _greedy_steps(
+        self,
+        anchor: int,
+        est: float,
+        nodes: Sequence[A.NodePattern],
+        node_vars: Sequence[str],
+        rels: Sequence[A.RelPattern],
+        *,
+        bound: Optional[Set[str]] = None,
+    ) -> List[Tuple[int, bool, float]]:
+        """The outward walk as (rel index, forward, work) steps, extending
+        whichever end of the bound [l, r] range keeps the estimated
+        frontier smallest; ``work`` is the rows that step materializes
+        (what :meth:`_cost_scan_anchor` sums when comparing anchors).
+
+        Equal estimates tie-break on the sparser source side (walking a
+        relationship leftward flips its direction, i.e. reads the cached
+        transpose — this is where in/out degree asymmetry picks the
+        matrix), then toward the right end, so empty or symmetric
+        statistics reproduce the rule-based all-right-then-all-left
+        order exactly."""
+        steps: List[Tuple[int, bool, float]] = []
+        seen: Set[str] = {node_vars[anchor]} | (bound or set())
+        l = r = anchor
+        while l > 0 or r < len(rels):
+            choices = []
+            if r < len(rels):
+                e, work, frac = self._price_step(
+                    rels[r], nodes[r + 1], node_vars[r + 1], est, seen, forward=True
+                )
+                choices.append((e, frac, 0, work))
+            if l > 0:
+                e, work, frac = self._price_step(
+                    rels[l - 1], nodes[l - 1], node_vars[l - 1], est, seen, forward=False
+                )
+                choices.append((e, frac, 1, work))
+            est, _, side, work = min(choices)
+            if side == 0:
+                steps.append((r, True, work))
+                seen.add(node_vars[r + 1])
+                r += 1
+            else:
+                steps.append((l - 1, False, work))
+                seen.add(node_vars[l - 1])
+                l -= 1
+        return steps
+
+    def _cost_scan_anchor(
+        self,
+        nodes: Sequence[A.NodePattern],
+        node_vars: Sequence[str],
+        rels: Sequence[A.RelPattern],
+    ) -> int:
+        """Anchor by estimated pipeline cost: for each candidate, sum the
+        rows its access path and the greedy walk it implies materialize,
+        and take the cheapest total.  Summing *work* (pre-property-filter
+        rows) rather than output cardinality keeps a plan from looking
+        cheap just because a late Filter discards most of what it built.
+        The rule score and position tie-break equal totals, so empty
+        statistics reproduce ``_best_scan_anchor``."""
+        best, best_key = 0, None
+        for i in range(len(nodes)):
+            est, access_work, score = self._anchor_access_estimate(nodes[i], node_vars[i])
+            total = access_work
+            for _, _, step_work in self._greedy_steps(i, est, nodes, node_vars, rels):
+                total += step_work
+            key = (total, -score, i)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
         return best
 
     # ------------------------------------------------------------------
@@ -553,10 +691,23 @@ class _PathChain:
             return
         if node.labels:
             index_key = None
+            best_cost = None
             for key, value_expr in node.properties:
                 if schema.has_index(node.labels[0], key):
-                    index_key = (key, value_expr)
-                    break
+                    if planner.cost is None:
+                        index_key = (key, value_expr)
+                        break
+                    # priced: cheapest indexed property (smallest average
+                    # posting list), not the first one in pattern order
+                    cost = planner.cost.index_estimate(node.labels[0], key)
+                    if best_cost is None or cost < best_cost:
+                        index_key, best_cost = (key, value_expr), cost
+            if (
+                best_cost is not None
+                and best_cost > planner.cost.label_count(node.labels[0])
+            ):
+                # a degenerate index pricing worse than its label scan
+                index_key = None
             if index_key is not None:
                 from repro.execplan.record import Layout
 

@@ -372,6 +372,7 @@ class BulkWriter:
             ]
             ids = graph._nodes.alloc_many(records)
             node_ids[nb.start : nb.start + nb.count] = ids
+            graph.stats.nodes_created_bulk(label_ids, nb.count)
             for lid in label_ids:
                 by_label.setdefault(lid, []).append(ids)
         report.nodes_created = self._node_total
@@ -403,6 +404,7 @@ class BulkWriter:
             ]
             edge_ids = graph._edges.alloc_many(records).tolist()
             report.relationships_created += len(records)
+            graph.stats.edge_records_created_bulk(rid, len(records))
             edge_map, node_out, node_in = graph._edge_map, graph._node_out, graph._node_in
             for eid, s, d in zip(edge_ids, src_list, dst_list):
                 edge_map.setdefault((s, d, rid), []).append(eid)
@@ -418,6 +420,9 @@ class BulkWriter:
             all_dst.append(dst)
         if all_src:
             graph._adj.union_splice(np.concatenate(all_src), np.concatenate(all_dst))
+        for rid in by_rel:
+            # one vectorized pass per touched type beats a stats op per edge
+            graph.stats.rebuild_rel(rid)
 
         # -- index backfill ---------------------------------------------
         for (lid, aid), index in graph._indices.items():

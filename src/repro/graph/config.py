@@ -146,6 +146,18 @@ CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
         doc="Rows per morsel when a read plan is split across parallel workers.",
     ),
     ConfigSpec(
+        name="cost_based_planner",
+        default=1,
+        env="REPRO_COST_BASED_PLANNER",
+        mutable=True,
+        min=0,
+        note="0 disables cost-based planning",
+        doc=(
+            "Plan with statistics-driven cardinality estimates; 0 reproduces "
+            "the rule-based planner exactly (the planner differential hook)."
+        ),
+    ),
+    ConfigSpec(
         name="io_threads",
         default=1,
         env="REPRO_IO_THREADS",
@@ -215,6 +227,9 @@ class GraphConfig:
     plan_cache_size: int = field(default_factory=_spec_default("plan_cache_size"))
     parallel_workers: int = field(default_factory=_spec_default("parallel_workers"))
     morsel_size: int = field(default_factory=_spec_default("morsel_size"))
+    cost_based_planner: int = field(
+        default_factory=_spec_default("cost_based_planner")
+    )
     io_threads: int = field(default_factory=_spec_default("io_threads"))
 
     def __setattr__(self, name, value) -> None:

@@ -30,6 +30,7 @@ from repro.graph.entities import Edge, Node
 from repro.graph.index import ExactMatchIndex
 from repro.graph.rwlock import RWLock
 from repro.graph.schema import Schema
+from repro.graph.statistics import StatisticsStore
 from repro.grblas import Matrix
 
 __all__ = ["Graph"]
@@ -73,6 +74,7 @@ class Graph:
         self._node_in: Dict[int, Set[int]] = {}
         self._indices: Dict[Tuple[int, int], ExactMatchIndex] = {}
         self._schema_epoch = 0  # index/config changes (labels/reltypes count via Schema.version)
+        self.stats = StatisticsStore(self)  # cost-model input, write-side maintained
 
     # ------------------------------------------------------------------
     # Schema versioning (plan-cache invalidation)
@@ -139,6 +141,7 @@ class Graph:
         for (lid, aid), index in self._indices.items():
             if lid in label_ids and aid in props:
                 index.insert(props[aid], node_id)
+        self.stats.node_created(label_ids)
         return Node(self, node_id)
 
     def delete_node(self, node_id: int, *, detach: bool = False) -> int:
@@ -161,6 +164,7 @@ class Graph:
         self._nodes.free(node_id)
         self._node_out.pop(node_id, None)
         self._node_in.pop(node_id, None)
+        self.stats.node_deleted(record.labels)
         return len(incident)
 
     def has_node(self, node_id: int) -> bool:
@@ -291,6 +295,7 @@ class Graph:
             return
         record.labels = record.labels + (lid,)
         self._label_matrix_for(lid).add(node_id, node_id)
+        self.stats.label_added(lid)
         for (ilid, aid), index in self._indices.items():
             if ilid == lid and aid in record.props:
                 index.insert(record.props[aid], node_id)
@@ -302,6 +307,7 @@ class Graph:
             return False
         record.labels = tuple(l for l in record.labels if l != lid)
         self._label_matrices[lid].delete(node_id, node_id)
+        self.stats.label_removed(lid)
         for (ilid, aid), index in self._indices.items():
             if ilid == lid and aid in record.props:
                 index.remove(record.props[aid], node_id)
@@ -331,11 +337,14 @@ class Graph:
         rid = self.schema.intern_reltype(reltype)
         props = {self.attrs.intern(k): v for k, v in (properties or {}).items()}
         edge_id = self._edges.alloc(_EdgeRecord(src, dst, rid, props))
-        self._rel_matrix_for(rid).add(src, dst)
+        matrix = self._rel_matrix_for(rid)
+        new_entry = not matrix.has(src, dst)
+        matrix.add(src, dst)
         self._adj.add(src, dst)
         self._edge_map.setdefault((src, dst, rid), []).append(edge_id)
         self._node_out.setdefault(src, set()).add(edge_id)
         self._node_in.setdefault(dst, set()).add(edge_id)
+        self.stats.edge_created(rid, src, dst, new_entry)
         return Edge(self, edge_id)
 
     def delete_edge(self, edge_id: int) -> None:
@@ -356,6 +365,7 @@ class Graph:
                 self._adj.delete(record.src, record.dst)
         self._node_out.get(record.src, set()).discard(edge_id)
         self._node_in.get(record.dst, set()).discard(edge_id)
+        self.stats.edge_deleted(record.rel_id, record.src, record.dst, not siblings)
 
     def has_edge(self, edge_id: int) -> bool:
         return self._edges.exists(edge_id)

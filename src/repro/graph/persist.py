@@ -338,6 +338,10 @@ def _load_v2(data, meta: Dict[str, Any]) -> Graph:
         for lid, aid in meta["indices"]:
             _backfill_index(graph, int(lid), int(aid), owners_arr, aids_arr, n_val)
         graph.bump_schema_version()
+
+    # statistics: one vectorized rebuild; WAL replay (which runs through
+    # the normal write paths) keeps them maintained from here on
+    graph.stats.rebuild(edge_rels=e_rel)
     return graph
 
 
@@ -651,6 +655,7 @@ def _load_v1(data, meta: Dict[str, Any]) -> Graph:
         label = graph.schema.label_name(lid)
         attr = graph.attrs.name_of(aid)
         graph.create_index(label, attr)
+    graph.stats.rebuild()
     return graph
 
 

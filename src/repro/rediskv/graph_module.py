@@ -485,9 +485,18 @@ class GraphModule:
         if self.durability is not None:
             self.durability.set_fsync(policy)
 
+    def _apply_cost_based_planner(self, value: int) -> None:
+        # plans compiled under the other planning mode must not be
+        # reused; bumping each graph's schema version evicts them lazily
+        for key in self.keyspace.graph_keys():
+            db = self.keyspace.get_graph(key)
+            if db is not None:
+                db.graph.bump_schema_version()
+
     _CONFIG_APPLY = {
         "plan_cache_size": _apply_plan_cache_size,
         "wal_fsync": _apply_wal_fsync,
+        "cost_based_planner": _apply_cost_based_planner,
     }
 
     def delete(self, key: str) -> str:
