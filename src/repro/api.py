@@ -69,6 +69,14 @@ class GraphDB:
         config change).  See README "Plan cache"."""
         return self.engine.plan_cache.info()
 
+    @staticmethod
+    def procedures() -> Dict[str, str]:
+        """Name → signature of every registered ``CALL``-able procedure
+        (the embedded-API twin of ``CALL dbms.procedures()``)."""
+        from repro.procedures import registry
+
+        return {proc.name: proc.signature for proc in registry.all()}
+
     def bulk_writer(self) -> BulkWriter:
         """A fresh :class:`~repro.graph.bulk.BulkWriter` for incremental
         staging (the GRAPH.BULK session object); ``commit()`` applies

@@ -23,6 +23,8 @@ __all__ = [
     "WithClause",
     "ReturnClause",
     "UnwindClause",
+    "CallClause",
+    "YieldItem",
     "CreateIndexClause",
     "DropIndexClause",
     "Projection",
@@ -233,6 +235,8 @@ class CreateClause:
 @dataclass(frozen=True)
 class MergeClause:
     pattern: Path
+    on_create: Tuple["SetItem", ...] = ()
+    on_match: Tuple["SetItem", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -313,6 +317,30 @@ class UnwindClause:
 
 
 @dataclass(frozen=True)
+class YieldItem:
+    """One ``YIELD column [AS alias]`` item of a CALL clause."""
+
+    column: str
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        return self.alias or self.column
+
+
+@dataclass(frozen=True)
+class CallClause:
+    """``CALL proc.name(args...) [YIELD col [AS alias], ...] [WHERE expr]``.
+
+    ``yields == ()`` means the implicit star form (standalone CALL only):
+    every declared output column is projected under its own name."""
+
+    procedure: str
+    args: Tuple[Expr, ...]
+    yields: Tuple[YieldItem, ...] = ()
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
 class CreateIndexClause:
     label: str
     attribute: str
@@ -334,6 +362,7 @@ Clause = Union[
     WithClause,
     ReturnClause,
     UnwindClause,
+    CallClause,
     CreateIndexClause,
     DropIndexClause,
 ]

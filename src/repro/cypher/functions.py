@@ -9,12 +9,28 @@ Entity-aware functions (``id``, ``labels``, ``type``, ``properties``,
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import CypherTypeError
 from repro.graph.entities import Edge, Node
+from repro.graph.path import PathValue
 
-__all__ = ["SCALAR_FUNCTIONS", "call_scalar"]
+__all__ = ["SCALAR_FUNCTIONS", "call_scalar", "set_clock"]
+
+# ``timestamp()``'s clock, injectable so differential tests (and anyone
+# else needing reproducible query output) can freeze time.
+_clock: Callable[[], float] = time.time
+
+
+def set_clock(clock: Optional[Callable[[], float]]) -> Callable[[], float]:
+    """Replace ``timestamp()``'s wall clock (None restores the default).
+
+    Returns the previously installed clock so callers can put it back."""
+    global _clock
+    previous = _clock
+    _clock = time.time if clock is None else clock
+    return previous
 
 
 def _null_aware(name: str):
@@ -79,9 +95,21 @@ def _fn_size(x):
 
 
 def _fn_length(x):
+    if isinstance(x, PathValue):
+        return x.length
     if isinstance(x, list):
         return len(x)
-    raise CypherTypeError("length() expects a path (list)")
+    raise CypherTypeError("length() expects a path (or list)")
+
+
+def _fn_nodes(x):
+    _require(isinstance(x, PathValue), "nodes() expects a path")
+    return list(x.nodes)
+
+
+def _fn_relationships(x):
+    _require(isinstance(x, PathValue), "relationships() expects a path")
+    return list(x.edges)
 
 
 def _fn_head(x):
@@ -279,6 +307,52 @@ def _fn_exists(x):
     return x is not None
 
 
+# -- scalar misc -----------------------------------------------------------------
+
+def _fn_timestamp():
+    return int(_clock() * 1000)
+
+
+def _fn_e():
+    return math.e
+
+
+def _fn_pi():
+    return math.pi
+
+
+def _fn_exp(x):
+    return math.exp(_numeric(x, "exp"))
+
+
+def _fn_log(x):
+    v = _numeric(x, "log")
+    _require(v > 0, "log() of a non-positive number")
+    return math.log(v)
+
+
+def _fn_log10(x):
+    v = _numeric(x, "log10")
+    _require(v > 0, "log10() of a non-positive number")
+    return math.log10(v)
+
+
+def _fn_sin(x):
+    return math.sin(_numeric(x, "sin"))
+
+
+def _fn_cos(x):
+    return math.cos(_numeric(x, "cos"))
+
+
+def _fn_tan(x):
+    return math.tan(_numeric(x, "tan"))
+
+
+def _fn_atan(x):
+    return math.atan(_numeric(x, "atan"))
+
+
 SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "id": _fn_id,
     "labels": _fn_labels,
@@ -317,6 +391,18 @@ SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "right": _fn_right,
     "coalesce": _fn_coalesce,
     "exists": _fn_exists,
+    "nodes": _fn_nodes,
+    "relationships": _fn_relationships,
+    "timestamp": _fn_timestamp,
+    "e": _fn_e,
+    "pi": _fn_pi,
+    "exp": _fn_exp,
+    "log": _fn_log,
+    "log10": _fn_log10,
+    "sin": _fn_sin,
+    "cos": _fn_cos,
+    "tan": _fn_tan,
+    "atan": _fn_atan,
 }
 
 

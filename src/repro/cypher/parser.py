@@ -6,10 +6,13 @@ bundled examples):
 * ``MATCH`` / ``OPTIONAL MATCH`` with multiple comma-separated paths,
   labels, inline property maps, directed/undirected edges, relationship
   type alternation (``[:A|B]``) and variable-length paths (``[*1..3]``),
-* ``WHERE``, ``CREATE``, ``MERGE``, ``DELETE`` / ``DETACH DELETE``,
-  ``SET`` (property, ``+=`` map merge, labels), ``REMOVE``, ``WITH``,
+* ``WHERE``, ``CREATE``, ``MERGE`` with ``ON CREATE SET`` / ``ON MATCH
+  SET`` action clauses, ``DELETE`` / ``DETACH DELETE``, ``SET``
+  (property, ``+=`` map merge, labels), ``REMOVE``, ``WITH``,
   ``UNWIND``, ``RETURN`` with ``DISTINCT`` / ``ORDER BY`` / ``SKIP`` /
   ``LIMIT``, ``UNION [ALL]``,
+* ``CALL proc.name(args...) [YIELD col [AS alias], ...] [WHERE ...]``,
+  standalone (implicit star YIELD) or composing with later clauses,
 * the full expression grammar with Cypher precedence: OR < XOR < AND <
   NOT < comparisons/predicates < additive < multiplicative < ``^`` <
   unary < postfix (property access, subscript, slice) < atoms (literals,
@@ -129,7 +132,9 @@ class _Parser:
             self._advance()
             return A.CreateClause(tuple(self._parse_pattern_list()))
         if self._accept_kw("MERGE"):
-            return A.MergeClause(self._parse_path())
+            return self._parse_merge()
+        if self._accept_kw("CALL"):
+            return self._parse_call()
         if self._check_kw("DROP"):
             return self._parse_drop_index()
         if self._accept_kw("DETACH"):
@@ -158,6 +163,53 @@ class _Parser:
         if self._accept_kw("WHERE"):
             where = self.parse_expression()
         return A.MatchClause(tuple(patterns), optional=optional, where=where)
+
+    def _parse_merge(self) -> A.MergeClause:
+        pattern = self._parse_path()
+        on_create: Tuple[A.SetItem, ...] = ()
+        on_match: Tuple[A.SetItem, ...] = ()
+        while self._check_kw("ON"):
+            self._advance()
+            if self._accept_kw("CREATE"):
+                branch_is_create = True
+            elif self._accept_kw("MATCH"):
+                branch_is_create = False
+            else:
+                raise self._error("expected CREATE or MATCH after ON")
+            self._expect_kw("SET")
+            items = self._parse_set().items
+            if branch_is_create:
+                on_create += items
+            else:
+                on_match += items
+        return A.MergeClause(pattern, on_create, on_match)
+
+    def _parse_call(self) -> A.CallClause:
+        # dotted procedure name: IDENT ('.' IDENT)*
+        parts = [self._ident("procedure name")]
+        while self._accept(TokenType.PUNCT, "."):
+            parts.append(self._ident("procedure name"))
+        name = ".".join(parts)
+        self._expect(TokenType.PUNCT, "(", "'('")
+        args: List[A.Expr] = []
+        if not self._check(TokenType.PUNCT, ")"):
+            while True:
+                args.append(self.parse_expression())
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        self._expect(TokenType.PUNCT, ")", "')'")
+        yields: List[A.YieldItem] = []
+        where = None
+        if self._accept_kw("YIELD"):
+            while True:
+                column = self._ident("YIELD column")
+                alias = self._ident("alias") if self._accept_kw("AS") else None
+                yields.append(A.YieldItem(column, alias))
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+            if self._accept_kw("WHERE"):
+                where = self.parse_expression()
+        return A.CallClause(name, tuple(args), tuple(yields), where)
 
     def _parse_delete(self, *, detach: bool) -> A.DeleteClause:
         exprs = [self.parse_expression()]

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.errors import CypherSemanticError
 from repro.cypher import ast_nodes as A
+from repro.procedures import registry as proc_registry
 
 __all__ = ["validate", "has_aggregate", "AGGREGATE_FUNCTIONS"]
 
@@ -195,6 +196,11 @@ def _validate_single(part: A.SingleQuery) -> Optional[Tuple[str, ...]]:
                     raise CypherSemanticError("MERGE requires exactly one relationship type")
                 if rel.variable_length:
                     raise CypherSemanticError("MERGE cannot use variable-length relationships")
+            for action, items in (("ON CREATE SET", clause.on_create), ("ON MATCH SET", clause.on_match)):
+                for item in items:
+                    scope.require(item.target, action)
+                    if item.value is not None:
+                        _check_expr(item.value, scope, action, allow_aggregate=False)
 
         elif isinstance(clause, A.DeleteClause):
             update_seen = True
@@ -255,6 +261,40 @@ def _validate_single(part: A.SingleQuery) -> Optional[Tuple[str, ...]]:
                     if ident not in post_scope.kinds and ident not in scope.kinds:
                         raise CypherSemanticError(f"{ident!r} not defined in ORDER BY")
             returned = tuple(names)
+
+        elif isinstance(clause, A.CallClause):
+            proc = proc_registry.resolve(clause.procedure)
+            proc.check_arity(len(clause.args))
+            for arg in clause.args:
+                _check_expr(arg, scope, "CALL arguments", allow_aggregate=False)
+            is_last = clause is part.clauses[-1]
+            yields = clause.yields
+            if not yields:
+                if not is_last:
+                    raise CypherSemanticError(
+                        "CALL must use YIELD when composing with later clauses"
+                    )
+                yields = tuple(A.YieldItem(c.name) for c in proc.yields)
+            seen: Set[str] = set()
+            for item in yields:
+                col = proc.column(item.column)
+                if col is None:
+                    raise CypherSemanticError(
+                        f"procedure {proc.name} does not yield column {item.column!r}"
+                    )
+                out = item.output_name()
+                if out in seen:
+                    raise CypherSemanticError(f"duplicate YIELD column name {out!r}")
+                if out in scope.kinds:
+                    raise CypherSemanticError(f"YIELD name {out!r} is already bound")
+                seen.add(out)
+                kind = {"node": "node", "path": "path"}.get(col.type, "value")
+                scope.bind(out, kind)
+            if clause.where is not None:
+                _check_expr(clause.where, scope, "WHERE", allow_aggregate=False)
+            if is_last:
+                # a trailing CALL is itself a result-producing clause
+                returned = tuple(item.output_name() for item in yields)
 
         elif isinstance(clause, (A.CreateIndexClause, A.DropIndexClause)):
             update_seen = True

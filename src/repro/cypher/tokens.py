@@ -33,7 +33,7 @@ KEYWORDS = frozenset(
         "DISTINCT", "AND", "OR", "XOR", "NOT", "IN", "STARTS", "ENDS",
         "CONTAINS", "IS", "NULL", "TRUE", "FALSE", "COUNT", "CASE", "WHEN",
         "THEN", "ELSE", "END", "EXISTS", "UNION", "ALL", "ON", "INDEX",
-        "DROP", "FOR",
+        "DROP", "FOR", "CALL", "YIELD",
     }
 )
 

@@ -88,6 +88,7 @@ class CompiledQuery:
         "schema_version",
         "stats_epoch",
         "est_max_rows",
+        "proc_version",
     )
 
     def __init__(
@@ -100,6 +101,7 @@ class CompiledQuery:
         schema_version: int,
         stats_epoch: Optional[int] = None,
         est_max_rows: Optional[float] = None,
+        proc_version: int = 0,
     ) -> None:
         self.text = text
         self.plans = plans
@@ -111,6 +113,8 @@ class CompiledQuery:
         self.stats_epoch = stats_epoch
         # largest per-op estimate in the tree (morsel pre-sizing signal)
         self.est_max_rows = est_max_rows
+        # procedure-registry version the plan resolved CALLs against
+        self.proc_version = proc_version
 
     @property
     def columns(self) -> Optional[List[str]]:
@@ -165,6 +169,8 @@ def compile_query(text: str, schema: PlanSchema) -> CompiledQuery:
         for planned in plans:
             est_max = max(est_max, annotate_estimates(planned.root, model))
     writes = any(p.writes for p in plans)
+    from repro.procedures import registry as proc_registry
+
     return CompiledQuery(
         text=text,
         plans=plans,
@@ -174,4 +180,5 @@ def compile_query(text: str, schema: PlanSchema) -> CompiledQuery:
         schema_version=schema.version,
         stats_epoch=schema.stats.epoch if schema.stats is not None else None,
         est_max_rows=est_max,
+        proc_version=proc_registry.version,
     )

@@ -36,6 +36,7 @@ from repro.execplan.ops_stream import (
     Limit,
     Unwind,
 )
+from repro.execplan.ops_call import ProcedureCall
 from repro.execplan.ops_traverse import CondVarLenTraverse, ConditionalTraverse, ExpandInto
 from repro.execplan.planner import _LabelCheckPredicate, _PropertyCheckPredicate
 
@@ -131,6 +132,20 @@ class CostModel:
             else:
                 total += max(rel.out_nodes, rel.in_nodes)
         return total
+
+    def proc_cardinality(self, proc) -> float:
+        """Estimated output rows of one procedure invocation.  Declared as
+        ``"nodes"`` (result per live node), a schema-sized tag, or a float."""
+        card = proc.cardinality
+        if card == "nodes":
+            return float(self.node_count)
+        if card == "labels":
+            return float(max(1, len(self.stats.label_counts)))
+        if card == "reltypes":
+            return float(max(1, len(self.stats.rels)))
+        if card == "props":
+            return 8.0
+        return float(card)
 
     # ------------------------------------------------------------------
     # Composite prices (what the planner compares)
@@ -312,6 +327,9 @@ def _estimate(op: PlanOp, model: CostModel) -> float:
             max_hops=op._max,
         )
         return est
+    if isinstance(op, ProcedureCall):
+        # Apply-style: one invocation per input record (leaf form = 1)
+        return (_child_est(op) if op.children else 1.0) * model.proc_cardinality(op._proc)
     if isinstance(op, Filter):
         sel = 1.0
         for predicate in op._predicates:

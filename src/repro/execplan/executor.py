@@ -61,7 +61,11 @@ class QueryEngine:
         stats_epoch = (
             self.graph.stats.epoch if self.graph.config.cost_based_planner else None
         )
-        compiled = self.plan_cache.get(text, self.graph.schema_version, stats_epoch)
+        from repro.procedures import registry as proc_registry
+
+        compiled = self.plan_cache.get(
+            text, self.graph.schema_version, stats_epoch, proc_registry.version
+        )
         if compiled is not None:
             return compiled, True
         compiled = self.compile(text)

@@ -1,0 +1,112 @@
+"""The ``ProcedureCall`` operation — ``CALL proc(...) YIELD ...`` at runtime.
+
+The op evaluates its argument expressions, invokes the registered
+procedure under the query's read lock, and streams the selected YIELD
+columns as columnar :class:`~repro.execplan.batch.RecordBatch`\\ es:
+``node``-typed outputs become lazy :class:`EntityColumn` id vectors and
+numeric outputs stay typed arrays, so algorithm results flow through the
+vectorized pipeline (filters, aggregations, downstream traversals)
+without a per-row Python detour.  As the standalone first clause the op
+is a leaf; composing after other clauses it is an Apply-style fan-out —
+the procedure runs once per incoming record (arguments may reference
+record variables) and each result row extends that record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CypherTypeError
+from repro.execplan.batch import Column, EntityColumn, RecordBatch, ValueColumn, object_column
+from repro.execplan.expressions import ExecContext
+from repro.execplan.ops_base import PlanOp
+from repro.execplan.record import Layout
+from repro.procedures.registry import ProcCol, Procedure
+
+__all__ = ["ProcedureCall"]
+
+_I64 = np.int64
+
+
+def _to_column(spec: ProcCol, data, graph) -> Column:
+    """One declared proc output → the narrowest matching column form."""
+    if spec.type == "node":
+        return EntityColumn("node", np.asarray(data, dtype=_I64), graph)
+    if spec.type == "integer":
+        try:
+            return ValueColumn(np.asarray(data, dtype=_I64))
+        except (TypeError, ValueError):  # nulls or mixed values: object form
+            return ValueColumn(object_column(list(data)))
+    if spec.type == "float":
+        try:
+            return ValueColumn(np.asarray(data, dtype=np.float64))
+        except (TypeError, ValueError):
+            return ValueColumn(object_column(list(data)))
+    return ValueColumn(object_column(list(data)))
+
+
+class ProcedureCall(PlanOp):
+    """Invoke one registered procedure, yielding its columns.
+
+    ``outputs`` maps each selected YIELD column to its bound name, in
+    projection order; the out layout extends the child layout (empty for
+    the standalone form) with exactly those names.
+    """
+
+    name = "ProcedureCall"
+
+    def __init__(
+        self,
+        child: Optional[PlanOp],
+        proc: Procedure,
+        arg_fns: List,  # compiled expressions: fn(record, ctx) -> value
+        outputs: List[Tuple[ProcCol, str]],
+        out_layout: Layout,
+    ) -> None:
+        super().__init__([child] if child is not None else [], out_layout)
+        self._proc = proc
+        self._arg_fns = arg_fns
+        self._outputs = outputs
+        self._col_index = [proc.yields.index(col) for col, _ in outputs]
+
+    def describe(self) -> str:
+        cols = ", ".join(name for _, name in self._outputs)
+        return f"ProcedureCall | {self._proc.name}() YIELD {cols}"
+
+    # ------------------------------------------------------------------
+    def _call(self, ctx: ExecContext, record) -> Tuple[List[Column], int]:
+        """Run the procedure for one input record; returns the selected
+        output columns and the result row count."""
+        proc = self._proc
+        values = [fn(record, ctx) for fn in self._arg_fns]
+        raw = proc.fn(ctx.graph, *proc.coerce_args(values))
+        if len(raw) != len(proc.yields):  # pragma: no cover - proc contract
+            raise CypherTypeError(
+                f"procedure {proc.name} returned {len(raw)} columns, "
+                f"declared {len(proc.yields)}"
+            )
+        length = len(raw[0]) if raw else 0
+        cols = [
+            _to_column(col, raw[idx], ctx.graph)
+            for (col, _), idx in zip(self._outputs, self._col_index)
+        ]
+        return cols, length
+
+    def _produce_batches(self, ctx: ExecContext) -> Iterator[RecordBatch]:
+        size = max(1, ctx.batch_size)
+        layout = self.out_layout
+        if not self.children:
+            cols, length = self._call(ctx, [])
+            if length:
+                yield from RecordBatch(layout, cols, length=length).chunks(size)
+            return
+        for batch in self.children[0].produce_batches(ctx):
+            rows = batch.materialize_rows()
+            for i, record in enumerate(rows):
+                cols, length = self._call(ctx, record)
+                if not length:
+                    continue
+                base = batch.take(np.full(length, i, dtype=_I64))
+                yield from base.extend(layout, cols).chunks(size)

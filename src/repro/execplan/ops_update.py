@@ -68,7 +68,13 @@ class _PatternWriter:
         stats = ctx.stats
         for nodes, edges in self.paths:
             created: List[Node] = []
+            # a variable repeated within one path shares its spec object:
+            # materialize it once and reuse the node (CREATE cycles)
+            materialized: dict = {}
             for spec in nodes:
+                if id(spec) in materialized:
+                    created.append(materialized[id(spec)])
+                    continue
                 if spec.bound:
                     # bound either from the incoming record or by an earlier
                     # path of this same clause — both live in `out`
@@ -83,6 +89,7 @@ class _PatternWriter:
                 props = {k: v for k, v in props.items() if v is not None}
                 node = graph.create_node(spec.labels, props)
                 created.append(node)
+                materialized[id(spec)] = node
                 if stats:
                     stats.nodes_created += 1
                     stats.labels_added += len(spec.labels)
@@ -121,7 +128,11 @@ class Create(PlanOp):
 
 class Merge(PlanOp):
     """MERGE: per input record, emit the match arm's results; when the arm
-    finds nothing, create the pattern and emit the created bindings."""
+    finds nothing, create the pattern and emit the created bindings.
+
+    ``on_match`` / ``on_create`` hold compiled ``SET`` items (the
+    ``ON MATCH SET`` / ``ON CREATE SET`` sub-clauses) applied to exactly
+    the arm that produced each output row."""
 
     name = "Merge"
 
@@ -131,10 +142,23 @@ class Merge(PlanOp):
         match_arm: PlanOp,
         argument: Argument,
         paths: Sequence[Tuple[List[NodeCreateSpec], List[EdgeCreateSpec]]],
+        *,
+        on_create: Sequence[Tuple[str, Optional[str], Optional[CompiledExpr], Tuple[str, ...], bool]] = (),
+        on_match: Sequence[Tuple[str, Optional[str], Optional[CompiledExpr], Tuple[str, ...], bool]] = (),
     ) -> None:
         self._writer = _PatternWriter(paths)
         super().__init__([child, match_arm], match_arm.out_layout)
         self._argument = argument
+        self._on_create = list(on_create)
+        self._on_match = list(on_match)
+
+    def describe(self) -> str:
+        extra = []
+        if self._on_match:
+            extra.append("ON MATCH SET")
+        if self._on_create:
+            extra.append("ON CREATE SET")
+        return f"Merge | {', '.join(extra)}" if extra else "Merge"
 
     def _produce(self, ctx: ExecContext) -> Iterator[Record]:
         in_layout = self.children[0].out_layout
@@ -144,10 +168,14 @@ class Merge(PlanOp):
             matched = False
             for out in self.children[1].produce(ctx):
                 matched = True
+                if self._on_match:
+                    _apply_set_items(self._on_match, out, self.out_layout, ctx)
                 yield out
             if not matched:
                 out = record + [None] * (width - len(record))
                 self._writer.write(record, in_layout, out, self.out_layout, ctx)
+                if self._on_create:
+                    _apply_set_items(self._on_create, out, self.out_layout, ctx)
                 yield out
 
 
@@ -188,6 +216,46 @@ class Delete(PlanOp):
             yield record
 
 
+def _apply_set_items(
+    items: Sequence[Tuple[str, Optional[str], Optional[CompiledExpr], Tuple[str, ...], bool]],
+    record: Record,
+    layout: Layout,
+    ctx: ExecContext,
+) -> None:
+    """Apply compiled SET items (target var, key, value fn, labels,
+    merge_map) to one record — shared by SetOp and Merge's ON CREATE /
+    ON MATCH arms."""
+    graph = ctx.graph
+    stats = ctx.stats
+    for target, key, value_fn, labels, merge_map in items:
+        entity = record[layout.slot(target)]
+        if entity is None:
+            continue
+        if labels:
+            if not isinstance(entity, Node):
+                raise CypherTypeError("SET label expects a node")
+            for label in labels:
+                graph.add_label(entity.id, label)
+                if stats:
+                    stats.labels_added += 1
+            continue
+        value = value_fn(record, ctx) if value_fn is not None else None
+        if merge_map:
+            if not isinstance(value, dict):
+                raise CypherTypeError("SET += expects a map")
+            if key == "":  # full replacement: SET n = {map}
+                for old_key in list(_entity_props(entity)):
+                    _set_prop(graph, entity, old_key, None)
+            for k, v in value.items():
+                _set_prop(graph, entity, k, v)
+                if stats:
+                    stats.properties_set += 1
+        else:
+            _set_prop(graph, entity, key, value)
+            if stats:
+                stats.properties_set += 1
+
+
 class SetOp(PlanOp):
     name = "Set"
 
@@ -201,37 +269,8 @@ class SetOp(PlanOp):
         self._items = list(items)
 
     def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        graph = ctx.graph
-        stats = ctx.stats
-        layout = self.out_layout
         for record in self.children[0].produce(ctx):
-            for target, key, value_fn, labels, merge_map in self._items:
-                entity = record[layout.slot(target)]
-                if entity is None:
-                    continue
-                if labels:
-                    if not isinstance(entity, Node):
-                        raise CypherTypeError("SET label expects a node")
-                    for label in labels:
-                        graph.add_label(entity.id, label)
-                        if stats:
-                            stats.labels_added += 1
-                    continue
-                value = value_fn(record, ctx) if value_fn is not None else None
-                if merge_map:
-                    if not isinstance(value, dict):
-                        raise CypherTypeError("SET += expects a map")
-                    if key == "":  # full replacement: SET n = {map}
-                        for old_key in list(_entity_props(entity)):
-                            _set_prop(graph, entity, old_key, None)
-                    for k, v in value.items():
-                        _set_prop(graph, entity, k, v)
-                        if stats:
-                            stats.properties_set += 1
-                else:
-                    _set_prop(graph, entity, key, value)
-                    if stats:
-                        stats.properties_set += 1
+            _apply_set_items(self._items, record, self.out_layout, ctx)
             yield record
 
 

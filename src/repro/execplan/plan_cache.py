@@ -56,7 +56,11 @@ class PlanCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, text: str, schema_version: int, stats_epoch: Optional[int] = None
+        self,
+        text: str,
+        schema_version: int,
+        stats_epoch: Optional[int] = None,
+        proc_version: Optional[int] = None,
     ) -> Optional[CompiledQuery]:
         """The cached plan for ``text`` if present *and* compiled at
         ``schema_version``; stale entries are evicted on sight.
@@ -66,17 +70,26 @@ class PlanCache:
         though the schema hasn't moved — the graph's size drifted enough
         that its estimates may pick a different plan.  Rule-compiled
         entries (``stats_epoch is None`` on the entry) never expire this
-        way, and callers with the knob off pass None and skip the check."""
+        way, and callers with the knob off pass None and skip the check.
+
+        ``proc_version`` is a third axis for ``CALL`` plans: the procedure
+        registry's version at compile time.  A (re-)registration bumps the
+        registry version, so entries that resolved procedures against the
+        old catalog are dropped the same lazy way."""
         key = self.canonical(text)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return None
-            if entry.schema_version != schema_version or (
-                stats_epoch is not None
-                and entry.stats_epoch is not None
-                and entry.stats_epoch != stats_epoch
+            if (
+                entry.schema_version != schema_version
+                or (
+                    stats_epoch is not None
+                    and entry.stats_epoch is not None
+                    and entry.stats_epoch != stats_epoch
+                )
+                or (proc_version is not None and entry.proc_version != proc_version)
             ):
                 del self._entries[key]
                 self.misses += 1

@@ -19,6 +19,7 @@ Mirrors RedisGraph's ExecutionPlan construction:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -32,6 +33,8 @@ from repro.execplan.batch import ValueColumn, as_entity_ids
 from repro.execplan.batch_expr import as_column, vectorize
 from repro.execplan.expressions import CompiledExpr, ExecContext, _equal, compile_expr
 from repro.execplan.ops_base import Argument, PlanOp, Unit
+from repro.execplan.ops_call import ProcedureCall
+from repro.execplan.ops_path import PathSegment, ProjectPath
 from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
 from repro.execplan.ops_stream import (
     AggSpec,
@@ -60,6 +63,7 @@ from repro.execplan.ops_update import (
     SetOp,
 )
 from repro.graph.entities import Node
+from repro.procedures import registry as proc_registry
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.execplan.compiled
     from repro.execplan.compiled import PlanSchema
@@ -121,6 +125,10 @@ class _Planner:
     # Clause dispatch
     # ------------------------------------------------------------------
     def add_clause(self, clause) -> None:
+        # only a *terminal* result-producing clause (RETURN, or a trailing
+        # CALL ... YIELD) decides the output columns; anything planned
+        # after one of those would have re-set it anyway, so reset first
+        self.columns = None
         if isinstance(clause, A.MatchClause):
             self._plan_match(clause)
         elif isinstance(clause, A.CreateClause):
@@ -139,6 +147,8 @@ class _Planner:
             self._plan_projection_clause(clause, is_return=False)
         elif isinstance(clause, A.ReturnClause):
             self._plan_projection_clause(clause, is_return=True)
+        elif isinstance(clause, A.CallClause):
+            self._plan_call(clause)
         elif isinstance(clause, A.CreateIndexClause):
             self.root = CreateIndexOp(clause.label, clause.attribute)
             self.writes = True
@@ -147,6 +157,30 @@ class _Planner:
             self.writes = True
         else:  # pragma: no cover
             raise CypherSemanticError(f"unsupported clause {clause!r}")
+
+    # ------------------------------------------------------------------
+    # CALL ... YIELD
+    # ------------------------------------------------------------------
+    def _plan_call(self, clause: A.CallClause) -> None:
+        from repro.execplan.record import Layout
+
+        proc = proc_registry.resolve(clause.procedure)
+        # the semantic pass already expanded/validated YIELD; an empty
+        # tuple here is the trailing implicit-star form
+        yields = clause.yields or tuple(A.YieldItem(c.name) for c in proc.yields)
+        child = self.root
+        layout = child.out_layout if child is not None else Layout()
+        arg_fns = [compile_expr(a, layout) for a in clause.args]
+        outputs = [(proc.column(item.column), item.output_name()) for item in yields]
+        out_layout = layout.extend(*[name for _, name in outputs])
+        self.root = ProcedureCall(child, proc, arg_fns, outputs, out_layout)
+        for _, name in outputs:
+            self._expose(name)
+        if clause.where is not None:
+            self.root = Filter(self.root, compile_expr(clause.where, out_layout), "WHERE")
+        # a trailing CALL produces the query's result columns (overwritten
+        # by the add_clause reset if anything follows)
+        self.columns = [name for _, name in outputs]
 
     # ------------------------------------------------------------------
     # MATCH
@@ -195,10 +229,19 @@ class _Planner:
             self._expose(name)
 
     def _plan_path(self, path: A.Path) -> None:
-        if path.var is not None:
-            raise CypherSemanticError("named path variables are not supported")
+        path_var = path.var
         nodes = list(path.nodes)
         rels = list(path.rels)
+        if path_var is not None:
+            # every fixed-length hop of a named path must bind an edge
+            # variable (anonymous ones get planner-internal names) so
+            # ProjectPath can read the realized edge from the record
+            rels = [
+                dataclasses.replace(rel, var=self._anon_var())
+                if rel.var is None and not rel.variable_length
+                else rel
+                for rel in rels
+            ]
         bound = self._bound()
 
         # resolve variables: give anonymous nodes internal names
@@ -268,6 +311,8 @@ class _Planner:
                 chain.traverse(rels[i], nodes[i], node_vars[i + 1], node_vars[i], forward=False)
 
         subtree = chain.root
+        if path_var is not None:
+            subtree = self._project_path(subtree, path_var, node_vars, rels)
         if connected or correlated or self.root is None:
             self.root = subtree
         else:
@@ -276,6 +321,38 @@ class _Planner:
             self._expose(node.var)
         for rel in rels:
             self._expose(rel.var)
+        self._expose(path_var)
+
+    def _project_path(
+        self,
+        subtree: PlanOp,
+        path_var: str,
+        node_vars: Sequence[str],
+        rels: Sequence[A.RelPattern],
+    ) -> PlanOp:
+        """Top the finished pattern chain with a ProjectPath assembling the
+        named path in pattern order.  Segment expressions are built in
+        *pattern* direction (independent of the order/orientation the
+        chain walked the hops in)."""
+        layout = subtree.out_layout
+        node_slots = [layout.slot(v) for v in node_vars]
+        segments: List[PathSegment] = []
+        for rel in rels:
+            if rel.variable_length:
+                segments.append(
+                    PathSegment(
+                        None,
+                        rel.types,
+                        rel.direction,
+                        build_traverse_expression(rel.types, rel.direction, ()),
+                        True,
+                    )
+                )
+            else:
+                segments.append(
+                    PathSegment(layout.slot(rel.var), rel.types, rel.direction, None, False)
+                )
+        return ProjectPath(subtree, path_var, node_slots, segments)
 
     def _best_scan_anchor(self, nodes: Sequence[A.NodePattern], node_vars: Sequence[str]) -> int:
         """Cheapest entry point: id-seek > indexed property > label > any."""
@@ -463,7 +540,25 @@ class _Planner:
         sub._plan_path(clause.pattern)
         bound = set(child.out_layout.names)
         paths = [self._create_specs(clause.pattern, bound, child.out_layout)]
-        self.root = Merge(child, sub.root, argument, paths)
+        # ON CREATE / ON MATCH items compile against the merge arm's layout
+        # (pattern variables plus everything bound before the MERGE)
+        merge_layout = sub.root.out_layout
+
+        def compile_items(items):
+            out = []
+            for item in items:
+                value_fn = compile_expr(item.value, merge_layout) if item.value is not None else None
+                out.append((item.target, item.key, value_fn, item.labels, item.merge_map))
+            return out
+
+        self.root = Merge(
+            child,
+            sub.root,
+            argument,
+            paths,
+            on_create=compile_items(clause.on_create),
+            on_match=compile_items(clause.on_match),
+        )
         self.writes = True
         for node in clause.pattern.nodes:
             self._expose(node.var)
@@ -975,4 +1070,10 @@ def plan_single_query(part: A.SingleQuery, schema: "PlanSchema") -> PlannedQuery
     for clause in part.clauses:
         planner.add_clause(clause)
     root = planner.root if planner.root is not None else Unit()
+    if planner.columns is not None and list(root.out_layout.names) != list(planner.columns):
+        # a trailing CALL composed after other clauses leaves earlier
+        # variables in the layout; the executor serializes batches
+        # positionally, so project down to exactly the result columns
+        items = [(n, compile_expr(A.Identifier(n), root.out_layout)) for n in planner.columns]
+        root = Project(root, items)
     return PlannedQuery(Results(root), planner.columns, planner.writes)

@@ -1,0 +1,63 @@
+"""Runtime value for named path variables (``MATCH p = (a)-[r]->(b)``).
+
+A :class:`PathValue` is an immutable alternating sequence of node and
+edge handles: ``nodes[i] -(edges[i])- nodes[i+1]``.  It is what the
+``p`` binding evaluates to at runtime, what ``length(p)`` / ``nodes(p)``
+/ ``relationships(p)`` consume, and what ``algo.shortestPath`` yields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.entities import Edge, Node
+
+__all__ = ["PathValue"]
+
+
+class PathValue:
+    """An immutable path: ``len(edges) == len(nodes) - 1``."""
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(self, nodes: Sequence[Node], edges: Sequence[Edge]) -> None:
+        if len(nodes) != len(edges) + 1:
+            raise ValueError("a path needs exactly one more node than edges")
+        self.nodes: List[Node] = list(nodes)
+        self.edges: List[Edge] = list(edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Path length in Cypher terms: the number of relationships."""
+        return len(self.edges)
+
+    @property
+    def start(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> Node:
+        return self.nodes[-1]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PathValue)
+            and other.nodes == self.nodes
+            and other.edges == self.edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(n.id for n in self.nodes), tuple(e.id for e in self.edges)))
+
+    def __repr__(self) -> str:
+        if not self.edges:
+            return f"<path ({self.nodes[0].id})>"
+        hops = "".join(
+            f"-[{e.id}]-({n.id})" for e, n in zip(self.edges, self.nodes[1:])
+        )
+        return f"<path ({self.nodes[0].id}){hops}>"

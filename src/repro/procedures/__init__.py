@@ -1,0 +1,30 @@
+"""Procedure framework: the registry behind ``CALL proc(...) YIELD ...``.
+
+Importing this package registers the built-in catalog (``db.*`` /
+``dbms.*``) and algorithm (``algo.*``) procedures into the module-level
+:data:`registry` that the semantic pass, planner, and ``ProcedureCall``
+plan op all resolve against.
+"""
+
+from repro.procedures.registry import (
+    ProcArg,
+    ProcCol,
+    Procedure,
+    ProcedureRegistry,
+    registry,
+)
+from repro.procedures.builtin import register_builtin_procedures
+from repro.procedures.algos import register_algorithm_procedures
+
+__all__ = [
+    "ProcArg",
+    "ProcCol",
+    "Procedure",
+    "ProcedureRegistry",
+    "registry",
+    "register_builtin_procedures",
+    "register_algorithm_procedures",
+]
+
+register_builtin_procedures()
+register_algorithm_procedures()

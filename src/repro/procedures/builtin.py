@@ -1,0 +1,106 @@
+"""Introspection procedures: the ``db.*`` / ``dbms.*`` catalog surface.
+
+These mirror the openCypher/Neo4j catalog procs every Cypher client
+expects: enumerate labels, relationship types, property keys, indexes,
+and the procedure registry itself.  All run against in-memory schema
+registries — O(schema), no graph data touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.procedures.registry import ProcCol, Procedure, registry
+
+__all__ = ["register_builtin_procedures"]
+
+
+def _labels(graph) -> Sequence[Sequence[Any]]:
+    return [sorted(graph.schema.labels())]
+
+
+def _relationship_types(graph) -> Sequence[Sequence[Any]]:
+    return [sorted(graph.schema.reltypes())]
+
+
+def _property_keys(graph) -> Sequence[Sequence[Any]]:
+    attrs = graph.attrs
+    return [sorted(attrs.name_of(i) for i in range(len(attrs)))]
+
+
+def _indexes(graph) -> Sequence[Sequence[Any]]:
+    specs = sorted(graph.index_specs())
+    return [
+        [label for label, _ in specs],
+        [prop for _, prop in specs],
+        ["exact-match"] * len(specs),
+    ]
+
+
+def _procedures(graph) -> Sequence[Sequence[Any]]:
+    procs = registry.all()
+    names: List[str] = [p.name for p in procs]
+    sigs: List[str] = [p.signature for p in procs]
+    modes: List[str] = [p.mode.upper() for p in procs]
+    return [names, sigs, modes]
+
+
+def register_builtin_procedures() -> None:
+    registry.register(
+        Procedure(
+            name="db.labels",
+            args=(),
+            yields=(ProcCol("label", "string"),),
+            fn=_labels,
+            cardinality="labels",
+            description="Every node label in the graph schema.",
+        )
+    )
+    registry.register(
+        Procedure(
+            name="db.relationshipTypes",
+            args=(),
+            yields=(ProcCol("relationshipType", "string"),),
+            fn=_relationship_types,
+            cardinality="reltypes",
+            description="Every relationship type in the graph schema.",
+        )
+    )
+    registry.register(
+        Procedure(
+            name="db.propertyKeys",
+            args=(),
+            yields=(ProcCol("propertyKey", "string"),),
+            fn=_property_keys,
+            cardinality="props",
+            description="Every property key ever interned.",
+        )
+    )
+    registry.register(
+        Procedure(
+            name="db.indexes",
+            args=(),
+            yields=(
+                ProcCol("label", "string"),
+                ProcCol("property", "string"),
+                ProcCol("type", "string"),
+            ),
+            fn=_indexes,
+            cardinality=4.0,
+            description="Every secondary index as (label, property, type).",
+        )
+    )
+    registry.register(
+        Procedure(
+            name="dbms.procedures",
+            args=(),
+            yields=(
+                ProcCol("name", "string"),
+                ProcCol("signature", "string"),
+                ProcCol("mode", "string"),
+            ),
+            fn=_procedures,
+            cardinality=16.0,
+            description="Every registered procedure with its signature.",
+        )
+    )

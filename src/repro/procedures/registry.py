@@ -1,0 +1,236 @@
+"""The procedure registry behind ``CALL proc(...) YIELD ...``.
+
+RedisGraph ships its GraphBLAS algorithm suite behind the openCypher
+procedure surface; this module is the registry that makes a Python
+callable servable traffic.  Each :class:`Procedure` carries enough
+signature metadata for the whole stack to stay declarative:
+
+* the parser produces a ``CallClause`` with a dotted name,
+* the semantic pass resolves it here, validates arity, and learns the
+  *kind* of every YIELD column (``node``/``path`` columns bind as graph
+  entities so downstream ``MATCH`` can anchor on them),
+* the planner compiles argument expressions and selects output columns,
+* the ``ProcedureCall`` plan op invokes :attr:`Procedure.fn` under the
+  query's read lock and streams the columnar result through the
+  vectorized pipeline,
+* the cost model prices the op with :attr:`Procedure.cardinality`.
+
+Implementations receive ``(graph, *args)`` and return one *column set*:
+a list with one entry per declared YIELD column, each a list/ndarray of
+equal length.  Columns typed ``node`` hold integer node ids — the plan
+op wraps them as lazy ``EntityColumn`` handles, so a proc never
+materializes per-row Python objects for entity output.
+
+Procedures run under the query read lock and must treat the graph as
+read-only: adjacency access goes through overlay views
+(``graph.relation_matrix()`` + ``as_read_matrix``), never a flush.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CypherTypeError
+
+__all__ = [
+    "ProcArg",
+    "ProcCol",
+    "Procedure",
+    "ProcedureRegistry",
+    "registry",
+]
+
+# Argument / column type tags.  ``node`` columns carry int64 node ids;
+# everything else is a plain value column.
+_ARG_TYPES = frozenset({"integer", "float", "number", "string", "bool", "node", "any"})
+_COL_TYPES = frozenset({"node", "integer", "float", "string", "bool", "path", "list", "any"})
+
+_NO_DEFAULT = object()
+
+
+@dataclass(frozen=True)
+class ProcArg:
+    """One declared argument: ``name :: type`` with an optional default."""
+
+    name: str
+    type: str = "any"
+    default: Any = _NO_DEFAULT
+
+    def __post_init__(self) -> None:
+        assert self.type in _ARG_TYPES, self.type
+
+    @property
+    def required(self) -> bool:
+        return self.default is _NO_DEFAULT
+
+
+@dataclass(frozen=True)
+class ProcCol:
+    """One declared YIELD output column: ``name :: type``."""
+
+    name: str
+    type: str = "any"
+
+    def __post_init__(self) -> None:
+        assert self.type in _COL_TYPES, self.type
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """Signature metadata plus the implementation callable.
+
+    ``cardinality`` is the cost model's default output-row estimate:
+    ``"nodes"`` (one row per live node), ``"labels"``/``"reltypes"``/
+    ``"props"`` (schema-sized), or a float constant.
+    """
+
+    name: str
+    args: Tuple[ProcArg, ...]
+    yields: Tuple[ProcCol, ...]
+    fn: Callable[..., Sequence[Sequence[Any]]]
+    mode: str = "read"
+    cardinality: Any = 1.0
+    description: str = ""
+
+    @property
+    def signature(self) -> str:
+        parts = []
+        for a in self.args:
+            rendered = f"{a.name} :: {a.type}"
+            if not a.required:
+                rendered += f" = {a.default!r}"
+            parts.append(rendered)
+        outs = ", ".join(f"{c.name} :: {c.type}" for c in self.yields)
+        return f"{self.name}({', '.join(parts)}) :: ({outs})"
+
+    def column(self, name: str) -> Optional[ProcCol]:
+        for col in self.yields:
+            if col.name == name:
+                return col
+        return None
+
+    # ------------------------------------------------------------------
+    def check_arity(self, count: int) -> None:
+        """Static (plan-time) arity validation."""
+        required = sum(1 for a in self.args if a.required)
+        if count < required or count > len(self.args):
+            expected = (
+                f"{required}" if required == len(self.args) else f"{required}..{len(self.args)}"
+            )
+            raise CypherTypeError(
+                f"procedure {self.name} expects {expected} argument(s), got {count}"
+            )
+
+    def coerce_args(self, values: Sequence[Any]) -> List[Any]:
+        """Runtime validation/coercion of evaluated argument values.
+
+        Fills declared defaults for trailing omitted arguments and
+        type-checks what the caller supplied; ``None`` is accepted
+        anywhere an optional argument expects its default."""
+        self.check_arity(len(values))
+        out: List[Any] = []
+        for i, spec in enumerate(self.args):
+            provided = i < len(values) and values[i] is not None
+            if not provided:
+                if spec.required:
+                    raise CypherTypeError(
+                        f"procedure {self.name}: argument '{spec.name}' must not be null"
+                    )
+                out.append(spec.default)
+                continue
+            out.append(_coerce(self.name, spec, values[i]))
+        return out
+
+
+def _coerce(proc: str, spec: ProcArg, value: Any) -> Any:
+    kind = spec.type
+    if kind == "any":
+        return value
+    if kind == "node":
+        # accept a bound node handle or a bare id
+        node_id = getattr(value, "id", value)
+        if isinstance(node_id, bool) or not isinstance(node_id, int):
+            raise CypherTypeError(
+                f"procedure {proc}: argument '{spec.name}' expects a node or node id, "
+                f"got {type(value).__name__}"
+            )
+        return int(node_id)
+    if kind == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise CypherTypeError(
+                f"procedure {proc}: argument '{spec.name}' expects an integer, "
+                f"got {type(value).__name__}"
+            )
+        return int(value)
+    if kind in ("float", "number"):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CypherTypeError(
+                f"procedure {proc}: argument '{spec.name}' expects a number, "
+                f"got {type(value).__name__}"
+            )
+        return float(value) if kind == "float" else value
+    if kind == "string":
+        if not isinstance(value, str):
+            raise CypherTypeError(
+                f"procedure {proc}: argument '{spec.name}' expects a string, "
+                f"got {type(value).__name__}"
+            )
+        return value
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise CypherTypeError(
+                f"procedure {proc}: argument '{spec.name}' expects a boolean, "
+                f"got {type(value).__name__}"
+            )
+        return value
+    raise CypherTypeError(f"procedure {proc}: unsupported argument type {kind}")
+
+
+class ProcedureRegistry:
+    """Name → :class:`Procedure`, looked up case-insensitively.
+
+    ``version`` bumps on every (re-)registration; compiled plans record
+    the version they resolved against so the plan cache can drop entries
+    that outlived a registry change — the same lazy-staleness contract
+    the cache already applies to schema and statistics epochs.
+    """
+
+    def __init__(self) -> None:
+        self._procs: Dict[str, Procedure] = {}
+        self._lock = threading.Lock()
+        self.version = 0
+
+    def register(self, proc: Procedure) -> Procedure:
+        with self._lock:
+            self._procs[proc.name.lower()] = proc
+            self.version += 1
+        return proc
+
+    def get(self, name: str) -> Optional[Procedure]:
+        return self._procs.get(name.lower())
+
+    def resolve(self, name: str) -> Procedure:
+        proc = self.get(name)
+        if proc is None:
+            from repro.errors import CypherSemanticError
+
+            raise CypherSemanticError(f"unknown procedure: {name}")
+        return proc
+
+    def names(self) -> List[str]:
+        return sorted(self._procs)
+
+    def all(self) -> List[Procedure]:
+        return [self._procs[k] for k in sorted(self._procs)]
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._procs
+
+
+#: The process-wide registry every layer resolves against.
+registry = ProcedureRegistry()

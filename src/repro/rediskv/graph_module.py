@@ -37,6 +37,7 @@ from repro.execplan.resultset import ResultSet
 from repro.graph.bulk import BulkWriter
 from repro.graph.config import CONFIG_SPECS, GraphConfig, config_spec
 from repro.graph.entities import Edge, Node
+from repro.graph.path import PathValue
 from repro.rediskv.durability import DurabilityManager
 from repro.rediskv.keyspace import Keyspace
 
@@ -130,6 +131,12 @@ def encode_value(value: Any) -> Any:
             value.src,
             value.dst,
             [[k, encode_value(v)] for k, v in sorted(value.properties.items())],
+        ]
+    if isinstance(value, PathValue):
+        return [
+            "path",
+            [encode_value(n) for n in value.nodes],
+            [encode_value(e) for e in value.edges],
         ]
     if isinstance(value, list):
         return [encode_value(v) for v in value]

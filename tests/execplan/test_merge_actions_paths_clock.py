@@ -1,0 +1,201 @@
+"""Regression tests for the ISSUE 8 satellite bugfixes:
+
+* ``MERGE ... ON CREATE SET ... ON MATCH SET ...`` parses and dispatches
+  to exactly the arm that produced each row,
+* ``timestamp()`` (plus the math builtins) exists, with an injectable
+  clock for reproducible output,
+* named path variables bind, with ``length()`` / ``nodes()`` /
+  ``relationships()`` over them.
+"""
+
+import pytest
+
+from repro import GraphDB
+from repro.errors import CypherSemanticError
+from repro.cypher.functions import set_clock
+from repro.graph.config import GraphConfig
+from repro.graph.path import PathValue
+
+
+@pytest.fixture
+def db():
+    return GraphDB("merge-actions", GraphConfig(node_capacity=128))
+
+
+class TestMergeActions:
+    def test_on_create_fires_on_create_only(self, db):
+        db.query(
+            "MERGE (c:City {name: 'rome'}) "
+            "ON CREATE SET c.created = true ON MATCH SET c.matched = true"
+        )
+        rows = db.query("MATCH (c:City) RETURN c.created, c.matched").rows
+        assert rows == [(True, None)]
+
+    def test_on_match_fires_on_match_only(self, db):
+        db.query("CREATE (:City {name: 'rome'})")
+        db.query(
+            "MERGE (c:City {name: 'rome'}) "
+            "ON CREATE SET c.created = true ON MATCH SET c.matched = true"
+        )
+        rows = db.query("MATCH (c:City) RETURN c.created, c.matched").rows
+        assert rows == [(None, True)]
+
+    def test_action_order_is_free(self, db):
+        db.query(
+            "MERGE (c:City {name: 'oslo'}) "
+            "ON MATCH SET c.matched = true ON CREATE SET c.created = true"
+        )
+        rows = db.query("MATCH (c:City) RETURN c.created, c.matched").rows
+        assert rows == [(True, None)]
+
+    def test_match_counts_per_row(self, db):
+        db.query("CREATE (:City {name: 'rome'}), (:City {name: 'rome'})")
+        db.query("MERGE (c:City {name: 'rome'}) ON MATCH SET c.seen = true")
+        rows = db.query("MATCH (c:City) RETURN c.seen").rows
+        assert rows == [(True,), (True,)]
+
+    def test_on_create_sees_upstream_bindings(self, db):
+        db.query(
+            "UNWIND [1, 2, 3] AS i MERGE (n:Num {v: i}) ON CREATE SET n.doubled = i * 2"
+        )
+        rows = db.query("MATCH (n:Num) RETURN n.v, n.doubled ORDER BY n.v").rows
+        assert rows == [(1, 2), (2, 4), (3, 6)]
+
+    def test_merge_relationship_with_actions(self, db):
+        db.query("CREATE (:P {name: 'a'}), (:P {name: 'b'})")
+        for expected in (("created",), ("matched",)):
+            db.query(
+                "MATCH (a:P {name: 'a'}), (b:P {name: 'b'}) "
+                "MERGE (a)-[r:KNOWS]->(b) "
+                "ON CREATE SET r.how = 'created' ON MATCH SET r.how = 'matched'"
+            )
+            assert db.query("MATCH ()-[r:KNOWS]->() RETURN r.how").rows == [expected]
+
+    def test_properties_set_statistics(self, db):
+        result = db.query("MERGE (c:City {name: 'kyiv'}) ON CREATE SET c.a = 1, c.b = 2")
+        assert result.stats.properties_set >= 2
+
+    def test_unknown_variable_in_action_rejected(self, db):
+        with pytest.raises(CypherSemanticError, match="ON CREATE SET"):
+            db.query("MERGE (c:City {name: 'x'}) ON CREATE SET zzz.y = 1")
+
+    def test_explain_shows_merge_arms(self, db):
+        plan = db.explain(
+            "MERGE (c:City {name: 'x'}) ON CREATE SET c.a = 1 ON MATCH SET c.b = 2"
+        )
+        assert "ON CREATE SET" in plan and "ON MATCH SET" in plan
+
+
+class TestTimestampAndClock:
+    def test_timestamp_returns_epoch_millis(self, db):
+        (ts,) = db.query("RETURN timestamp()").rows[0]
+        assert isinstance(ts, int) and ts > 1_500_000_000_000
+
+    def test_clock_injection_freezes_time(self, db):
+        previous = set_clock(lambda: 1234.5)
+        try:
+            assert db.query("RETURN timestamp()").rows == [(1234500,)]
+        finally:
+            set_clock(previous)
+
+    def test_merge_on_create_with_frozen_timestamp(self, db):
+        previous = set_clock(lambda: 42.0)
+        try:
+            db.query("MERGE (c:City {name: 'x'}) ON CREATE SET c.at = timestamp()")
+            assert db.query("MATCH (c:City) RETURN c.at").rows == [(42000,)]
+        finally:
+            set_clock(previous)
+
+    def test_math_builtins(self, db):
+        rows = db.query(
+            "RETURN round(pi() * 100) / 100, round(e() * 100) / 100, "
+            "log(e()), log10(100.0), exp(0), sin(0), cos(0), tan(0), atan(0)"
+        ).rows
+        assert rows == [(3.14, 2.72, 1.0, 2.0, 1.0, 0.0, 1.0, 0.0, 0.0)]
+
+
+class TestNamedPaths:
+    @pytest.fixture
+    def chain(self, db):
+        db.query(
+            "CREATE (a:P {name: 'a'})-[:R {w: 1}]->(b:P {name: 'b'})"
+            "-[:R {w: 2}]->(c:P {name: 'c'})"
+        )
+        return db
+
+    def test_fixed_length_path(self, chain):
+        rows = chain.query(
+            "MATCH p = (a:P {name: 'a'})-[:R]->(b) RETURN length(p), b.name"
+        ).rows
+        assert rows == [(1, "b")]
+
+    def test_path_value_contents(self, chain):
+        (path,) = chain.query("MATCH p = (:P {name: 'a'})-[:R]->(:P) RETURN p").rows[0]
+        assert isinstance(path, PathValue)
+        assert [n.properties["name"] for n in path.nodes] == ["a", "b"]
+        assert [e.properties["w"] for e in path.edges] == [1]
+        assert path.start.id == path.nodes[0].id and path.end.id == path.nodes[-1].id
+
+    def test_nodes_and_relationships_functions(self, chain):
+        rows = chain.query(
+            "MATCH p = (a:P {name: 'a'})-[:R]->()-[:R]->(c) "
+            "RETURN size(nodes(p)), size(relationships(p)), length(p)"
+        ).rows
+        assert rows == [(3, 2, 2)]
+
+    def test_variable_length_path(self, chain):
+        rows = chain.query(
+            "MATCH p = (a:P {name: 'a'})-[:R*1..2]->(x) "
+            "RETURN x.name, length(p) ORDER BY length(p)"
+        ).rows
+        assert rows == [("b", 1), ("c", 2)]
+
+    def test_var_len_path_nodes_in_order(self, chain):
+        rows = chain.query(
+            "MATCH p = (a:P {name: 'a'})-[:R*2..2]->(c) "
+            "RETURN length(p), head(nodes(p)).name, last(nodes(p)).name"
+        ).rows
+        assert rows == [(2, "a", "c")]
+
+    def test_optional_match_null_path(self, chain):
+        rows = chain.query(
+            "MATCH (c:P {name: 'c'}) OPTIONAL MATCH p = (c)-[:R]->(z) "
+            "RETURN p IS NULL"
+        ).rows
+        assert rows == [(True,)]
+
+    def test_undirected_named_path(self, chain):
+        rows = chain.query(
+            "MATCH p = (b:P {name: 'b'})-[:R]-(x) RETURN x.name, length(p) ORDER BY x.name"
+        ).rows
+        assert rows == [("a", 1), ("c", 1)]
+
+    def test_path_equality_and_repr(self, chain):
+        (p1,) = chain.query("MATCH p = (:P {name: 'a'})-[:R]->() RETURN p").rows[0]
+        (p2,) = chain.query("MATCH p = (:P {name: 'a'})-[:R]->() RETURN p").rows[0]
+        assert p1 == p2 and hash(p1) == hash(p2)
+        assert repr(p1).startswith("<path (")
+
+    def test_path_batch_size_invariance(self, chain):
+        results = {}
+        for size in (1, 7, 1024):
+            chain.graph.config.exec_batch_size = size
+            try:
+                rows = chain.query(
+                    "MATCH p = (a:P)-[:R*1..2]->(b) "
+                    "RETURN a.name, b.name, length(p) ORDER BY a.name, b.name"
+                ).rows
+                results[size] = rows
+            finally:
+                chain.graph.config.exec_batch_size = 1024
+        assert results[1] == results[7] == results[1024]
+
+
+class TestCreateCycleRegression:
+    def test_repeated_variable_creates_one_node(self, db):
+        db.query(
+            "CREATE (t1:T {name: 't1'})-[:R]->(t2:T {name: 't2'})-[:R]->(t1)"
+        )
+        assert db.query("MATCH (n:T) RETURN count(n)").rows == [(2,)]
+        rows = db.query("MATCH (a)-[:R]->(b) RETURN a.name, b.name ORDER BY a.name").rows
+        assert rows == [("t1", "t2"), ("t2", "t1")]

@@ -113,9 +113,11 @@ class TestProfileInstrumentation:
 
 
 class TestUnsupportedConstructs:
-    def test_named_path_rejected(self, db):
-        with pytest.raises(CypherSemanticError, match="named path"):
-            db.query("MATCH p = (a)-[:KNOWS]->(b) RETURN p")
+    def test_named_path_plans_project_path(self, db):
+        plan = db.explain("MATCH p = (a)-[:KNOWS]->(b) RETURN length(p)")
+        assert "ProjectPath" in plan
+        rows = db.query("MATCH p = (a)-[:KNOWS]->(b) RETURN length(p)").rows
+        assert all(r == (1,) for r in rows)
 
     def test_varlen_properties_rejected(self, db):
         with pytest.raises(CypherSemanticError, match="variable-length"):
