@@ -342,14 +342,32 @@ class CallClause:
 
 @dataclass(frozen=True)
 class CreateIndexClause:
+    """``CREATE [VECTOR] INDEX ON :Label(attr[, attr...]) [OPTIONS {...}]``.
+
+    ``kind`` is ``"range"`` (one attribute), ``"composite"`` (several) or
+    ``"vector"``; ``options`` holds literal OPTIONS entries as sorted
+    (name, value) pairs so the clause stays hashable for the plan cache.
+    """
+
     label: str
-    attribute: str
+    attributes: Tuple[str, ...]
+    kind: str = "range"
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def attribute(self) -> str:
+        return self.attributes[0]
 
 
 @dataclass(frozen=True)
 class DropIndexClause:
     label: str
-    attribute: str
+    attributes: Tuple[str, ...]
+    kind: str = "range"
+
+    @property
+    def attribute(self) -> str:
+        return self.attributes[0]
 
 
 Clause = Union[

@@ -22,7 +22,7 @@ bundled examples):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.errors import CypherSyntaxError
 from repro.cypher import ast_nodes as A
@@ -127,7 +127,11 @@ class _Parser:
         if self._accept_kw("MATCH"):
             return self._parse_match(optional=False)
         if self._check_kw("CREATE"):
-            if self._peek(1).is_keyword("INDEX"):
+            if self._peek(1).is_keyword("INDEX") or (
+                self._peek(1).type is TokenType.IDENT
+                and self._peek(1).value.upper() == "VECTOR"
+                and self._peek(2).is_keyword("INDEX")
+            ):
                 return self._parse_create_index()
             self._advance()
             return A.CreateClause(tuple(self._parse_pattern_list()))
@@ -299,27 +303,67 @@ class _Parser:
         where = self.parse_expression() if self._accept_kw("WHERE") else None
         return A.WithClause(projections, distinct, where, order_by, skip, limit)
 
-    def _parse_create_index(self) -> A.CreateIndexClause:
-        self._expect_kw("CREATE")
-        self._expect_kw("INDEX")
+    # VECTOR and OPTIONS are contextual: they lex as plain identifiers
+    # and only act as syntax in index DDL, so ``MATCH (vector:OPTIONS)``
+    # keeps parsing as before.
+    def _accept_ident(self, word: str) -> bool:
+        if self._cur.type is TokenType.IDENT and self._cur.value.upper() == word:
+            self._advance()
+            return True
+        return False
+
+    def _parse_index_target(self) -> Tuple[str, Tuple[str, ...]]:
         self._expect_kw("ON")
         self._expect(TokenType.PUNCT, ":")
         label = self._ident("label")
         self._expect(TokenType.PUNCT, "(")
-        attr = self._ident("property name")
+        attrs = [self._ident("property name")]
+        while self._accept(TokenType.PUNCT, ","):
+            attrs.append(self._ident("property name"))
         self._expect(TokenType.PUNCT, ")")
-        return A.CreateIndexClause(label, attr)
+        return label, tuple(attrs)
+
+    def _parse_index_options(self) -> Tuple[Tuple[str, Any], ...]:
+        """``OPTIONS {name: literal, ...}`` — literal values only."""
+        self._expect(TokenType.PUNCT, "{", "'{'")
+        items = {}
+        if not self._check(TokenType.PUNCT, "}"):
+            while True:
+                key = self._ident("option name")
+                self._expect(TokenType.PUNCT, ":", "':'")
+                expr = self.parse_expression()
+                if not isinstance(expr, A.Literal):
+                    raise self._error("index OPTIONS values must be literals")
+                items[key] = expr.value
+                if not self._accept(TokenType.PUNCT, ","):
+                    break
+        self._expect(TokenType.PUNCT, "}", "'}'")
+        return tuple(sorted(items.items()))
+
+    def _parse_create_index(self) -> A.CreateIndexClause:
+        self._expect_kw("CREATE")
+        vector = self._accept_ident("VECTOR")
+        self._expect_kw("INDEX")
+        label, attrs = self._parse_index_target()
+        if vector:
+            if len(attrs) != 1:
+                raise self._error("a vector index covers exactly one property")
+            options = self._parse_index_options() if self._accept_ident("OPTIONS") else ()
+            return A.CreateIndexClause(label, attrs, "vector", options)
+        kind = "composite" if len(attrs) > 1 else "range"
+        return A.CreateIndexClause(label, attrs, kind)
 
     def _parse_drop_index(self) -> A.DropIndexClause:
         self._expect_kw("DROP")
+        vector = self._accept_ident("VECTOR")
         self._expect_kw("INDEX")
-        self._expect_kw("ON")
-        self._expect(TokenType.PUNCT, ":")
-        label = self._ident("label")
-        self._expect(TokenType.PUNCT, "(")
-        attr = self._ident("property name")
-        self._expect(TokenType.PUNCT, ")")
-        return A.DropIndexClause(label, attr)
+        label, attrs = self._parse_index_target()
+        if vector:
+            if len(attrs) != 1:
+                raise self._error("a vector index covers exactly one property")
+            return A.DropIndexClause(label, attrs, "vector")
+        kind = "composite" if len(attrs) > 1 else "range"
+        return A.DropIndexClause(label, attrs, kind)
 
     # ------------------------------------------------------------------
     # Patterns

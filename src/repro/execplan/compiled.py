@@ -39,15 +39,17 @@ class PlanSchema:
     looked up by name at execution time.
     """
 
-    __slots__ = ("indexes", "version", "stats")
+    __slots__ = ("indexes", "composites", "version", "stats")
 
     def __init__(
         self,
         indexes: FrozenSet[Tuple[str, str]] = frozenset(),
         version: int = 0,
         stats=None,
+        composites: FrozenSet[Tuple[str, Tuple[str, ...]]] = frozenset(),
     ) -> None:
         self.indexes = frozenset(indexes)
+        self.composites = frozenset(composites)
         self.version = version
         # GraphStatistics snapshot, or None when cost_based_planner=0 —
         # its absence is what switches the planner back to pure rules
@@ -64,10 +66,20 @@ class PlanSchema:
         # snapshot races the same way, at worst carrying an older epoch.
         version = graph.schema_version
         stats = graph.stats.snapshot() if graph.config.cost_based_planner else None
-        return cls(frozenset(graph.index_specs()), version, stats)
+        return cls(
+            frozenset(graph.index_specs()),
+            version,
+            stats,
+            frozenset(graph.composite_index_specs()),
+        )
 
     def has_index(self, label: str, attribute: str) -> bool:
         return (label, attribute) in self.indexes
+
+    def composite_indexes(self, label: str) -> Tuple[Tuple[str, ...], ...]:
+        """Attribute tuples of the label's composite indexes, sorted for
+        deterministic candidate ordering."""
+        return tuple(sorted(attrs for lbl, attrs in self.composites if lbl == label))
 
 
 class CompiledQuery:

@@ -27,7 +27,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.execplan.ops_base import Argument, PlanOp, Unit
-from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
+import numpy as np
+
+from repro.execplan.ops_scan import (
+    AllNodeScan,
+    IndexRangeScan,
+    NodeByIdSeek,
+    NodeByIndexScan,
+    NodeByLabelScan,
+)
 from repro.execplan.ops_stream import (
     Aggregate,
     ApplyOptional,
@@ -51,6 +59,12 @@ DEFAULT_EQ_SELECTIVITY = 0.1
 DEFAULT_FILTER_SELECTIVITY = 0.25
 #: average list length assumed for UNWIND of a non-literal expression
 UNWIND_FANOUT = 10.0
+#: selectivity of one half-open range bound with no sample to rank against
+SEEK_RANGE_SELECTIVITY = 1.0 / 3.0
+#: selectivity of one STARTS WITH prefix seek
+SEEK_PREFIX_SELECTIVITY = 0.05
+#: assumed element count of a non-literal IN list
+SEEK_IN_DEFAULT_ITEMS = 4.0
 
 
 def _parse_rel_operand(label: str) -> Tuple[Tuple[str, ...], str]:
@@ -97,6 +111,51 @@ class CostModel:
             return self.label_count(label) * DEFAULT_EQ_SELECTIVITY
         size, ndv = entry
         return size / max(1, ndv)
+
+    def seek_estimate(self, label, attributes, kind, specs) -> float:
+        """Expected rows of one IndexRangeScan: the index's size times the
+        product of per-conjunct selectivities.  ``specs`` is a sequence of
+        (op, plan-time literal or NOT_LITERAL); a numeric literal range
+        bound is ranked against the index's sorted numeric sample (a
+        searchsorted rank query — the columnar twin of a histogram),
+        everything else takes the op's default."""
+        details = getattr(self.stats, "index_details", None) or {}
+        detail = details.get((label, tuple(attributes), kind))
+        if detail is None:
+            size = self.label_count(label)
+            ndv = max(1.0, size * DEFAULT_EQ_SELECTIVITY)
+            sample = None
+        else:
+            size = float(detail["size"])
+            ndv = float(max(1, detail["ndv"]))
+            sample = detail.get("sample")
+        if kind == "composite":
+            # eq specs over a leading prefix: full coverage is one posting
+            # run (size/NDV); shorter prefixes interpolate geometrically
+            width, total = len(specs), max(1, len(attributes))
+            return size * (1.0 / ndv) ** (width / total)
+        sel = 1.0
+        for op, literal in specs:
+            sel *= self._seek_selectivity(op, literal, ndv, sample)
+        return size * sel
+
+    def _seek_selectivity(self, op, literal, ndv: float, sample) -> float:
+        if op == "=":
+            return 1.0 / ndv
+        if op == "STARTS WITH":
+            return SEEK_PREFIX_SELECTIVITY
+        if op == "IN":
+            items = float(len(literal)) if isinstance(literal, list) else SEEK_IN_DEFAULT_ITEMS
+            return min(1.0, items / ndv)
+        is_num = isinstance(literal, (int, float)) and not isinstance(literal, bool)
+        if sample is not None and len(sample) and is_num:
+            keys = np.asarray(sample, dtype=np.float64)
+            side = "left" if op in ("<", ">=") else "right"
+            frac = float(np.searchsorted(keys, float(literal), side=side)) / len(keys)
+            if op in (">", ">="):
+                frac = 1.0 - frac
+            return min(1.0, max(frac, 1.0 / ndv))
+        return SEEK_RANGE_SELECTIVITY
 
     def entries(self, types: Sequence[str], direction: str) -> float:
         """Distinct matrix entries the step's relation operand holds."""
@@ -301,6 +360,11 @@ def _estimate(op: PlanOp, model: CostModel) -> float:
         return (_child_est(op) if op.children else 1.0) * n
     if isinstance(op, NodeByIndexScan):
         base = model.index_estimate(op._label, op._attribute)
+        return (_child_est(op) if op.children else 1.0) * base
+    if isinstance(op, IndexRangeScan):
+        base = model.seek_estimate(
+            op._label, op._attributes, op._kind, [(s.op, s.literal) for s in op._specs]
+        )
         return (_child_est(op) if op.children else 1.0) * base
     if isinstance(op, NodeByLabelScan):
         return (_child_est(op) if op.children else 1.0) * model.label_count(op._label)

@@ -11,16 +11,25 @@ the row engine produced.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import CypherTypeError
 from repro.execplan.batch import EntityColumn, RecordBatch
-from repro.execplan.expressions import CompiledExpr, ExecContext
+from repro.execplan.expressions import CompiledExpr, ExecContext, _compare, _equal
 from repro.execplan.ops_base import PlanOp
 from repro.execplan.record import Layout, Record
+from repro.graph.index import _family_of
 
-__all__ = ["AllNodeScan", "NodeByLabelScan", "NodeByIndexScan", "NodeByIdSeek"]
+__all__ = [
+    "AllNodeScan",
+    "NodeByLabelScan",
+    "NodeByIndexScan",
+    "NodeByIdSeek",
+    "IndexRangeScan",
+    "SeekSpec",
+]
 
 _I64 = np.int64
 
@@ -216,3 +225,143 @@ class NodeByIndexScan(_NodeEmitScan):
                 dtype=_I64,
             )
         return np.asarray(sorted(index.lookup(value)), dtype=_I64)
+
+
+#: SeekSpec.literal when the predicate's value is not a plan-time literal
+NOT_LITERAL = object()
+
+
+class SeekSpec:
+    """One WHERE conjunct a secondary-index seek consumes: ``attribute op
+    <value_fn>``.  ``literal`` carries the plan-time constant (or
+    :data:`NOT_LITERAL`) so the cost model can rank range bounds against
+    the index's numeric sample without executing anything."""
+
+    __slots__ = ("attribute", "op", "value_fn", "display", "literal")
+
+    def __init__(
+        self,
+        attribute: str,
+        op: str,
+        value_fn: CompiledExpr,
+        display: str,
+        literal=NOT_LITERAL,
+    ) -> None:
+        self.attribute = attribute
+        self.op = op  # '=', '<', '<=', '>', '>=', 'STARTS WITH', 'IN'
+        self.value_fn = value_fn
+        self.display = display
+        self.literal = literal
+
+
+def _spec_true(op: str, prop, value) -> bool:
+    """The scan-side predicate one spec stands for — exactly the residual
+    filter's semantics (``_equal`` / ``_compare`` / STARTS WITH), so the
+    fallback path and the seek path agree row-for-row."""
+    if op == "=":
+        return _equal(prop, value) is True
+    if op == "STARTS WITH":
+        return isinstance(prop, str) and isinstance(value, str) and prop.startswith(value)
+    if op == "IN":
+        if not isinstance(value, list):
+            return False  # null haystack matches nothing
+        return any(_equal(prop, item) is True for item in value)
+    return _compare(op, prop, value) is True
+
+
+class IndexRangeScan(_NodeEmitScan):
+    """Batch-native seek over a range or composite secondary index.
+
+    Emits exactly the nodes every consumed conjunct holds True for, so
+    the planner can drop those conjuncts from the residual WHERE filter.
+    Range kind: one index on (label, attr), each spec's seek intersected.
+    Composite kind: eq specs covering a leading prefix of the index's
+    attribute tuple, answered as one sorted-slice seek.
+
+    Values that could match non-indexed property types (lists, maps — a
+    list-valued property is never indexed but ``_equal`` can still match
+    it) route to a filtered label scan with identical semantics; the same
+    fallback covers an index dropped between planning and execution.
+    """
+
+    name = "IndexRangeScan"
+
+    def __init__(
+        self,
+        var: str,
+        label: str,
+        kind: str,
+        attributes: Sequence[str],
+        specs: Sequence[SeekSpec],
+        child: Optional[PlanOp] = None,
+    ) -> None:
+        super().__init__(var, child)
+        self._label = label
+        self._kind = kind  # 'range' | 'composite'
+        self._attributes = tuple(attributes)
+        self._specs = list(specs)
+
+    def describe(self) -> str:
+        preds = ", ".join(spec.display for spec in self._specs)
+        return f"IndexRangeScan | ({self._var}:{self._label}) [{self._kind}: {preds}]"
+
+    def _record_dependent(self) -> bool:
+        return True
+
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        rec = record if record is not None else []
+        graph = ctx.graph
+        values = [spec.value_fn(rec, ctx) for spec in self._specs]
+        # the filter this scan replaced would raise on a non-list haystack
+        for spec, value in zip(self._specs, values):
+            if spec.op == "IN" and value is not None and not isinstance(value, list):
+                raise CypherTypeError("IN expects a list on the right")
+        if self._kind == "composite":
+            index = graph.get_composite_index(self._label, self._attributes)
+        else:
+            index = graph.get_index(self._label, self._attributes[0])
+        if index is None or self._needs_fallback(values):
+            return self._scan_fallback(ctx, values)
+        if self._kind == "composite":
+            return index.seek_prefix_eq(values)
+        result: Optional[np.ndarray] = None
+        for spec, value in zip(self._specs, values):
+            ids = self._seek_one(index, spec.op, value)
+            result = ids if result is None else np.intersect1d(result, ids, assume_unique=True)
+            if len(result) == 0:
+                break
+        return result if result is not None else np.empty(0, dtype=_I64)
+
+    @staticmethod
+    def _seek_one(index, op: str, value) -> np.ndarray:
+        if op == "=":
+            return index.seek_eq(value)
+        if op == "STARTS WITH":
+            return index.seek_prefix(value) if isinstance(value, str) else np.empty(0, dtype=_I64)
+        if op == "IN":
+            return index.seek_in(value if isinstance(value, list) else ())
+        return index.seek_cmp(op, value)
+
+    def _needs_fallback(self, values) -> bool:
+        """A comparison value only an *unindexed* property type could
+        match (list/map) makes the seek lossy — scan instead."""
+        for spec, value in zip(self._specs, values):
+            if spec.op == "IN":
+                items = value if isinstance(value, list) else ()
+                if any(_family_of(v) is None and v is not None for v in items):
+                    return True
+            elif spec.op != "STARTS WITH":
+                if _family_of(value) is None and value is not None:
+                    return True
+        return False
+
+    def _scan_fallback(self, ctx: ExecContext, values) -> np.ndarray:
+        out: List[int] = []
+        for nid in ctx.graph.nodes_with_label(self._label):
+            nid = int(nid)
+            if all(
+                _spec_true(spec.op, ctx.graph.node_property(nid, spec.attribute), value)
+                for spec, value in zip(self._specs, values)
+            ):
+                out.append(nid)
+        return np.asarray(out, dtype=_I64)

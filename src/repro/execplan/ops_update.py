@@ -304,16 +304,26 @@ class RemoveOp(PlanOp):
 class CreateIndexOp(PlanOp):
     name = "CreateIndex"
 
-    def __init__(self, label: str, attribute: str) -> None:
+    def __init__(self, label, attribute=None, *, attributes=None, kind="range", options=()):
         super().__init__([], Layout())
         self._label = label
-        self._attribute = attribute
+        self._attributes = tuple(attributes) if attributes else (attribute,)
+        self._attribute = self._attributes[0]
+        self._kind = kind
+        self._options = dict(options)
 
     def describe(self) -> str:
-        return f"CreateIndex | :{self._label}({self._attribute})"
+        attrs = ", ".join(self._attributes)
+        tag = "" if self._kind == "range" else f" [{self._kind}]"
+        return f"CreateIndex | :{self._label}({attrs}){tag}"
 
     def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        ctx.graph.create_index(self._label, self._attribute)
+        if self._kind == "vector":
+            ctx.graph.create_vector_index(self._label, self._attribute, self._options)
+        elif self._kind == "composite":
+            ctx.graph.create_composite_index(self._label, self._attributes)
+        else:
+            ctx.graph.create_index(self._label, self._attribute)
         if ctx.stats:
             ctx.stats.indices_created += 1
         return
@@ -322,16 +332,26 @@ class CreateIndexOp(PlanOp):
 class DropIndexOp(PlanOp):
     name = "DropIndex"
 
-    def __init__(self, label: str, attribute: str) -> None:
+    def __init__(self, label, attribute=None, *, attributes=None, kind="range"):
         super().__init__([], Layout())
         self._label = label
-        self._attribute = attribute
+        self._attributes = tuple(attributes) if attributes else (attribute,)
+        self._attribute = self._attributes[0]
+        self._kind = kind
 
     def describe(self) -> str:
-        return f"DropIndex | :{self._label}({self._attribute})"
+        attrs = ", ".join(self._attributes)
+        tag = "" if self._kind == "range" else f" [{self._kind}]"
+        return f"DropIndex | :{self._label}({attrs}){tag}"
 
     def _produce(self, ctx: ExecContext) -> Iterator[Record]:
-        if ctx.graph.drop_index(self._label, self._attribute) and ctx.stats:
+        if self._kind == "vector":
+            dropped = ctx.graph.drop_vector_index(self._label, self._attribute)
+        elif self._kind == "composite":
+            dropped = ctx.graph.drop_composite_index(self._label, self._attributes)
+        else:
+            dropped = ctx.graph.drop_index(self._label, self._attribute)
+        if dropped and ctx.stats:
             ctx.stats.indices_deleted += 1
         return
         yield  # pragma: no cover

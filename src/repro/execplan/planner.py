@@ -35,7 +35,15 @@ from repro.execplan.expressions import CompiledExpr, ExecContext, _equal, compil
 from repro.execplan.ops_base import Argument, PlanOp, Unit
 from repro.execplan.ops_call import ProcedureCall
 from repro.execplan.ops_path import PathSegment, ProjectPath
-from repro.execplan.ops_scan import AllNodeScan, NodeByIdSeek, NodeByIndexScan, NodeByLabelScan
+from repro.execplan.ops_scan import (
+    NOT_LITERAL,
+    AllNodeScan,
+    IndexRangeScan,
+    NodeByIdSeek,
+    NodeByIndexScan,
+    NodeByLabelScan,
+    SeekSpec,
+)
 from repro.execplan.ops_stream import (
     AggSpec,
     Aggregate,
@@ -95,6 +103,8 @@ class _Planner:
         self.columns: Optional[List[str]] = None
         self._id_seeks: Dict[str, A.Expr] = {}
         self._consumed_seeks: Set[str] = set()
+        self._range_preds: Dict[str, List["_RangeConjunct"]] = {}
+        self._consumed_conjuncts: Set[int] = set()
         stats = getattr(schema, "stats", None)
         if stats is not None:
             from repro.execplan.cost import CostModel  # planner<->cost cycle
@@ -150,10 +160,17 @@ class _Planner:
         elif isinstance(clause, A.CallClause):
             self._plan_call(clause)
         elif isinstance(clause, A.CreateIndexClause):
-            self.root = CreateIndexOp(clause.label, clause.attribute)
+            self.root = CreateIndexOp(
+                clause.label,
+                attributes=clause.attributes,
+                kind=clause.kind,
+                options=clause.options,
+            )
             self.writes = True
         elif isinstance(clause, A.DropIndexClause):
-            self.root = DropIndexOp(clause.label, clause.attribute)
+            self.root = DropIndexOp(
+                clause.label, attributes=clause.attributes, kind=clause.kind
+            )
             self.writes = True
         else:  # pragma: no cover
             raise CypherSemanticError(f"unsupported clause {clause!r}")
@@ -195,19 +212,29 @@ class _Planner:
         # provably true (the seek emits exactly the node with that id, or
         # nothing for null/non-integer ids) and is dropped entirely.
         self._id_seeks = _extract_id_seeks(clause.where)
+        self._range_preds = _extract_range_conjuncts(clause.where)
         self._consumed_seeks = set()
+        self._consumed_conjuncts = set()
         seeks = self._id_seeks
         try:
             for path in clause.patterns:
                 self._plan_path(path)
             consumed = self._consumed_seeks
+            consumed_conjuncts = self._consumed_conjuncts
         finally:
             self._id_seeks = {}
+            self._range_preds = {}
             self._consumed_seeks = set()
-        if clause.where is not None and not _fully_consumed_by_seeks(
-            clause.where, consumed, seeks
-        ):
-            self.root = Filter(self.root, compile_expr(clause.where, self._layout()), "WHERE")
+            self._consumed_conjuncts = set()
+        if clause.where is None:
+            return
+        # conjuncts an IndexRangeScan consumed emit exactly the rows the
+        # conjunct holds True for, so they come off the residual filter;
+        # stripping is by node identity, never structure, so a repeated
+        # conjunct only loses the one occurrence the seek was built from
+        residual = _strip_conjuncts(clause.where, consumed_conjuncts)
+        if residual is not None and not _fully_consumed_by_seeks(residual, consumed, seeks):
+            self.root = Filter(self.root, compile_expr(residual, self._layout()), "WHERE")
 
     def _plan_optional_match(self, clause: A.MatchClause) -> None:
         if self.root is None:
@@ -368,9 +395,89 @@ class _Planner:
                         if self.schema.has_index(node.labels[0], key):
                             score = 2
                             break
+                if score == 1 and self._conjunct_servable(node.labels[0], node_vars[i]):
+                    score = 2
             if score > best_score:
                 best, best_score = i, score
         return best
+
+    def _conjunct_servable(self, label: str, var: str) -> bool:
+        """Whether a WHERE conjunct on ``var`` can drive an index seek —
+        the rule-based twin of the seek pricing below."""
+        conjuncts = self._range_preds.get(var)
+        if not conjuncts:
+            return False
+        bound = self._bound()
+        for c in conjuncts:
+            if _identifier_names(c.value) - bound:
+                continue
+            if self.schema.has_index(label, c.attr):
+                return True
+            if c.op == "=" and any(
+                attrs[0] == c.attr for attrs in self.schema.composite_indexes(label)
+            ):
+                return True
+        return False
+
+    def _pick_conjunct_seek(self, label: str, var: str, base_names: Set[str]):
+        """Choose the index seek for ``var``'s WHERE conjuncts, or None.
+
+        Candidates: a range index on any conjunct attribute (consuming
+        every usable conjunct on it), and each composite index with an
+        eq-covered leading attribute prefix (longest prefix wins — sound
+        because composite entries key the node's longest indexable
+        prefix).  Rule ranking prefers coverage, then range over
+        composite, then attribute order; with statistics the cheapest
+        priced candidate wins and one pricing worse than its label scan
+        is rejected, mirroring the inline-map probe's degenerate guard.
+
+        Returns (kind, index attributes, conjuncts consumed, est rows).
+        """
+        conjuncts = self._range_preds.get(var)
+        if not conjuncts:
+            return None
+        usable = [c for c in conjuncts if not (_identifier_names(c.value) - base_names)]
+        if not usable:
+            return None
+        candidates = []  # (coverage, kind_rank, attrs, kind, chosen)
+        by_attr: Dict[str, List[_RangeConjunct]] = {}
+        for c in usable:
+            by_attr.setdefault(c.attr, []).append(c)
+        for attr, cs in sorted(by_attr.items()):
+            if self.schema.has_index(label, attr):
+                candidates.append((len(cs), 0, (attr,), "range", cs))
+        eq_by_attr: Dict[str, _RangeConjunct] = {}
+        for c in usable:
+            if c.op == "=" and c.attr not in eq_by_attr:
+                eq_by_attr[c.attr] = c
+        for attrs in self.schema.composite_indexes(label):
+            chosen = []
+            for attr in attrs:
+                c = eq_by_attr.get(attr)
+                if c is None:
+                    break
+                chosen.append(c)
+            if chosen:
+                candidates.append((len(chosen), 1, attrs, "composite", chosen))
+        if not candidates:
+            return None
+        if self.cost is None:
+            coverage, _, attrs, kind, chosen = min(
+                candidates, key=lambda c: (-c[0], c[1], c[2])
+            )
+            return kind, attrs, chosen, None
+        best = None
+        for coverage, kind_rank, attrs, kind, chosen in candidates:
+            est = self.cost.seek_estimate(
+                label, attrs, kind, [(c.op, _literal_of(c.value)) for c in chosen]
+            )
+            key = (est, -coverage, kind_rank, attrs)
+            if best is None or key < best[0]:
+                best = (key, attrs, kind, chosen, est)
+        _, attrs, kind, chosen, est = best
+        if est > self.cost.label_count(label):
+            return None  # degenerate index pricing worse than its label scan
+        return kind, attrs, chosen, est
 
     # ------------------------------------------------------------------
     # Cost-based path planning (cost_based_planner=1)
@@ -378,12 +485,19 @@ class _Planner:
     def _anchor_access_estimate(
         self, node: A.NodePattern, var: str
     ) -> Tuple[float, float, int]:
-        return self.cost.access_estimate(
+        est, work, score = self.cost.access_estimate(
             node.labels,
             tuple(k for k, _ in node.properties),
             self.schema,
             id_seek=var in self._id_seeks,
         )
+        if score >= 2 or not node.labels:
+            return est, work, score
+        pick = self._pick_conjunct_seek(node.labels[0], var, self._bound())
+        if pick is not None and pick[3] is not None and pick[3] < work:
+            seek_rows = pick[3]
+            return min(est, seek_rows), seek_rows, 2
+        return est, work, score
 
     def _price_step(
         self, rel: A.RelPattern, dst_node: A.NodePattern, dst_var: str,
@@ -803,11 +917,33 @@ class _PathChain:
             ):
                 # a degenerate index pricing worse than its label scan
                 index_key = None
-            if index_key is not None:
-                from repro.execplan.record import Layout
+            pick = None
+            if index_key is None:
+                # no inline-map probe: WHERE conjuncts on this variable may
+                # still drive a range/composite seek
+                pick = planner._pick_conjunct_seek(
+                    node.labels[0], var, set(base_layout.names) if base_layout else set()
+                )
+            from repro.execplan.record import Layout
 
+            if index_key is not None:
                 value_fn = compile_expr(index_key[1], base_layout or Layout())
                 scan = NodeByIndexScan(var, node.labels[0], index_key[0], value_fn, child)
+            elif pick is not None:
+                kind, attrs, chosen, _est = pick
+                layout = base_layout or Layout()
+                specs = [
+                    SeekSpec(
+                        c.attr,
+                        c.op,
+                        compile_expr(c.value, layout),
+                        f"{var}.{c.attr} {c.op} {_value_display(c.value)}",
+                        _literal_of(c.value),
+                    )
+                    for c in chosen
+                ]
+                scan = IndexRangeScan(var, node.labels[0], kind, attrs, specs, child)
+                planner._consumed_conjuncts.update(id(c.expr) for c in chosen)
             else:
                 scan = NodeByLabelScan(var, node.labels[0], child)
         else:
@@ -1057,6 +1193,104 @@ def _fully_consumed_by_seeks(
             ):
                 return True
     return False
+
+
+@dataclasses.dataclass(frozen=True)
+class _RangeConjunct:
+    """One top-level WHERE AND-conjunct an index seek could consume:
+    ``var.attr op value`` with the property access on one side."""
+
+    expr: A.Expr  # the original conjunct node (identity keys consumption)
+    var: str
+    attr: str
+    op: str  # '=', '<', '<=', '>', '>=', 'STARTS WITH', 'IN'
+    value: A.Expr
+
+
+_FLIP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _extract_range_conjuncts(where: Optional[A.Expr]) -> Dict[str, List[_RangeConjunct]]:
+    """var -> seek-consumable top-level AND-conjuncts of ``where``."""
+    out: Dict[str, List[_RangeConjunct]] = {}
+    if where is None:
+        return out
+
+    def prop_of(e: A.Expr):
+        if isinstance(e, A.PropertyAccess) and isinstance(e.subject, A.Identifier):
+            return e.subject.name, e.key
+        return None
+
+    def visit(e: A.Expr) -> None:
+        if isinstance(e, A.BoolOp) and e.op == "AND":
+            visit(e.left)
+            visit(e.right)
+            return
+        if isinstance(e, A.Comparison) and e.op in _FLIP:
+            left_p, right_p = prop_of(e.left), prop_of(e.right)
+            if left_p and not right_p:
+                (var, attr), op, value = left_p, e.op, e.right
+            elif right_p and not left_p:
+                (var, attr), op, value = right_p, _FLIP[e.op], e.left
+            else:
+                return
+            out.setdefault(var, []).append(_RangeConjunct(e, var, attr, op, value))
+            return
+        if isinstance(e, A.StringPredicate) and e.op == "STARTS_WITH":
+            p = prop_of(e.left)
+            if p is not None:
+                out.setdefault(p[0], []).append(
+                    _RangeConjunct(e, p[0], p[1], "STARTS WITH", e.right)
+                )
+            return
+        if isinstance(e, A.InList):
+            p = prop_of(e.needle)
+            if p is not None:
+                out.setdefault(p[0], []).append(
+                    _RangeConjunct(e, p[0], p[1], "IN", e.haystack)
+                )
+
+    visit(where)
+    return out
+
+
+def _strip_conjuncts(where: A.Expr, consumed: Set[int]) -> Optional[A.Expr]:
+    """``where`` minus the consumed top-level AND-conjuncts (by node
+    identity); None when everything was consumed."""
+    if not consumed:
+        return where
+
+    def strip(e: A.Expr) -> Optional[A.Expr]:
+        if isinstance(e, A.BoolOp) and e.op == "AND":
+            left, right = strip(e.left), strip(e.right)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            if left is e.left and right is e.right:
+                return e
+            return A.BoolOp("AND", left, right)
+        return None if id(e) in consumed else e
+
+    return strip(where)
+
+
+def _literal_of(e: A.Expr):
+    """The plan-time constant of a value expression, or NOT_LITERAL."""
+    if isinstance(e, A.Literal):
+        return e.value
+    if isinstance(e, A.ListLiteral) and all(isinstance(i, A.Literal) for i in e.items):
+        return [i.value for i in e.items]
+    return NOT_LITERAL
+
+
+def _value_display(e: A.Expr) -> str:
+    lit = _literal_of(e)
+    if lit is not NOT_LITERAL:
+        return repr(lit)
+    if isinstance(e, A.Parameter):
+        return f"${e.name}"
+    return "<expr>"
 
 
 def _replace_order_by(clause, order_by):

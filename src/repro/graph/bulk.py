@@ -424,18 +424,24 @@ class BulkWriter:
             # one vectorized pass per touched type beats a stats op per edge
             graph.stats.rebuild_rel(rid)
 
-        # -- index backfill ---------------------------------------------
-        for (lid, aid), index in graph._indices.items():
+        # -- index backfill (vectorized, kind-aware) ---------------------
+        # staged columns feed each index's bulk path: one sort per index
+        # per batch instead of one insert per (node, value)
+        for index in graph._all_indexes():
+            label_name = graph.schema.label_name(index.label_id)
+            attr_names = tuple(graph.attrs.name_of(a) for a in index.attr_ids)
             for nb in self._node_batches:
-                if graph.schema.label_name(lid) not in nb.labels:
+                if label_name not in nb.labels:
                     continue
-                for name, column in nb.props.items():
-                    if graph.attrs.intern(name) != aid:
-                        continue
-                    ids = node_ids[nb.start : nb.start + nb.count]
-                    for nid, value in zip(ids, column):
-                        if value is not None and index.insert(value, int(nid)):
-                            report.indexed_nodes += 1
+                ids = node_ids[nb.start : nb.start + nb.count]
+                if index.kind == "composite":
+                    slots = graph._nodes._slots
+                    rows = [slots[int(nid)].props for nid in ids]
+                    report.indexed_nodes += index.bulk_insert(rows, ids)
+                else:
+                    column = nb.props.get(attr_names[0])
+                    if column is not None:
+                        report.indexed_nodes += index.bulk_insert(column, ids)
 
         report.labels_added = graph.schema.label_count - labels_before
         report.reltypes_added = graph.schema.reltype_count - reltypes_before

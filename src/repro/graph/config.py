@@ -158,6 +158,17 @@ CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
         ),
     ),
     ConfigSpec(
+        name="index_merge_threshold",
+        default=512,
+        env="REPRO_INDEX_MERGE_THRESHOLD",
+        mutable=True,
+        min=1,
+        doc=(
+            "Pending index writes (adds + deletes) that trigger merging a "
+            "secondary index's delta overlay into its sorted arrays."
+        ),
+    ),
+    ConfigSpec(
         name="io_threads",
         default=1,
         env="REPRO_IO_THREADS",
@@ -229,6 +240,9 @@ class GraphConfig:
     morsel_size: int = field(default_factory=_spec_default("morsel_size"))
     cost_based_planner: int = field(
         default_factory=_spec_default("cost_based_planner")
+    )
+    index_merge_threshold: int = field(
+        default_factory=_spec_default("index_merge_threshold")
     )
     io_threads: int = field(default_factory=_spec_default("io_threads"))
 

@@ -27,7 +27,7 @@ from repro.graph.config import GraphConfig
 from repro.graph.datablock import DataBlock
 from repro.graph.delta_matrix import DeltaMatrix
 from repro.graph.entities import Edge, Node
-from repro.graph.index import ExactMatchIndex
+from repro.graph.index import CompositeIndex, RangeIndex, VectorIndex
 from repro.graph.rwlock import RWLock
 from repro.graph.schema import Schema
 from repro.graph.statistics import StatisticsStore
@@ -72,7 +72,9 @@ class Graph:
         self._edge_map: Dict[Tuple[int, int, int], List[int]] = {}
         self._node_out: Dict[int, Set[int]] = {}
         self._node_in: Dict[int, Set[int]] = {}
-        self._indices: Dict[Tuple[int, int], ExactMatchIndex] = {}
+        self._indices: Dict[Tuple[int, int], RangeIndex] = {}
+        self._composite_indices: Dict[Tuple[int, Tuple[int, ...]], CompositeIndex] = {}
+        self._vector_indices: Dict[Tuple[int, int], VectorIndex] = {}
         self._schema_epoch = 0  # index/config changes (labels/reltypes count via Schema.version)
         self.stats = StatisticsStore(self)  # cost-model input, write-side maintained
 
@@ -138,9 +140,9 @@ class Graph:
         self._ensure_capacity(node_id + 1)
         for lid in label_ids:
             self._label_matrix_for(lid).add(node_id, node_id)
-        for (lid, aid), index in self._indices.items():
-            if lid in label_ids and aid in props:
-                index.insert(props[aid], node_id)
+        for index in self._all_indexes():
+            if index.label_id in label_ids:
+                index.index_node(node_id, props)
         self.stats.node_created(label_ids)
         return Node(self, node_id)
 
@@ -158,9 +160,9 @@ class Graph:
             self.delete_edge(eid)
         for lid in record.labels:
             self._label_matrices[lid].delete(node_id, node_id)
-        for (lid, aid), index in self._indices.items():
-            if lid in record.labels and aid in record.props:
-                index.remove(record.props[aid], node_id)
+        for index in self._all_indexes():
+            if index.label_id in record.labels:
+                index.unindex_node(node_id, record.props)
         self._nodes.free(node_id)
         self._node_out.pop(node_id, None)
         self._node_in.pop(node_id, None)
@@ -276,17 +278,19 @@ class Graph:
     def set_node_property(self, node_id: int, key: str, value) -> None:
         record = self._nodes.get(node_id)
         aid = self.attrs.intern(key)
-        old = record.props.get(aid)
-        for (lid, iaid), index in self._indices.items():
-            if iaid == aid and lid in record.labels:
-                if aid in record.props:
-                    index.remove(old, node_id)
-                if value is not None:
-                    index.insert(value, node_id)
+        affected = [
+            index
+            for index in self._all_indexes()
+            if aid in index.attr_ids and index.label_id in record.labels
+        ]
+        for index in affected:
+            index.unindex_node(node_id, record.props)
         if value is None:
             record.props.pop(aid, None)
         else:
             record.props[aid] = value
+        for index in affected:
+            index.index_node(node_id, record.props)
 
     def add_label(self, node_id: int, label: str) -> None:
         record = self._nodes.get(node_id)
@@ -296,9 +300,9 @@ class Graph:
         record.labels = record.labels + (lid,)
         self._label_matrix_for(lid).add(node_id, node_id)
         self.stats.label_added(lid)
-        for (ilid, aid), index in self._indices.items():
-            if ilid == lid and aid in record.props:
-                index.insert(record.props[aid], node_id)
+        for index in self._all_indexes():
+            if index.label_id == lid:
+                index.index_node(node_id, record.props)
 
     def remove_label(self, node_id: int, label: str) -> bool:
         record = self._nodes.get(node_id)
@@ -308,9 +312,9 @@ class Graph:
         record.labels = tuple(l for l in record.labels if l != lid)
         self._label_matrices[lid].delete(node_id, node_id)
         self.stats.label_removed(lid)
-        for (ilid, aid), index in self._indices.items():
-            if ilid == lid and aid in record.props:
-                index.remove(record.props[aid], node_id)
+        for index in self._all_indexes():
+            if index.label_id == lid:
+                index.unindex_node(node_id, record.props)
         return True
 
     def nodes_with_label(self, label: str) -> np.ndarray:
@@ -501,18 +505,83 @@ class Graph:
     # ------------------------------------------------------------------
     # Indices
     # ------------------------------------------------------------------
-    def create_index(self, label: str, attribute: str) -> ExactMatchIndex:
+    def _all_indexes(self):
+        """Every secondary index of every kind (write-side maintenance)."""
+        yield from self._indices.values()
+        yield from self._composite_indices.values()
+        yield from self._vector_indices.values()
+
+    def _label_member_props(self, label: str) -> Tuple[List[int], List[Dict[int, Any]]]:
+        """(node ids, props dicts) of every node with ``label`` — the
+        backfill gather shared by all three index kinds."""
+        ids: List[int] = []
+        rows: List[Dict[int, Any]] = []
+        slots = self._nodes._slots
+        for nid in self.nodes_with_label(label):
+            ids.append(int(nid))
+            rows.append(slots[int(nid)].props)
+        return ids, rows
+
+    def create_index(self, label: str, attribute: str) -> RangeIndex:
         lid = self.schema.intern_label(label)
         aid = self.attrs.intern(attribute)
         key = (lid, aid)
         if key in self._indices:
             raise ConstraintViolation(f"index on :{label}({attribute}) already exists")
-        index = ExactMatchIndex(lid, aid)
-        for nid in self.nodes_with_label(label):
-            props = self._nodes.get(int(nid)).props
-            if aid in props:
-                index.insert(props[aid], int(nid))
+        index = RangeIndex(lid, aid, merge_threshold=self.config.index_merge_threshold)
+        ids, rows = self._label_member_props(label)
+        index.bulk_insert([row.get(aid) for row in rows], ids)
         self._indices[key] = index
+        self.bump_schema_version()
+        return index
+
+    def create_composite_index(self, label: str, attributes: Sequence[str]) -> CompositeIndex:
+        lid = self.schema.intern_label(label)
+        aids = tuple(self.attrs.intern(a) for a in attributes)
+        key = (lid, aids)
+        if len(set(aids)) != len(aids):
+            raise ConstraintViolation(
+                f"composite index on :{label} repeats an attribute: {tuple(attributes)}"
+            )
+        if key in self._composite_indices:
+            raise ConstraintViolation(
+                f"index on :{label}({', '.join(attributes)}) already exists"
+            )
+        index = CompositeIndex(lid, aids, merge_threshold=self.config.index_merge_threshold)
+        ids, rows = self._label_member_props(label)
+        index.bulk_insert(rows, ids)
+        self._composite_indices[key] = index
+        self.bump_schema_version()
+        return index
+
+    def create_vector_index(
+        self, label: str, attribute: str, options: Optional[Dict[str, Any]] = None
+    ) -> VectorIndex:
+        lid = self.schema.intern_label(label)
+        aid = self.attrs.intern(attribute)
+        key = (lid, aid)
+        if key in self._vector_indices:
+            raise ConstraintViolation(f"vector index on :{label}({attribute}) already exists")
+        opts = dict(options or {})
+        dim = opts.pop("dimension", opts.pop("dim", None))
+        similarity = opts.pop("similarity", "cosine")
+        if opts:
+            raise ConstraintViolation(f"unknown vector index options: {sorted(opts)}")
+        if dim is not None and (isinstance(dim, bool) or not isinstance(dim, int) or dim < 1):
+            raise ConstraintViolation("vector index dimension must be a positive integer")
+        try:
+            index = VectorIndex(
+                lid,
+                aid,
+                dim=dim,
+                similarity=similarity,
+                merge_threshold=self.config.index_merge_threshold,
+            )
+        except ValueError as exc:
+            raise ConstraintViolation(str(exc)) from None
+        ids, rows = self._label_member_props(label)
+        index.bulk_insert([row.get(aid) for row in rows], ids)
+        self._vector_indices[key] = index
         self.bump_schema_version()
         return index
 
@@ -526,8 +595,28 @@ class Graph:
             self.bump_schema_version()
         return removed
 
+    def drop_composite_index(self, label: str, attributes: Sequence[str]) -> bool:
+        lid = self.schema.label_id(label)
+        aids = tuple(self.attrs.lookup(a) for a in attributes)
+        if lid is None or any(a is None for a in aids):
+            return False
+        removed = self._composite_indices.pop((lid, aids), None) is not None
+        if removed:
+            self.bump_schema_version()
+        return removed
+
+    def drop_vector_index(self, label: str, attribute: str) -> bool:
+        lid = self.schema.label_id(label)
+        aid = self.attrs.lookup(attribute)
+        if lid is None or aid is None:
+            return False
+        removed = self._vector_indices.pop((lid, aid), None) is not None
+        if removed:
+            self.bump_schema_version()
+        return removed
+
     def index_specs(self) -> List[Tuple[str, str]]:
-        """Every existing index as (label name, attribute name) — the
+        """Every range index as (label name, attribute name) — the
         planner's :class:`~repro.execplan.compiled.PlanSchema` raw input.
         Called without the graph lock; the list() copy keeps a concurrent
         CREATE INDEX from failing this iteration mid-flight."""
@@ -536,12 +625,59 @@ class Graph:
             for lid, aid in list(self._indices)
         ]
 
-    def get_index(self, label: str, attribute: str) -> Optional[ExactMatchIndex]:
+    def composite_index_specs(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Every composite index as (label name, attribute-name tuple)."""
+        return [
+            (self.schema.label_name(lid), tuple(self.attrs.name_of(a) for a in aids))
+            for lid, aids in list(self._composite_indices)
+        ]
+
+    def vector_index_specs(self) -> List[Tuple[str, str, Dict[str, Any]]]:
+        """Every vector index as (label name, attribute name, options)."""
+        out = []
+        for (lid, aid), index in list(self._vector_indices.items()):
+            out.append(
+                (self.schema.label_name(lid), self.attrs.name_of(aid), index.options)
+            )
+        return out
+
+    def get_index(self, label: str, attribute: str) -> Optional[RangeIndex]:
         lid = self.schema.label_id(label)
         aid = self.attrs.lookup(attribute)
         if lid is None or aid is None:
             return None
         return self._indices.get((lid, aid))
+
+    def get_composite_index(
+        self, label: str, attributes: Sequence[str]
+    ) -> Optional[CompositeIndex]:
+        lid = self.schema.label_id(label)
+        aids = tuple(self.attrs.lookup(a) for a in attributes)
+        if lid is None or any(a is None for a in aids):
+            return None
+        return self._composite_indices.get((lid, aids))
+
+    def get_vector_index(self, label: str, attribute: str) -> Optional[VectorIndex]:
+        lid = self.schema.label_id(label)
+        aid = self.attrs.lookup(attribute)
+        if lid is None or aid is None:
+            return None
+        return self._vector_indices.get((lid, aid))
+
+    def index_catalog(self) -> List[Dict[str, Any]]:
+        """Every index of every kind, described for ``db.indexes``."""
+        out: List[Dict[str, Any]] = []
+        for index in self._all_indexes():
+            out.append(
+                {
+                    "label": self.schema.label_name(index.label_id),
+                    "properties": tuple(self.attrs.name_of(a) for a in index.attr_ids),
+                    "kind": index.kind,
+                    "size": len(index),
+                    "ndv": index.ndv(),
+                }
+            )
+        return out
 
     def __repr__(self) -> str:
         return (

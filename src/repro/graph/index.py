@@ -1,58 +1,843 @@
-"""Exact-match secondary indices over (label, attribute).
+"""Columnar secondary indexes: sorted-array range, composite, and vector.
 
-``CREATE INDEX ON :Person(name)`` builds one; the planner then rewrites
-``MATCH (n:Person {name: $x})`` from a label scan + filter into a direct
-index probe — the same optimization RedisGraph applies.
+Three index kinds share one maintenance surface (``index_node`` /
+``unindex_node`` / ``bulk_insert`` keyed by interned attribute ids):
+
+* :class:`RangeIndex` — the workhorse.  Keys live in sorted numpy arrays
+  parallel to an ``int64`` node-id array, one array pair per *type
+  family* (numbers, strings, booleans — kept separate so ``True``,
+  ``1`` and ``1.0`` can never alias, mirroring Cypher's comparison
+  rules where booleans and numbers are incomparable).  Writes land in a
+  small unsorted pending overlay (adds + deletes) merged back into the
+  sorted arrays on a write-side threshold — the same overlay discipline
+  as ``DeltaMatrix``.  Seeks (``=``, ``<``/``<=``/``>``/``>=``, closed
+  ranges, ``IN``, ``STARTS WITH`` prefixes) binary-search the sorted
+  arrays and linearly scan the bounded overlay, returning sorted unique
+  id batches.
+
+* :class:`CompositeIndex` — ordered attribute tuples encoded as
+  ``(family_rank, value)`` pairs in one sorted object array; equality
+  on any leading prefix of the attribute tuple is a binary-search slice
+  (the upper bound appends a top sentinel to the prefix).
+
+* :class:`VectorIndex` — an L2-normalized row-major ``float64`` matrix;
+  top-k is one matmul + sort, exact by construction (ties break toward
+  the lower node id).
+
+Indexing rules shared by all kinds: ``None`` is never indexed (Cypher
+null matches no predicate), and neither is ``NaN`` (it compares neither
+equal nor ordered against anything, so no seekable predicate can ever
+select it).
+
+Numeric keys are stored as ``float64`` sort keys *plus* the raw Python
+values: integers beyond 2**53 don't round-trip through ``float64``, so
+boundary runs whose float key could be imprecise are re-verified against
+the raw values.  Interior entries are safe because ``float`` is
+monotone: ``float(a) < float(b)`` implies ``a < b``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Set
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["ExactMatchIndex"]
+import numpy as np
+
+__all__ = [
+    "RangeIndex",
+    "CompositeIndex",
+    "VectorIndex",
+    "ExactMatchIndex",
+    "DEFAULT_MERGE_THRESHOLD",
+]
+
+_I64 = np.int64
+_EMPTY_IDS = np.empty(0, dtype=_I64)
+
+DEFAULT_MERGE_THRESHOLD = 512
+
+# Type families.  The ranks only matter inside composite keys, where
+# they impose one total order across otherwise-incomparable families.
+_F_BOOL, _F_NUM, _F_STR = 0, 1, 2
+
+# float64 represents every int in [-2**53, 2**53] exactly
+_EXACT_INT_BOUND = 2 ** 53
 
 
-class ExactMatchIndex:
-    """value → set of node ids, for one (label_id, attr_id) pair."""
+def _family_of(value: Any) -> Optional[int]:
+    """Type family of ``value``, or None when the value is unindexable
+    (null, NaN, containers, entities)."""
+    if isinstance(value, bool):
+        return _F_BOOL
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        return _F_NUM
+    if isinstance(value, str):
+        return _F_STR
+    return None
 
-    def __init__(self, label_id: int, attr_id: int) -> None:
-        self.label_id = label_id
-        self.attr_id = attr_id
-        self._map: Dict[Any, Set[int]] = {}
-        self._size = 0
 
-    def insert(self, value: Any, node_id: int) -> bool:
-        """Index the pair; returns whether an entry was actually added
-        (False for unindexable values and duplicates)."""
-        if not _indexable(value):
-            return False
-        bucket = self._map.setdefault(value, set())
-        if node_id not in bucket:
-            bucket.add(node_id)
-            self._size += 1
-            return True
+def _indexable(value: Any) -> bool:
+    return _family_of(value) is not None
+
+
+def _float_key(value: Any) -> float:
+    """float64 sort key for a numeric value; huge ints clamp to ±inf
+    (their boundary runs are raw-verified)."""
+    try:
+        return float(value)
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+def _fuzzy_key(fkey: float) -> bool:
+    """True when entries sharing this float key may differ as raw values
+    (big ints collapse onto one float), so the run needs raw checks."""
+    return not math.isfinite(fkey) or abs(fkey) >= _EXACT_INT_BOUND
+
+
+def _prefix_upper(prefix: str) -> Optional[str]:
+    """Smallest string greater than every string with ``prefix``; None
+    when no such string exists (all chars are U+10FFFF)."""
+    for i in range(len(prefix) - 1, -1, -1):
+        code = ord(prefix[i])
+        if code < 0x10FFFF:
+            return prefix[:i] + chr(code + 1)
+    return None
+
+
+class _FamilyStore:
+    """One type family of a :class:`RangeIndex`: sorted keys parallel to
+    node ids, plus the unsorted pending overlay."""
+
+    __slots__ = ("numeric", "keys", "raw", "ids", "adds", "dels")
+
+    def __init__(self, numeric: bool) -> None:
+        self.numeric = numeric
+        self.keys = np.empty(0, dtype=np.float64 if numeric else object)
+        # raw Python values parallel to keys (numeric family only; for
+        # strings/booleans the key IS the raw value)
+        self.raw = np.empty(0, dtype=object) if numeric else None
+        self.ids = _EMPTY_IDS
+        self.adds: List[Tuple[Any, Any, int]] = []  # (sort_key, raw, node_id)
+        self.dels: Set[int] = set()  # node ids removed from the sorted arrays
+
+    # -- write side --------------------------------------------------
+
+    def pending(self) -> int:
+        return len(self.adds) + len(self.dels)
+
+    def add(self, value: Any, nid: int) -> None:
+        key = _float_key(value) if self.numeric else value
+        self.adds.append((key, value, nid))
+
+    def discard_pending(self, nid: int) -> bool:
+        for i, (_k, _v, aid) in enumerate(self.adds):
+            if aid == nid:
+                del self.adds[i]
+                return True
         return False
 
+    def delete_from_base(self, value: Any, nid: int) -> bool:
+        """Mark the sorted-array entry for ``nid`` deleted; False when no
+        live entry with this key exists."""
+        if nid in self.dels:
+            return False
+        key = _float_key(value) if self.numeric else value
+        lo = int(np.searchsorted(self.keys, key, side="left"))
+        hi = int(np.searchsorted(self.keys, key, side="right"))
+        for i in range(lo, hi):
+            if int(self.ids[i]) == nid:
+                self.dels.add(nid)
+                return True
+        return False
+
+    def merge(self) -> None:
+        """Fold the pending overlay into the sorted arrays."""
+        if not self.adds and not self.dels:
+            return
+        keys, raw, ids = self.keys, self.raw, self.ids
+        if self.dels:
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            keep = ~np.isin(ids, dead)
+            keys, ids = keys[keep], ids[keep]
+            if self.numeric:
+                raw = raw[keep]
+        if self.adds:
+            akeys = np.array([k for k, _v, _n in self.adds], dtype=keys.dtype)
+            aids = np.array([n for _k, _v, n in self.adds], dtype=_I64)
+            keys = np.concatenate([keys, akeys])
+            ids = np.concatenate([ids, aids])
+            if self.numeric:
+                araw = np.empty(len(self.adds), dtype=object)
+                araw[:] = [v for _k, v, _n in self.adds]
+                raw = np.concatenate([raw, araw])
+            order = np.argsort(keys, kind="stable")
+            keys, ids = keys[order], ids[order]
+            if self.numeric:
+                raw = raw[order]
+        self.keys, self.raw, self.ids = keys, raw, ids
+        self.adds, self.dels = [], set()
+
+    def bulk_build(self, values: Sequence[Any], ids: Sequence[int]) -> None:
+        """Append many (value, id) pairs at once and re-sort (backfill)."""
+        self.merge()
+        count = len(values)
+        if not count:
+            return
+        if self.numeric:
+            akeys = np.fromiter(
+                (_float_key(v) for v in values), dtype=np.float64, count=count
+            )
+            araw = np.empty(count, dtype=object)
+            araw[:] = list(values)
+            keys = np.concatenate([self.keys, akeys])
+            raw = np.concatenate([self.raw, araw])
+        else:
+            akeys = np.empty(count, dtype=object)
+            akeys[:] = list(values)
+            keys = np.concatenate([self.keys, akeys])
+            raw = None
+        aids = np.asarray(ids, dtype=_I64)
+        all_ids = np.concatenate([self.ids, aids])
+        order = np.argsort(keys, kind="stable")
+        self.keys, self.ids = keys[order], all_ids[order]
+        if self.numeric:
+            self.raw = raw[order]
+
+    # -- read side ---------------------------------------------------
+
+    def _raw_at(self, i: int) -> Any:
+        return self.raw[i] if self.numeric else self.keys[i]
+
+    def seek(self, lo: Any, lo_strict: bool, hi: Any, hi_strict: bool) -> np.ndarray:
+        """Node ids whose value satisfies both bounds (None = unbounded).
+        Bounds must already be in this family; boundary runs with
+        imprecise float keys are re-checked with exact Python
+        comparisons on the raw values."""
+
+        def in_range(v: Any) -> bool:
+            if lo is not None and not (v > lo if lo_strict else v >= lo):
+                return False
+            if hi is not None and not (v < hi if hi_strict else v <= hi):
+                return False
+            return True
+
+        keys = self.keys
+        n = len(keys)
+        start, stop = 0, n
+        fuzzy_runs: List[Tuple[int, int]] = []
+        if self.numeric:
+            if lo is not None:
+                flo = _float_key(lo)
+                if _fuzzy_key(flo):
+                    left = int(np.searchsorted(keys, flo, side="left"))
+                    right = int(np.searchsorted(keys, flo, side="right"))
+                    fuzzy_runs.append((left, right))
+                    start = right
+                else:
+                    start = int(
+                        np.searchsorted(keys, flo, side="right" if lo_strict else "left")
+                    )
+            if hi is not None:
+                fhi = _float_key(hi)
+                if _fuzzy_key(fhi):
+                    left = int(np.searchsorted(keys, fhi, side="left"))
+                    right = int(np.searchsorted(keys, fhi, side="right"))
+                    fuzzy_runs.append((left, right))
+                    stop = min(stop, left)
+                else:
+                    stop = min(
+                        stop,
+                        int(np.searchsorted(keys, fhi, side="left" if hi_strict else "right")),
+                    )
+        else:
+            if lo is not None:
+                start = int(np.searchsorted(keys, lo, side="right" if lo_strict else "left"))
+            if hi is not None:
+                stop = int(np.searchsorted(keys, hi, side="left" if hi_strict else "right"))
+        stop = max(stop, start)
+        hits = [self.ids[start:stop]]
+        seen: Set[int] = set()
+        for left, right in fuzzy_runs:
+            for i in range(left, right):
+                if (start <= i < stop) or i in seen:
+                    continue
+                seen.add(i)
+                if in_range(self._raw_at(i)):
+                    hits.append(self.ids[i : i + 1])
+        base = np.concatenate(hits) if len(hits) > 1 else hits[0]
+        if self.dels and len(base):
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            base = base[~np.isin(base, dead)]
+        if self.adds:
+            extra = [nid for _k, v, nid in self.adds if in_range(v)]
+            if extra:
+                base = np.concatenate([base, np.asarray(extra, dtype=_I64)])
+        return np.unique(base)
+
+    def seek_prefix(self, prefix: str) -> np.ndarray:
+        upper = _prefix_upper(prefix)
+        keys = self.keys
+        start = int(np.searchsorted(keys, prefix, side="left"))
+        stop = len(keys) if upper is None else int(np.searchsorted(keys, upper, side="left"))
+        base = self.ids[start : max(stop, start)]
+        if self.dels and len(base):
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            base = base[~np.isin(base, dead)]
+        extra = [nid for _k, v, nid in self.adds if v.startswith(prefix)]
+        if extra:
+            base = np.concatenate([base, np.asarray(extra, dtype=_I64)])
+        return np.unique(base)
+
+    def distinct_keys(self) -> int:
+        base = len(np.unique(self.keys)) if len(self.keys) else 0
+        return base + len(self.adds)
+
+
+class RangeIndex:
+    """Sorted-array range index over one ``:Label(attribute)`` pair.
+
+    Serves equality, one- and two-sided ranges, ``IN`` lists and string
+    prefixes as sorted unique node-id batches.  ``lookup`` keeps the
+    historical exact-match surface (a ``set`` of ids).
+    """
+
+    kind = "range"
+
+    __slots__ = ("label_id", "attr_id", "_fams", "_size", "_threshold")
+
+    def __init__(
+        self,
+        label_id: int = -1,
+        attr_id: int = -1,
+        merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+    ) -> None:
+        self.label_id = label_id
+        self.attr_id = attr_id
+        self._fams: Dict[int, _FamilyStore] = {}
+        self._size = 0
+        self._threshold = max(1, merge_threshold)
+
+    @property
+    def attr_ids(self) -> Tuple[int, ...]:
+        return (self.attr_id,)
+
+    def _fam(self, family: int) -> _FamilyStore:
+        store = self._fams.get(family)
+        if store is None:
+            store = self._fams[family] = _FamilyStore(numeric=(family == _F_NUM))
+        return store
+
+    # -- write side --------------------------------------------------
+
+    def insert(self, value: Any, node_id: int) -> bool:
+        family = _family_of(value)
+        if family is None:
+            return False
+        store = self._fam(family)
+        store.add(value, int(node_id))
+        self._size += 1
+        if store.pending() >= self._threshold:
+            store.merge()
+        return True
+
     def remove(self, value: Any, node_id: int) -> None:
-        bucket = self._map.get(value)
-        if bucket and node_id in bucket:
-            bucket.discard(node_id)
+        family = _family_of(value)
+        if family is None:
+            return
+        store = self._fams.get(family)
+        if store is None:
+            return
+        nid = int(node_id)
+        if store.discard_pending(nid) or store.delete_from_base(value, nid):
             self._size -= 1
-            if not bucket:
-                del self._map[value]
+            if store.pending() >= self._threshold:
+                store.merge()
+
+    def index_node(self, node_id: int, props: Dict[int, Any]) -> bool:
+        value = props.get(self.attr_id)
+        return value is not None and self.insert(value, node_id)
+
+    def unindex_node(self, node_id: int, props: Dict[int, Any]) -> None:
+        value = props.get(self.attr_id)
+        if value is not None:
+            self.remove(value, node_id)
+
+    def bulk_insert(self, values: Sequence[Any], ids: Sequence[int]) -> int:
+        """Vectorized backfill: classify into families, append, one sort."""
+        buckets: Dict[int, Tuple[List[Any], List[int]]] = {}
+        for value, nid in zip(values, ids):
+            family = _family_of(value)
+            if family is None:
+                continue
+            vals, nids = buckets.setdefault(family, ([], []))
+            vals.append(value)
+            nids.append(int(nid))
+        added = 0
+        for family, (vals, nids) in buckets.items():
+            self._fam(family).bulk_build(vals, nids)
+            added += len(vals)
+        self._size += added
+        return added
+
+    def merge(self) -> None:
+        for store in self._fams.values():
+            store.merge()
+
+    # -- read side ---------------------------------------------------
+
+    def seek_eq(self, value: Any) -> np.ndarray:
+        family = _family_of(value)
+        if family is None:
+            return _EMPTY_IDS
+        store = self._fams.get(family)
+        if store is None:
+            return _EMPTY_IDS
+        return store.seek(value, False, value, False)
+
+    def seek_range(self, lo: Any, lo_strict: bool, hi: Any, hi_strict: bool) -> np.ndarray:
+        """Both bounds optional; bounds of different families (or an
+        unindexable bound) select nothing — Cypher orders values only
+        within a type family."""
+        fams = set()
+        for bound in (lo, hi):
+            if bound is None:
+                continue
+            family = _family_of(bound)
+            if family is None:
+                return _EMPTY_IDS
+            fams.add(family)
+        if len(fams) != 1:
+            return _EMPTY_IDS
+        store = self._fams.get(fams.pop())
+        if store is None:
+            return _EMPTY_IDS
+        return store.seek(lo, lo_strict, hi, hi_strict)
+
+    def seek_cmp(self, op: str, value: Any) -> np.ndarray:
+        if op == "=":
+            return self.seek_eq(value)
+        if op == "<":
+            return self.seek_range(None, False, value, True)
+        if op == "<=":
+            return self.seek_range(None, False, value, False)
+        if op == ">":
+            return self.seek_range(value, True, None, False)
+        if op == ">=":
+            return self.seek_range(value, False, None, False)
+        raise ValueError(f"unsupported seek operator {op!r}")
+
+    def seek_prefix(self, prefix: Any) -> np.ndarray:
+        if not isinstance(prefix, str):
+            return _EMPTY_IDS
+        store = self._fams.get(_F_STR)
+        if store is None:
+            return _EMPTY_IDS
+        return store.seek_prefix(prefix)
+
+    def seek_in(self, values: Iterable[Any]) -> np.ndarray:
+        hits = [self.seek_eq(v) for v in values]
+        hits = [h for h in hits if len(h)]
+        if not hits:
+            return _EMPTY_IDS
+        return np.unique(np.concatenate(hits))
 
     def lookup(self, value: Any) -> Set[int]:
-        if not _indexable(value):
-            return set()
-        return set(self._map.get(value, ()))
+        """Exact-match probe as a set of node ids (historical surface)."""
+        return set(int(i) for i in self.seek_eq(value))
+
+    # -- introspection -----------------------------------------------
 
     def __len__(self) -> int:
         return self._size
 
+    def ndv(self) -> int:
+        """Approximate number of distinct keys (pending adds counted as
+        distinct; never forces a merge, so it is read-safe)."""
+        if not self._size:
+            return 0
+        return max(1, sum(s.distinct_keys() for s in self._fams.values()))
+
+    def numeric_sample(self, k: int = 64) -> Optional[np.ndarray]:
+        """Up to ``k`` evenly spaced sorted float keys from the numeric
+        family — the cost model's rank-query material."""
+        store = self._fams.get(_F_NUM)
+        if store is None or not len(store.keys):
+            return None
+        n = len(store.keys)
+        take = np.linspace(0, n - 1, num=min(k, n)).astype(np.int64)
+        return store.keys[take].astype(np.float64)
+
     def __repr__(self) -> str:
-        return f"<ExactMatchIndex label={self.label_id} attr={self.attr_id} entries={self._size}>"
+        return f"<RangeIndex label={self.label_id} attr={self.attr_id} entries={self._size}>"
 
 
-def _indexable(value: Any) -> bool:
-    """Lists/maps are not hashable index keys (same restriction as Redis)."""
-    return isinstance(value, (str, int, float, bool)) or value is None
+# Historical name: the dict-based exact-match index this module replaced.
+ExactMatchIndex = RangeIndex
+
+
+class _Top:
+    """Sorts above every composite key element — the exclusive upper
+    bound of a prefix-equality slice."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return 0x70F0
+
+
+_TOP = _Top()
+
+
+def _enc_value(value: Any) -> Optional[Tuple[int, Any]]:
+    """Encode one composite key element as ``(family_rank, value)`` —
+    totally ordered across families, exact within them (numbers stay
+    raw ints/floats, so no float64 precision loss)."""
+    family = _family_of(value)
+    if family is None:
+        return None
+    if family == _F_BOOL:
+        return (_F_BOOL, 1 if value else 0)
+    return (family, value)
+
+
+def _tuple_search(keys: np.ndarray, key: Tuple, side: str) -> int:
+    """searchsorted for one tuple key in an object array — the tuple must
+    be boxed, or numpy unpacks it into several probe values."""
+    probe = np.empty(1, dtype=object)
+    probe[0] = key
+    return int(np.searchsorted(keys, probe, side=side)[0])
+
+
+class CompositeIndex:
+    """Sorted index over an ordered attribute tuple; equality on any
+    leading prefix of the tuple is one binary-search slice.  A node is
+    indexed under its longest indexable *prefix* of the attribute tuple
+    (nothing if the first attribute is missing), so a width-``w`` prefix
+    seek finds exactly the nodes whose first ``w`` attributes match —
+    including nodes that lack the trailing attributes."""
+
+    kind = "composite"
+
+    __slots__ = ("label_id", "attr_ids", "keys", "ids", "adds", "dels", "_size", "_threshold")
+
+    def __init__(
+        self,
+        label_id: int,
+        attr_ids: Tuple[int, ...],
+        merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+    ) -> None:
+        self.label_id = label_id
+        self.attr_ids = tuple(attr_ids)
+        self.keys = np.empty(0, dtype=object)  # sorted encoded tuples
+        self.ids = _EMPTY_IDS
+        self.adds: List[Tuple[Tuple, int]] = []
+        self.dels: Set[int] = set()
+        self._size = 0
+        self._threshold = max(1, merge_threshold)
+
+    def _encode(self, props: Dict[int, Any]) -> Optional[Tuple]:
+        key: List[Tuple[int, Any]] = []
+        for aid in self.attr_ids:
+            enc = _enc_value(props.get(aid))
+            if enc is None:
+                break
+            key.append(enc)
+        return tuple(key) if key else None
+
+    # -- write side --------------------------------------------------
+
+    def index_node(self, node_id: int, props: Dict[int, Any]) -> bool:
+        key = self._encode(props)
+        if key is None:
+            return False
+        self.adds.append((key, int(node_id)))
+        self._size += 1
+        self._maybe_merge()
+        return True
+
+    def unindex_node(self, node_id: int, props: Dict[int, Any]) -> None:
+        key = self._encode(props)
+        if key is None:
+            return
+        nid = int(node_id)
+        for i, (_k, aid) in enumerate(self.adds):
+            if aid == nid:
+                del self.adds[i]
+                self._size -= 1
+                return
+        if nid in self.dels:
+            return
+        lo = _tuple_search(self.keys, key, "left")
+        hi = _tuple_search(self.keys, key, "right")
+        for i in range(lo, hi):
+            if int(self.ids[i]) == nid:
+                self.dels.add(nid)
+                self._size -= 1
+                self._maybe_merge()
+                return
+
+    def bulk_insert(self, rows: Sequence[Dict[int, Any]], ids: Sequence[int]) -> int:
+        keys: List[Tuple] = []
+        nids: List[int] = []
+        for props, nid in zip(rows, ids):
+            key = self._encode(props)
+            if key is not None:
+                keys.append(key)
+                nids.append(int(nid))
+        if not keys:
+            return 0
+        self.merge()
+        akeys = np.empty(len(keys), dtype=object)
+        akeys[:] = keys
+        all_keys = np.concatenate([self.keys, akeys])
+        all_ids = np.concatenate([self.ids, np.asarray(nids, dtype=_I64)])
+        order = np.argsort(all_keys, kind="stable")
+        self.keys, self.ids = all_keys[order], all_ids[order]
+        self._size += len(keys)
+        return len(keys)
+
+    def _maybe_merge(self) -> None:
+        if len(self.adds) + len(self.dels) >= self._threshold:
+            self.merge()
+
+    def merge(self) -> None:
+        if not self.adds and not self.dels:
+            return
+        keys, ids = self.keys, self.ids
+        if self.dels:
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            keep = ~np.isin(ids, dead)
+            keys, ids = keys[keep], ids[keep]
+        if self.adds:
+            akeys = np.empty(len(self.adds), dtype=object)
+            akeys[:] = [k for k, _n in self.adds]
+            aids = np.asarray([n for _k, n in self.adds], dtype=_I64)
+            keys = np.concatenate([keys, akeys])
+            ids = np.concatenate([ids, aids])
+            order = np.argsort(keys, kind="stable")
+            keys, ids = keys[order], ids[order]
+        self.keys, self.ids = keys, ids
+        self.adds, self.dels = [], set()
+
+    # -- read side ---------------------------------------------------
+
+    def seek_prefix_eq(self, values: Sequence[Any]) -> np.ndarray:
+        """Ids of nodes equal on the leading ``len(values)`` attributes.
+        Any unindexable probe value selects nothing."""
+        if not values or len(values) > len(self.attr_ids):
+            return _EMPTY_IDS
+        prefix: List[Tuple[int, Any]] = []
+        for value in values:
+            enc = _enc_value(value)
+            if enc is None:
+                return _EMPTY_IDS
+            prefix.append(enc)
+        lo_key = tuple(prefix)
+        hi_key = tuple(prefix) + (_TOP,)
+        start = _tuple_search(self.keys, lo_key, "left")
+        stop = _tuple_search(self.keys, hi_key, "left")
+        base = self.ids[start : max(stop, start)]
+        if self.dels and len(base):
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            base = base[~np.isin(base, dead)]
+        if self.adds:
+            width = len(lo_key)
+            extra = [nid for key, nid in self.adds if key[:width] == lo_key]
+            if extra:
+                base = np.concatenate([base, np.asarray(extra, dtype=_I64)])
+        return np.unique(base)
+
+    # -- introspection -----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def ndv(self) -> int:
+        if not self._size:
+            return 0
+        base = len(np.unique(self.keys)) if len(self.keys) else 0
+        return max(1, base + len(self.adds))
+
+    def __repr__(self) -> str:
+        return f"<CompositeIndex label={self.label_id} attrs={self.attr_ids} entries={self._size}>"
+
+
+class VectorIndex:
+    """Brute-force cosine top-k over an L2-normalized float64 matrix.
+
+    Values are lists of finite numbers with the configured dimension;
+    anything else is simply not indexed.  ``query`` is one matmul plus a
+    sort — exact, with ties broken toward the lower node id."""
+
+    kind = "vector"
+
+    __slots__ = (
+        "label_id",
+        "attr_id",
+        "dim",
+        "similarity",
+        "_mat",
+        "_ids",
+        "adds",
+        "dels",
+        "_threshold",
+    )
+
+    def __init__(
+        self,
+        label_id: int,
+        attr_id: int,
+        dim: Optional[int] = None,
+        similarity: str = "cosine",
+        merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+    ) -> None:
+        if similarity != "cosine":
+            raise ValueError(f"unsupported vector similarity {similarity!r}")
+        self.label_id = label_id
+        self.attr_id = attr_id
+        self.dim = int(dim) if dim is not None else None
+        self.similarity = similarity
+        self._mat = np.empty((0, self.dim or 0), dtype=np.float64)
+        self._ids = _EMPTY_IDS
+        self.adds: List[Tuple[int, np.ndarray]] = []
+        self.dels: Set[int] = set()
+        self._threshold = max(1, merge_threshold)
+
+    @property
+    def attr_ids(self) -> Tuple[int, ...]:
+        return (self.attr_id,)
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        return {"dimension": self.dim, "similarity": self.similarity}
+
+    def _coerce(self, value: Any) -> Optional[np.ndarray]:
+        if not isinstance(value, (list, tuple)) or not value:
+            return None
+        for v in value:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return None
+        vec = np.asarray(value, dtype=np.float64)
+        if not np.all(np.isfinite(vec)):
+            return None
+        if self.dim is None:
+            self.dim = len(vec)
+            self._mat = np.empty((0, self.dim), dtype=np.float64)
+        if len(vec) != self.dim:
+            return None
+        norm = float(np.linalg.norm(vec))
+        return vec / norm if norm > 0.0 else vec
+
+    # -- write side --------------------------------------------------
+
+    def index_node(self, node_id: int, props: Dict[int, Any]) -> bool:
+        vec = self._coerce(props.get(self.attr_id))
+        if vec is None:
+            return False
+        self.adds.append((int(node_id), vec))
+        self._maybe_merge()
+        return True
+
+    def unindex_node(self, node_id: int, props: Dict[int, Any]) -> None:
+        nid = int(node_id)
+        for i, (aid, _v) in enumerate(self.adds):
+            if aid == nid:
+                del self.adds[i]
+                return
+        if len(self._ids) and nid not in self.dels and bool(np.any(self._ids == nid)):
+            self.dels.add(nid)
+            self._maybe_merge()
+
+    def bulk_insert(self, values: Sequence[Any], ids: Sequence[int]) -> int:
+        added = 0
+        for value, nid in zip(values, ids):
+            vec = self._coerce(value)
+            if vec is not None:
+                self.adds.append((int(nid), vec))
+                added += 1
+        self.merge()
+        return added
+
+    def _maybe_merge(self) -> None:
+        if len(self.adds) + len(self.dels) >= self._threshold:
+            self.merge()
+
+    def merge(self) -> None:
+        if not self.adds and not self.dels:
+            return
+        mat, ids = self._mat, self._ids
+        if self.dels:
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            keep = ~np.isin(ids, dead)
+            mat, ids = mat[keep], ids[keep]
+        if self.adds:
+            amat = np.vstack([v for _n, v in self.adds])
+            aids = np.asarray([n for n, _v in self.adds], dtype=_I64)
+            mat = np.vstack([mat, amat]) if len(ids) else amat
+            ids = np.concatenate([ids, aids])
+        self._mat, self._ids = mat, ids
+        self.adds, self.dels = [], set()
+
+    # -- read side ---------------------------------------------------
+
+    def query(self, vector: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` (node_ids, cosine_scores), score-descending with
+        node-id tie-break.  Raises ValueError on a malformed query
+        vector."""
+        if self.dim is None:
+            return _EMPTY_IDS, np.empty(0, dtype=np.float64)
+        if not isinstance(vector, (list, tuple)) or len(vector) != self.dim:
+            raise ValueError(f"query vector must be a list of {self.dim} numbers")
+        for v in vector:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ValueError("query vector must contain only numbers")
+        q = np.asarray(vector, dtype=np.float64)
+        if not np.all(np.isfinite(q)):
+            raise ValueError("query vector must be finite")
+        norm = float(np.linalg.norm(q))
+        if norm > 0.0:
+            q = q / norm
+        mat, ids = self._mat, self._ids
+        if self.dels and len(ids):
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            keep = ~np.isin(ids, dead)
+            mat, ids = mat[keep], ids[keep]
+        if self.adds:
+            amat = np.vstack([v for _n, v in self.adds])
+            aids = np.asarray([n for n, _v in self.adds], dtype=_I64)
+            mat = np.vstack([mat, amat]) if len(ids) else amat
+            ids = np.concatenate([ids, aids])
+        if not len(ids) or k <= 0:
+            return _EMPTY_IDS, np.empty(0, dtype=np.float64)
+        scores = mat @ q
+        order = np.lexsort((ids, -scores))[: int(k)]
+        return ids[order].astype(_I64), scores[order]
+
+    # -- introspection -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids) - len(self.dels) + len(self.adds)
+
+    def ndv(self) -> int:
+        return len(self)
+
+    def __repr__(self) -> str:
+        return f"<VectorIndex label={self.label_id} attr={self.attr_id} entries={len(self)}>"

@@ -73,7 +73,6 @@ from repro.graph.config import GraphConfig
 from repro.graph.datablock import DataBlock
 from repro.graph.delta_matrix import DeltaMatrix
 from repro.graph.graph import Graph, _EdgeRecord, _NodeRecord
-from repro.graph.index import ExactMatchIndex
 from repro.grblas import Matrix
 from repro.grblas.types import BOOL
 
@@ -163,6 +162,13 @@ def capture_snapshot(graph: Graph, *, lock: bool = True) -> GraphSnapshot:
         "reltypes": graph.schema.reltypes(),
         "attributes": [graph.attrs.name_of(i) for i in range(len(graph.attrs))],
         "indices": [[lid, aid] for (lid, aid) in graph._indices],
+        "composite_indices": [
+            [lid, list(aids)] for (lid, aids) in graph._composite_indices
+        ],
+        "vector_indices": [
+            [lid, aid, index.options]
+            for (lid, aid), index in graph._vector_indices.items()
+        ],
         "node_slots": graph._nodes.capacity,
         "edge_slots": graph._edges.capacity,
     }
@@ -331,13 +337,22 @@ def _load_v2(data, meta: Dict[str, Any]) -> Graph:
     graph._node_in = _group_sets(e_dst, eids)
     graph._edge_map = _group_edge_map(e_src, e_dst, e_rel, eids)
 
-    # indices: vectorized backfill from the decoded property columns
-    if meta["indices"]:
-        owners_arr = np.asarray(n_owner, dtype=_I64)
-        aids_arr = np.asarray(n_aid, dtype=_I64)
-        for lid, aid in meta["indices"]:
-            _backfill_index(graph, int(lid), int(aid), owners_arr, aids_arr, n_val)
-        graph.bump_schema_version()
+    # indices: rebuilt through the normal create paths, whose bulk
+    # backfill reads the just-restored records — one sort per index, and
+    # the same indexability rules as live maintenance by construction
+    for lid, aid in meta["indices"]:
+        graph.create_index(
+            graph.schema.label_name(int(lid)), graph.attrs.name_of(int(aid))
+        )
+    for lid, aids in meta.get("composite_indices", ()):
+        graph.create_composite_index(
+            graph.schema.label_name(int(lid)),
+            [graph.attrs.name_of(int(a)) for a in aids],
+        )
+    for lid, aid, options in meta.get("vector_indices", ()):
+        graph.create_vector_index(
+            graph.schema.label_name(int(lid)), graph.attrs.name_of(int(aid)), options
+        )
 
     # statistics: one vectorized rebuild; WAL replay (which runs through
     # the normal write paths) keeps them maintained from here on
@@ -416,36 +431,6 @@ def _group_edge_map(
         start, end = bounds[i], bounds[i + 1]
         out[(ss_l[start], sd_l[start], sr_l[start])] = se_l[start:end]
     return out
-
-
-def _backfill_index(
-    graph: Graph,
-    lid: int,
-    aid: int,
-    owners: np.ndarray,
-    aids: np.ndarray,
-    values: List[Any],
-) -> None:
-    """Rebuild one exact-match index from the decoded property columns:
-    the candidate set is computed vectorized (attribute match ∩ label
-    membership); only actual insertions loop."""
-    index = ExactMatchIndex(lid, aid)
-    members = graph._label_matrix_for(lid)._base.indices  # diagonal CSR: node ids
-    mask = (aids == aid) & np.isin(owners, members)
-    hit_owners = owners[mask].tolist()
-    buckets = index._map
-    size = 0
-    for pos, owner in zip(np.flatnonzero(mask).tolist(), hit_owners):
-        value = values[pos]
-        # (owner, aid) pairs are unique, so no duplicate probe is needed —
-        # fill the buckets directly instead of one insert() call per node.
-        # The indexability test must match ExactMatchIndex._indexable
-        # exactly (None included) or restored indexes diverge from live.
-        if value is None or isinstance(value, (str, int, float, bool)):
-            buckets.setdefault(value, set()).add(owner)
-            size += 1
-    index._size = size
-    graph._indices[(lid, aid)] = index
 
 
 # ---------------------------------------------------------------------------
@@ -577,6 +562,13 @@ def save_graph_v1(graph: Graph, target: Union[str, Path, BinaryIO]) -> None:
         "reltypes": graph.schema.reltypes(),
         "attributes": [graph.attrs.name_of(i) for i in range(len(graph.attrs))],
         "indices": [[lid, aid] for (lid, aid) in graph._indices],
+        "composite_indices": [
+            [lid, list(aids)] for (lid, aids) in graph._composite_indices
+        ],
+        "vector_indices": [
+            [lid, aid, index.options]
+            for (lid, aid), index in graph._vector_indices.items()
+        ],
         "nodes": nodes,
         "edges": edges,
         "node_slots": graph._nodes.capacity,
@@ -655,6 +647,14 @@ def _load_v1(data, meta: Dict[str, Any]) -> Graph:
         label = graph.schema.label_name(lid)
         attr = graph.attrs.name_of(aid)
         graph.create_index(label, attr)
+    for lid, aids in meta.get("composite_indices", ()):
+        graph.create_composite_index(
+            graph.schema.label_name(lid), [graph.attrs.name_of(a) for a in aids]
+        )
+    for lid, aid, options in meta.get("vector_indices", ()):
+        graph.create_vector_index(
+            graph.schema.label_name(lid), graph.attrs.name_of(aid), options
+        )
     graph.stats.rebuild()
     return graph
 

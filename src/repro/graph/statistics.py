@@ -154,6 +154,7 @@ class GraphStatistics:
         "label_counts",
         "rels",
         "indexes",
+        "index_details",
     )
 
     def __init__(
@@ -165,6 +166,7 @@ class GraphStatistics:
         label_counts: Mapping[str, int],
         rels: Mapping[str, RelTypeStats],
         indexes: Mapping[Tuple[str, str], Tuple[int, int]],
+        index_details: Optional[Mapping[Tuple[str, Tuple[str, ...], str], dict]] = None,
     ) -> None:
         self.epoch = epoch
         self.schema_version = schema_version
@@ -173,6 +175,10 @@ class GraphStatistics:
         self.label_counts = dict(label_counts)
         self.rels = dict(rels)
         self.indexes = dict(indexes)  # (label, attr) -> (size, ndv)
+        # (label, attr-name tuple, kind) -> {"size", "ndv", "sample"}
+        # where sample is a sorted float64 array of numeric range-index
+        # keys (the cost model's rank-query material), or None
+        self.index_details = dict(index_details or {})
 
     def __repr__(self) -> str:
         return (
@@ -343,9 +349,22 @@ class StatisticsStore:
                 tuple(rel.in_hist),
             )
         indexes = {
-            (schema.label_name(lid), graph.attrs.name_of(aid)): (len(index), len(index._map))
+            (schema.label_name(lid), graph.attrs.name_of(aid)): (len(index), index.ndv())
             for (lid, aid), index in graph._indices.items()
         }
+        index_details = {}
+        for index in graph._all_indexes():
+            key = (
+                schema.label_name(index.label_id),
+                tuple(graph.attrs.name_of(a) for a in index.attr_ids),
+                index.kind,
+            )
+            sample = index.numeric_sample() if index.kind == "range" else None
+            index_details[key] = {
+                "size": len(index),
+                "ndv": index.ndv(),
+                "sample": sample,
+            }
         return GraphStatistics(
             epoch=self.epoch,
             schema_version=graph.schema_version,
@@ -354,6 +373,7 @@ class StatisticsStore:
             label_counts=label_counts,
             rels=rels,
             indexes=indexes,
+            index_details=index_details,
         )
 
     # ------------------------------------------------------------------

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
-from repro.procedures.registry import ProcCol, Procedure, registry
+from repro.errors import CypherTypeError
+from repro.procedures.registry import ProcArg, ProcCol, Procedure, registry
 
 __all__ = ["register_builtin_procedures"]
 
@@ -29,12 +30,27 @@ def _property_keys(graph) -> Sequence[Sequence[Any]]:
 
 
 def _indexes(graph) -> Sequence[Sequence[Any]]:
-    specs = sorted(graph.index_specs())
+    rows = sorted(
+        graph.index_catalog(), key=lambda r: (r["label"], r["properties"], r["kind"])
+    )
     return [
-        [label for label, _ in specs],
-        [prop for _, prop in specs],
-        ["exact-match"] * len(specs),
+        [r["label"] for r in rows],
+        [", ".join(r["properties"]) for r in rows],
+        [r["kind"] for r in rows],
+        [r["size"] for r in rows],
+        [r["ndv"] for r in rows],
     ]
+
+
+def _vector_query(graph, label: str, attribute: str, query, k: int) -> Sequence[Sequence[Any]]:
+    index = graph.get_vector_index(label, attribute)
+    if index is None:
+        raise CypherTypeError(f"no vector index on :{label}({attribute})")
+    try:
+        ids, scores = index.query(query, k)
+    except ValueError as exc:
+        raise CypherTypeError(f"db.idx.vector.query: {exc}") from None
+    return [ids, scores]
 
 
 def _procedures(graph) -> Sequence[Sequence[Any]]:
@@ -84,10 +100,33 @@ def register_builtin_procedures() -> None:
                 ProcCol("label", "string"),
                 ProcCol("property", "string"),
                 ProcCol("type", "string"),
+                ProcCol("size", "integer"),
+                ProcCol("ndv", "integer"),
             ),
             fn=_indexes,
             cardinality=4.0,
-            description="Every secondary index as (label, property, type).",
+            description=(
+                "Every secondary index as (label, property, type, size, ndv); "
+                "type is the index kind (range, composite, vector)."
+            ),
+        )
+    )
+    registry.register(
+        Procedure(
+            name="db.idx.vector.query",
+            args=(
+                ProcArg("label", "string"),
+                ProcArg("attribute", "string"),
+                ProcArg("query", "any"),
+                ProcArg("k", "integer"),
+            ),
+            yields=(ProcCol("node", "node"), ProcCol("score", "float")),
+            fn=_vector_query,
+            cardinality=16.0,
+            description=(
+                "Brute-force top-k cosine similarity over a vector index, "
+                "streamed as (node, score) rows with score descending."
+            ),
         )
     )
     registry.register(

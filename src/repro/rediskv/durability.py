@@ -103,10 +103,23 @@ class DurabilityManager:
     def log_query(self, key: str, text: str, params: Optional[Dict[str, Any]]) -> None:
         self._append(key, {"kind": "query", "key": key, "text": text, "params": params or {}})
 
-    def log_index(self, key: str, op: str, label: str, attribute: str) -> None:
-        self._append(
-            key, {"kind": f"index.{op}", "key": key, "label": label, "attribute": attribute}
-        )
+    def log_index(
+        self,
+        key: str,
+        op: str,
+        label: str,
+        attribute: str,
+        itype: str = "range",
+        attributes: Optional[list] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        record = {"kind": f"index.{op}", "key": key, "label": label, "attribute": attribute}
+        if itype != "range":
+            record["itype"] = itype
+            record["attrs"] = list(attributes or [attribute])
+            if options:
+                record["options"] = dict(options)
+        self._append(key, record)
 
     def log_bulk(self, key: str, payload: Dict[str, list]) -> None:
         self._append(key, {"kind": "bulk", "key": key, "payload": payload})
@@ -257,12 +270,28 @@ class DurabilityManager:
                 payload = record.get("payload", {})
                 db.bulk_insert(payload.get("nodes", ()), payload.get("edges", ()))
             elif kind == "index.create":
+                # records written before composite/vector indexes existed
+                # carry no "itype" and replay as plain range indexes
+                itype = record.get("itype", "range")
                 try:
-                    db.graph.create_index(record["label"], record["attribute"])
+                    if itype == "vector":
+                        db.graph.create_vector_index(
+                            record["label"], record["attribute"], record.get("options")
+                        )
+                    elif itype == "composite":
+                        db.graph.create_composite_index(record["label"], record["attrs"])
+                    else:
+                        db.graph.create_index(record["label"], record["attribute"])
                 except ConstraintViolation:
                     pass  # replay after a snapshot that already has it
             elif kind == "index.drop":
-                db.graph.drop_index(record["label"], record["attribute"])
+                itype = record.get("itype", "range")
+                if itype == "vector":
+                    db.graph.drop_vector_index(record["label"], record["attribute"])
+                elif itype == "composite":
+                    db.graph.drop_composite_index(record["label"], record["attrs"])
+                else:
+                    db.graph.drop_index(record["label"], record["attribute"])
             else:  # pragma: no cover - future record kind
                 continue
             stats["replayed"] += 1

@@ -226,18 +226,26 @@ class GraphModule:
         drop statements get first-class record kinds (replayed against
         the graph directly — no recompilation); everything else logs as
         a ``query`` record."""
-        index_ops: List[Tuple[str, str, str]] = []
+        index_ops: List[Tuple[str, CreateIndexOp]] = []
         for planned in compiled.plans:
             for op in _walk_ops(planned.root):
                 if isinstance(op, CreateIndexOp):
-                    index_ops.append(("create", op._label, op._attribute))
+                    index_ops.append(("create", op))
                 elif isinstance(op, DropIndexOp):
-                    index_ops.append(("drop", op._label, op._attribute))
+                    index_ops.append(("drop", op))
         if index_ops and len(index_ops) == len(compiled.plans):
 
             def log_index() -> None:
-                for op, label, attribute in index_ops:
-                    self.durability.log_index(key, op, label, attribute)
+                for action, op in index_ops:
+                    self.durability.log_index(
+                        key,
+                        action,
+                        op._label,
+                        op._attribute,
+                        itype=op._kind,
+                        attributes=list(op._attributes),
+                        options=getattr(op, "_options", None),
+                    )
 
             return log_index
         return lambda: self.durability.log_query(key, text, params)

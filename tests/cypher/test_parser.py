@@ -176,6 +176,38 @@ class TestOtherClauses:
         c = first_clause("DROP INDEX ON :Person(name)")
         assert isinstance(c, A.DropIndexClause)
 
+    def test_create_composite_index(self):
+        c = first_clause("CREATE INDEX ON :Person(age, name)")
+        assert isinstance(c, A.CreateIndexClause)
+        assert c.kind == "composite" and c.attributes == ("age", "name")
+
+    def test_create_vector_index(self):
+        c = first_clause(
+            "CREATE VECTOR INDEX ON :Doc(emb) OPTIONS {dimension: 128, similarity: 'cosine'}"
+        )
+        assert c.kind == "vector" and c.attributes == ("emb",)
+        assert dict(c.options) == {"dimension": 128, "similarity": "cosine"}
+
+    def test_vector_index_options_optional(self):
+        c = first_clause("CREATE VECTOR INDEX ON :Doc(emb)")
+        assert c.kind == "vector" and c.options == ()
+
+    def test_drop_vector_index(self):
+        c = first_clause("DROP VECTOR INDEX ON :Doc(emb)")
+        assert isinstance(c, A.DropIndexClause) and c.kind == "vector"
+
+    def test_vector_index_single_attribute_only(self):
+        with pytest.raises(CypherSyntaxError, match="exactly one property"):
+            parse("CREATE VECTOR INDEX ON :Doc(a, b)")
+
+    def test_vector_options_must_be_literals(self):
+        with pytest.raises(CypherSyntaxError, match="literal"):
+            parse("CREATE VECTOR INDEX ON :Doc(emb) OPTIONS {dimension: x}")
+
+    def test_vector_is_not_a_reserved_word(self):
+        c = first_clause("MATCH (vector:VECTOR) RETURN vector")
+        assert isinstance(c, A.MatchClause)
+
 
 class TestExpressions:
     def expr(self, text):

@@ -234,9 +234,9 @@ class TestV2Format:
         with pytest.raises(GraphError, match="unsupported graph file version"):
             load_graph(evil)
 
-    def test_none_valued_index_entries_survive(self):
-        """ExactMatchIndex treats None as indexable; the vectorized
-        backfill must agree or restored indexes diverge from live."""
+    def test_none_valued_index_entries_not_indexed(self):
+        """Cypher null matches no predicate, so None is never indexed —
+        and the restore-time backfill must agree with live maintenance."""
         db = GraphDB("g")
         db.graph.create_node(["P"], {"v": None})
         db.graph.create_node(["P"], {"v": 1})
@@ -244,8 +244,9 @@ class TestV2Format:
         live = db.graph.get_index("P", "v")
         db2 = roundtrip(db)
         restored = db2.graph.get_index("P", "v")
-        assert len(restored) == len(live) == 2
-        assert restored.lookup(None) == live.lookup(None) == {0}
+        assert len(restored) == len(live) == 1
+        assert restored.lookup(None) == live.lookup(None) == set()
+        assert restored.lookup(1) == live.lookup(1) == {1}
 
     def test_edge_slot_reuse_preserved(self):
         db = GraphDB("g")
