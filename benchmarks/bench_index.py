@@ -116,7 +116,9 @@ def vec_db():
         }],
         edges=[],
     )
-    d.query(f"CREATE VECTOR INDEX ON :Doc(emb) OPTIONS {{dimension: {VEC_DIM}}}")
+    # exact: true pins the brute-force path — this arm measures the flat
+    # matmul top-k; bench_vector.py measures the IVF path against it
+    d.query(f"CREATE VECTOR INDEX ON :Doc(emb) OPTIONS {{dimension: {VEC_DIM}, exact: true}}")
     return d, vecs, rng.normal(size=VEC_DIM).tolist()
 
 

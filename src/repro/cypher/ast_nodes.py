@@ -347,6 +347,10 @@ class CreateIndexClause:
     ``kind`` is ``"range"`` (one attribute), ``"composite"`` (several) or
     ``"vector"``; ``options`` holds literal OPTIONS entries as sorted
     (name, value) pairs so the clause stays hashable for the plan cache.
+    Vector indexes accept ``dimension``, ``similarity``, and the IVF
+    knobs ``nlist`` (bucket count, auto ~sqrt(N) when omitted),
+    ``nprobe`` (default probe width) and ``exact`` (true pins the
+    brute-force path — the differential-testing hook).
     """
 
     label: str

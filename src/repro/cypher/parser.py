@@ -324,7 +324,10 @@ class _Parser:
         return label, tuple(attrs)
 
     def _parse_index_options(self) -> Tuple[Tuple[str, Any], ...]:
-        """``OPTIONS {name: literal, ...}`` — literal values only."""
+        """``OPTIONS {name: literal, ...}`` — literal values only.  A
+        signed numeric literal parses as Unary('-', Literal) and folds
+        here, so ``{nlist: -5}`` reaches option *validation* (a clear
+        "must be positive" error) instead of dying as a non-literal."""
         self._expect(TokenType.PUNCT, "{", "'{'")
         items = {}
         if not self._check(TokenType.PUNCT, "}"):
@@ -332,6 +335,15 @@ class _Parser:
                 key = self._ident("option name")
                 self._expect(TokenType.PUNCT, ":", "':'")
                 expr = self.parse_expression()
+                if (
+                    isinstance(expr, A.Unary)
+                    and expr.op in ("-", "+")
+                    and isinstance(expr.operand, A.Literal)
+                    and isinstance(expr.operand.value, (int, float))
+                    and not isinstance(expr.operand.value, bool)
+                ):
+                    value = expr.operand.value
+                    expr = A.Literal(-value if expr.op == "-" else value)
                 if not isinstance(expr, A.Literal):
                     raise self._error("index OPTIONS values must be literals")
                 items[key] = expr.value

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.execplan.ops_scan import (
     AllNodeScan,
+    IndexOrderScan,
     IndexRangeScan,
     NodeByIdSeek,
     NodeByIndexScan,
@@ -323,6 +324,43 @@ def _literal_limit(limit: Limit) -> Optional[int]:
     return value
 
 
+def _proc_arg_literal(op: ProcedureCall, index: int):
+    """Plan-time constant of one procedure argument, or None when the
+    argument is dynamic (parameter / upstream column reference)."""
+    if index >= len(op._arg_fns):
+        return None
+    try:
+        return op._arg_fns[index]([], None)
+    except (AttributeError, IndexError, KeyError, TypeError):
+        return None
+
+
+def _vector_seek_estimate(op: ProcedureCall, model: CostModel) -> Optional[float]:
+    """Rows of one ``db.idx.vector.query`` call, priced from the snapshot's
+    IVF detail: a trained index examines roughly ``nprobe · size / nlist``
+    candidates (the probed buckets), an untrained or exact one the whole
+    index — top-k can't return more rows than that pool, nor more than a
+    literal ``k``."""
+    label = _proc_arg_literal(op, 0)
+    attribute = _proc_arg_literal(op, 1)
+    if not isinstance(label, str) or not isinstance(attribute, str):
+        return None
+    detail = model.stats.index_details.get((label, (attribute,), "vector"))
+    if detail is None:
+        return None
+    size = float(detail["size"])
+    nlist = detail.get("nlist")
+    nprobe = detail.get("nprobe")
+    if detail.get("trained") and nlist:
+        pool = min(size, float(nprobe or 1) * size / float(nlist))
+    else:
+        pool = size
+    k = _proc_arg_literal(op, 3)
+    if isinstance(k, int) and not isinstance(k, bool) and k > 0:
+        pool = min(pool, float(k))
+    return max(1.0, pool)
+
+
 def annotate_estimates(root: PlanOp, model: CostModel) -> float:
     """Post-order pass stamping ``op.est_rows`` on every operation.
 
@@ -366,6 +404,10 @@ def _estimate(op: PlanOp, model: CostModel) -> float:
             op._label, op._attributes, op._kind, [(s.op, s.literal) for s in op._specs]
         )
         return (_child_est(op) if op.children else 1.0) * base
+    if isinstance(op, IndexOrderScan):
+        # streams the whole label in index order — label-scan cardinality,
+        # but a following literal LIMIT caps what actually materializes
+        return (_child_est(op) if op.children else 1.0) * model.label_count(op._label)
     if isinstance(op, NodeByLabelScan):
         return (_child_est(op) if op.children else 1.0) * model.label_count(op._label)
     if isinstance(op, ConditionalTraverse):
@@ -393,7 +435,12 @@ def _estimate(op: PlanOp, model: CostModel) -> float:
         return est
     if isinstance(op, ProcedureCall):
         # Apply-style: one invocation per input record (leaf form = 1)
-        return (_child_est(op) if op.children else 1.0) * model.proc_cardinality(op._proc)
+        base = model.proc_cardinality(op._proc)
+        if op._proc.name == "db.idx.vector.query":
+            priced = _vector_seek_estimate(op, model)
+            if priced is not None:
+                base = priced
+        return (_child_est(op) if op.children else 1.0) * base
     if isinstance(op, Filter):
         sel = 1.0
         for predicate in op._predicates:

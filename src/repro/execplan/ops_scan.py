@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import CypherTypeError
 from repro.execplan.batch import EntityColumn, RecordBatch
-from repro.execplan.expressions import CompiledExpr, ExecContext, _compare, _equal
+from repro.execplan.expressions import CompiledExpr, ExecContext, _compare, _equal, sort_key
 from repro.execplan.ops_base import PlanOp
 from repro.execplan.record import Layout, Record
 from repro.graph.index import _family_of
@@ -28,6 +28,7 @@ __all__ = [
     "NodeByIndexScan",
     "NodeByIdSeek",
     "IndexRangeScan",
+    "IndexOrderScan",
     "SeekSpec",
 ]
 
@@ -225,6 +226,87 @@ class NodeByIndexScan(_NodeEmitScan):
                 dtype=_I64,
             )
         return np.asarray(sorted(index.lookup(value)), dtype=_I64)
+
+
+class IndexOrderScan(_NodeEmitScan):
+    """Stream one label's nodes in ``ORDER BY n.attr`` order straight off
+    the range index's sorted arrays — the planner installs this in place
+    of ``NodeByLabelScan + Sort`` when the sort key is a single indexed
+    attribute and no residual filter sits between scan and projection,
+    so ``ORDER BY ... LIMIT k`` stops after streaming k rows instead of
+    sorting the whole label.
+
+    Order contract (must match ``Sort`` over an ascending-id label scan
+    exactly): values rank by Cypher's type classes, equal values break
+    toward the lower node id, and nodes the index skips are spliced back
+    around the indexed block — non-null unindexable values (lists, maps)
+    rank *before* the indexed families, nulls after; ``NaN`` (numeric but
+    unindexable) lands adjacent to the numeric family.  Descending
+    reverses the blocks and each ordering, keeping the ascending-id
+    tie-break.  An index dropped between planning and execution degrades
+    to the label scan + stable sort this op replaced."""
+
+    name = "IndexOrderScan"
+
+    def __init__(
+        self,
+        var: str,
+        label: str,
+        attribute: str,
+        ascending: bool,
+        child: Optional[PlanOp] = None,
+    ) -> None:
+        super().__init__(var, child)
+        self._label = label
+        self._attribute = attribute
+        self._ascending = ascending
+
+    def describe(self) -> str:
+        direction = "ASC" if self._ascending else "DESC"
+        return f"IndexOrderScan | ({self._var}:{self._label}) [{self._attribute} {direction}]"
+
+    def _node_ids(self, ctx: ExecContext, record: Optional[Record]) -> np.ndarray:
+        graph = ctx.graph
+        members = np.asarray(graph.nodes_with_label(self._label), dtype=_I64)
+        index = graph.get_index(self._label, self._attribute)
+        if index is None:
+            return self._sorted_fallback(graph, members)
+        ordered = index.ordered_ids(self._ascending)
+        if len(ordered) == len(members):
+            return ordered
+        leftover = np.setdiff1d(members, ordered, assume_unique=True)
+        before: List[tuple] = []  # non-null unindexable: map/node/edge/list
+        nans: List[int] = []  # numeric class, but the index never holds NaN
+        after: List[tuple] = []  # null (and unknown classes)
+        for nid in leftover.tolist():
+            value = graph.node_property(int(nid), self._attribute)
+            key = sort_key(value)
+            if key[0] <= 3:
+                before.append((key, nid))
+            elif key[0] == 6:
+                nans.append(nid)
+            else:
+                after.append((key[0], nid))
+        reverse = not self._ascending
+        before.sort(key=lambda t: t[0], reverse=reverse)
+        after.sort(key=lambda t: t[0], reverse=reverse)
+        blocks = [
+            np.asarray([nid for _k, nid in before], dtype=_I64),
+            ordered,
+            np.asarray(nans, dtype=_I64),
+            np.asarray([nid for _k, nid in after], dtype=_I64),
+        ]
+        if reverse:
+            blocks.reverse()
+        return np.concatenate([b for b in blocks if len(b)] or [np.empty(0, dtype=_I64)])
+
+    def _sorted_fallback(self, graph, members: np.ndarray) -> np.ndarray:
+        ids = [int(n) for n in members]
+        ids.sort(
+            key=lambda nid: sort_key(graph.node_property(nid, self._attribute)),
+            reverse=not self._ascending,
+        )
+        return np.asarray(ids, dtype=_I64)
 
 
 #: SeekSpec.literal when the predicate's value is not a plan-time literal

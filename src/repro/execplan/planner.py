@@ -38,6 +38,7 @@ from repro.execplan.ops_path import PathSegment, ProjectPath
 from repro.execplan.ops_scan import (
     NOT_LITERAL,
     AllNodeScan,
+    IndexOrderScan,
     IndexRangeScan,
     NodeByIdSeek,
     NodeByIndexScan,
@@ -727,6 +728,39 @@ class _Planner:
         names = [p.output_name() for p in projections]
 
         any_aggregate = any(has_aggregate(p.expr) for p in projections)
+
+        # index-ordered fast path: when the sole sort key is one
+        # range-indexed attribute of a bare label scan (nothing between
+        # the scan and this projection that could reorder or filter),
+        # stream the index's sorted arrays instead of materializing a
+        # Sort — `ORDER BY n.attr LIMIT k` then stops after k rows.
+        # Detected against the original ORDER BY, before the
+        # output-column remap below rewrites it to an Identifier.
+        if (
+            len(clause.order_by) == 1
+            and not any_aggregate
+            and not clause.distinct
+            and isinstance(child, NodeByLabelScan)
+            and not child.children
+        ):
+            item = clause.order_by[0]
+            key_expr = item.expr
+            if isinstance(key_expr, A.Identifier):
+                # ORDER BY an output alias sorts on the aliased expression
+                for name, p in zip(names, projections):
+                    if name == key_expr.name:
+                        key_expr = p.expr
+                        break
+            if (
+                isinstance(key_expr, A.PropertyAccess)
+                and isinstance(key_expr.subject, A.Identifier)
+                and key_expr.subject.name == child._var
+                and self.schema.has_index(child._label, key_expr.key)
+            ):
+                child = IndexOrderScan(
+                    child._var, child._label, key_expr.key, item.ascending
+                )
+                clause = _replace_order_by(clause, ())
 
         # an ORDER BY expression identical to a projection expression sorts
         # on the output column (`RETURN DISTINCT b.name ORDER BY b.name`)

@@ -430,6 +430,11 @@ class BulkWriter:
         for index in graph._all_indexes():
             label_name = graph.schema.label_name(index.label_id)
             attr_names = tuple(graph.attrs.name_of(a) for a in index.attr_ids)
+            # vector indexes stage every batch's column and insert once,
+            # so the IVF quantizer trains a single time over the whole
+            # ingest instead of re-evaluating per batch
+            staged_vals: List[Any] = []
+            staged_ids: List[int] = []
             for nb in self._node_batches:
                 if label_name not in nb.labels:
                     continue
@@ -438,10 +443,17 @@ class BulkWriter:
                     slots = graph._nodes._slots
                     rows = [slots[int(nid)].props for nid in ids]
                     report.indexed_nodes += index.bulk_insert(rows, ids)
+                elif index.kind == "vector":
+                    column = nb.props.get(attr_names[0])
+                    if column is not None:
+                        staged_vals.extend(column)
+                        staged_ids.extend(int(n) for n in ids)
                 else:
                     column = nb.props.get(attr_names[0])
                     if column is not None:
                         report.indexed_nodes += index.bulk_insert(column, ids)
+            if staged_vals:
+                report.indexed_nodes += index.bulk_insert(staged_vals, staged_ids)
 
         report.labels_added = graph.schema.label_count - labels_before
         report.reltypes_added = graph.schema.reltype_count - reltypes_before

@@ -169,6 +169,30 @@ CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
         ),
     ),
     ConfigSpec(
+        name="vector_nprobe_default",
+        default=16,
+        env="REPRO_VECTOR_NPROBE_DEFAULT",
+        mutable=True,
+        min=1,
+        doc=(
+            "IVF buckets a vector top-k query probes when neither the "
+            "query nor the index overrides it (clamped to the trained "
+            "bucket count); higher trades latency for recall."
+        ),
+    ),
+    ConfigSpec(
+        name="vector_train_min",
+        default=1024,
+        env="REPRO_VECTOR_TRAIN_MIN",
+        mutable=True,
+        min=1,
+        doc=(
+            "Vectors a vector index must hold before it trains its IVF "
+            "coarse quantizer; below this (or with exact: true) queries "
+            "stay on the brute-force path."
+        ),
+    ),
+    ConfigSpec(
         name="io_threads",
         default=1,
         env="REPRO_IO_THREADS",
@@ -244,6 +268,10 @@ class GraphConfig:
     index_merge_threshold: int = field(
         default_factory=_spec_default("index_merge_threshold")
     )
+    vector_nprobe_default: int = field(
+        default_factory=_spec_default("vector_nprobe_default")
+    )
+    vector_train_min: int = field(default_factory=_spec_default("vector_train_min"))
     io_threads: int = field(default_factory=_spec_default("io_threads"))
 
     def __setattr__(self, name, value) -> None:

@@ -565,10 +565,20 @@ class Graph:
         opts = dict(options or {})
         dim = opts.pop("dimension", opts.pop("dim", None))
         similarity = opts.pop("similarity", "cosine")
+        nlist = opts.pop("nlist", None)
+        nprobe = opts.pop("nprobe", None)
+        exact = opts.pop("exact", False)
         if opts:
             raise ConstraintViolation(f"unknown vector index options: {sorted(opts)}")
         if dim is not None and (isinstance(dim, bool) or not isinstance(dim, int) or dim < 1):
             raise ConstraintViolation("vector index dimension must be a positive integer")
+        for name, value in (("nlist", nlist), ("nprobe", nprobe)):
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int) or value < 1
+            ):
+                raise ConstraintViolation(f"vector index {name} must be a positive integer")
+        if not isinstance(exact, bool):
+            raise ConstraintViolation("vector index exact must be a boolean")
         try:
             index = VectorIndex(
                 lid,
@@ -576,6 +586,11 @@ class Graph:
                 dim=dim,
                 similarity=similarity,
                 merge_threshold=self.config.index_merge_threshold,
+                nlist=nlist,
+                nprobe=nprobe,
+                exact=exact,
+                nprobe_default=self.config.vector_nprobe_default,
+                train_min=self.config.vector_train_min,
             )
         except ValueError as exc:
             raise ConstraintViolation(str(exc)) from None
@@ -675,6 +690,11 @@ class Graph:
                     "kind": index.kind,
                     "size": len(index),
                     "ndv": index.ndv(),
+                    # vector indexes expose creation options plus live
+                    # training state (nlist/nprobe/trained/retrains)
+                    "options": index.describe_options()
+                    if index.kind == "vector"
+                    else None,
                 }
             )
         return out

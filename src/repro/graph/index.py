@@ -20,9 +20,20 @@ Three index kinds share one maintenance surface (``index_node`` /
   on any leading prefix of the attribute tuple is a binary-search slice
   (the upper bound appends a top sentinel to the prefix).
 
-* :class:`VectorIndex` — an L2-normalized row-major ``float64`` matrix;
-  top-k is one matmul + sort, exact by construction (ties break toward
-  the lower node id).
+* :class:`VectorIndex` — cosine top-k over L2-normalized ``float64``
+  vectors.  Small or ``exact: true`` indexes answer with one matmul +
+  sort over a flat matrix (exact by construction, ties break toward the
+  lower node id).  Past ``vector_train_min`` rows the index trains an
+  IVF (inverted-file) layout: a spherical k-means coarse quantizer
+  (k-means++ seeding, a few Lloyd's rounds over a subsample) assigns
+  every vector to one of ``nlist`` centroid buckets stored as
+  contiguous per-bucket matrices, and a query scores only the
+  ``nprobe`` nearest buckets — O(nprobe·N/nlist) instead of O(N).
+  Fresh writes land in a pending flat tail that every query scans
+  exactly (recall never degrades on unmerged data); folds assign the
+  tail into buckets, and drift (size doubling or bucket imbalance)
+  triggers a deterministic incremental re-clustering that warm-starts
+  from the current centroids and swaps the new layout in atomically.
 
 Indexing rules shared by all kinds: ``None`` is never indexed (Cypher
 null matches no predicate), and neither is ``NaN`` (it compares neither
@@ -295,6 +306,57 @@ class _FamilyStore:
         base = len(np.unique(self.keys)) if len(self.keys) else 0
         return base + len(self.adds)
 
+    def ordered_ids(self, ascending: bool) -> np.ndarray:
+        """Every live id in key order, equal keys broken toward the lower
+        node id (Cypher ORDER BY stability over an ascending-id scan).
+        Read-only: the pending overlay is merged into the view, never
+        into the arrays, so this is safe under the query read lock."""
+        keys, ids, raw = self.keys, self.ids, self.raw
+        if self.dels:
+            dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
+            keep = ~np.isin(ids, dead)
+            keys, ids = keys[keep], ids[keep]
+            if self.numeric:
+                raw = raw[keep]
+        if self.adds:
+            if self.numeric:
+                akeys = np.array([k for k, _v, _n in self.adds], dtype=np.float64)
+                araw = np.empty(len(self.adds), dtype=object)
+                araw[:] = [v for _k, v, _n in self.adds]
+                raw = np.concatenate([raw, araw])
+            else:
+                akeys = np.empty(len(self.adds), dtype=object)
+                akeys[:] = [k for k, _v, _n in self.adds]
+            aids = np.asarray([n for _k, _v, n in self.adds], dtype=_I64)
+            keys = np.concatenate([keys, akeys])
+            ids = np.concatenate([ids, aids])
+        if not len(ids):
+            return _EMPTY_IDS
+        if not self.numeric:
+            # object keys (strings / booleans): np.lexsort can't take
+            # them, but their unique-inverse codes order identically
+            _, codes = np.unique(keys, return_inverse=True)
+            order = np.lexsort((ids, codes if ascending else -codes))
+            return ids[order].astype(_I64)
+        order = np.lexsort((ids, keys if ascending else -keys))
+        keys, ids = keys[order], ids[order]
+        raw = raw[order]
+        out = ids.astype(_I64)
+        # fuzzy float keys (big ints, ±inf) collapse distinct raw values
+        # onto one sort key — re-rank those runs by exact raw comparison
+        i, n = 0, len(keys)
+        while i < n:
+            j = i + 1
+            while j < n and keys[j] == keys[i]:
+                j += 1
+            if j - i > 1 and _fuzzy_key(float(keys[i])):
+                run = list(range(i, j))
+                run.sort(key=lambda t: int(ids[t]))
+                run.sort(key=lambda t: raw[t], reverse=not ascending)
+                out[i:j] = ids[run]
+            i = j
+        return out
+
 
 class RangeIndex:
     """Sorted-array range index over one ``:Label(attribute)`` pair.
@@ -447,6 +509,26 @@ class RangeIndex:
     def lookup(self, value: Any) -> Set[int]:
         """Exact-match probe as a set of node ids (historical surface)."""
         return set(int(i) for i in self.seek_eq(value))
+
+    def ordered_ids(self, ascending: bool = True) -> np.ndarray:
+        """Every indexed id in ORDER BY value order: type families ranked
+        as Cypher's mixed-type total order (strings < booleans < numbers),
+        values ordered within each family, equal values broken toward the
+        lower node id.  Never merges — safe under the query read lock."""
+        families = (_F_STR, _F_BOOL, _F_NUM)
+        if not ascending:
+            families = tuple(reversed(families))
+        parts: List[np.ndarray] = []
+        for family in families:
+            store = self._fams.get(family)
+            if store is None:
+                continue
+            ids = store.ordered_ids(ascending)
+            if len(ids):
+                parts.append(ids)
+        if not parts:
+            return _EMPTY_IDS
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
     # -- introspection -----------------------------------------------
 
@@ -680,12 +762,64 @@ class CompositeIndex:
         return f"<CompositeIndex label={self.label_id} attrs={self.attr_ids} entries={self._size}>"
 
 
+#: training subsample: this many points per centroid (bounds Lloyd's cost)
+_TRAIN_SAMPLE_PER_LIST = 40
+#: Lloyd's refinement rounds over the subsample
+_LLOYD_ITERATIONS = 5
+#: rows per chunk in full-matrix assignment matmuls (bounds peak memory)
+_ASSIGN_CHUNK = 8192
+#: a bucket this many times the mean size marks the layout as drifted
+_IMBALANCE_FACTOR = 6.0
+#: fallback knob values for a VectorIndex built outside a Graph
+DEFAULT_NPROBE = 16
+DEFAULT_TRAIN_MIN = 1024
+
+
+def _kmeanspp_seed(pts: np.ndarray, nlist: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding under cosine distance (rows are unit-norm, so
+    1 - dot is the squared chordal distance up to a constant)."""
+    n = len(pts)
+    centroids = np.empty((nlist, pts.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = pts[first]
+    # running min distance to the chosen set; D^2-weighted draws
+    dist = np.maximum(0.0, 1.0 - pts @ centroids[0])
+    for c in range(1, nlist):
+        total = float(dist.sum())
+        if total <= 0.0:
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=dist / total))
+        centroids[c] = pts[pick]
+        np.minimum(dist, np.maximum(0.0, 1.0 - pts @ centroids[c]), out=dist)
+    return centroids
+
+
+def _nearest_centroid(mat: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """argmax-cosine bucket of every row, chunked so the score matrix
+    never materializes at full N×nlist size."""
+    out = np.empty(len(mat), dtype=_I64)
+    for start in range(0, len(mat), _ASSIGN_CHUNK):
+        stop = min(start + _ASSIGN_CHUNK, len(mat))
+        out[start:stop] = np.argmax(mat[start:stop] @ centroids.T, axis=1)
+    return out
+
+
 class VectorIndex:
-    """Brute-force cosine top-k over an L2-normalized float64 matrix.
+    """Cosine top-k with an IVF (inverted-file) fast path.
 
     Values are lists of finite numbers with the configured dimension;
-    anything else is simply not indexed.  ``query`` is one matmul plus a
-    sort — exact, with ties broken toward the lower node id."""
+    anything else is simply not indexed.  A flat L2-normalized matrix is
+    always maintained — it is the exact brute-force path (one matmul plus
+    a sort, ties broken toward the lower node id), serving every query
+    while the index is untrained (fewer than ``train_min`` rows, or
+    ``exact=True``) and remaining the differential-testing oracle after
+    training.  Once trained, queries probe the ``nprobe`` buckets whose
+    centroids score highest, scan those buckets plus the pending tail
+    exactly, and keep the same global score/tie ordering over the
+    candidate set.  Training and re-clustering are deterministic (seeded
+    RNG, pure function of the flat matrix), so WAL replay reproduces the
+    bucket layout exactly."""
 
     kind = "vector"
 
@@ -699,6 +833,16 @@ class VectorIndex:
         "adds",
         "dels",
         "_threshold",
+        "exact",
+        "nlist_opt",
+        "nprobe_opt",
+        "_nprobe_default",
+        "_train_min",
+        "_centroids",
+        "_bucket_ids",
+        "_bucket_mats",
+        "_trained_size",
+        "_retrains",
     )
 
     def __init__(
@@ -708,6 +852,12 @@ class VectorIndex:
         dim: Optional[int] = None,
         similarity: str = "cosine",
         merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+        *,
+        nlist: Optional[int] = None,
+        nprobe: Optional[int] = None,
+        exact: bool = False,
+        nprobe_default: int = DEFAULT_NPROBE,
+        train_min: int = DEFAULT_TRAIN_MIN,
     ) -> None:
         if similarity != "cosine":
             raise ValueError(f"unsupported vector similarity {similarity!r}")
@@ -720,14 +870,60 @@ class VectorIndex:
         self.adds: List[Tuple[int, np.ndarray]] = []
         self.dels: Set[int] = set()
         self._threshold = max(1, merge_threshold)
+        self.exact = bool(exact)
+        self.nlist_opt = int(nlist) if nlist is not None else None
+        self.nprobe_opt = int(nprobe) if nprobe is not None else None
+        self._nprobe_default = max(1, int(nprobe_default))
+        self._train_min = max(1, int(train_min))
+        self._centroids: Optional[np.ndarray] = None
+        self._bucket_ids: List[np.ndarray] = []
+        self._bucket_mats: List[np.ndarray] = []
+        self._trained_size = 0
+        self._retrains = 0
 
     @property
     def attr_ids(self) -> Tuple[int, ...]:
         return (self.attr_id,)
 
     @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def nlist(self) -> Optional[int]:
+        """Bucket count of the live layout (None while untrained)."""
+        return len(self._centroids) if self._centroids is not None else None
+
+    @property
+    def nprobe(self) -> int:
+        """The default probe width queries resolve without an override."""
+        return self.nprobe_opt if self.nprobe_opt is not None else self._nprobe_default
+
+    @property
     def options(self) -> Dict[str, Any]:
-        return {"dimension": self.dim, "similarity": self.similarity}
+        """The durable creation options — what snapshots and the WAL
+        round-trip through :meth:`Graph.create_vector_index`.  ``exact``
+        is always present: its absence marks a pre-IVF record, which
+        replays as brute-force."""
+        opts: Dict[str, Any] = {
+            "dimension": self.dim,
+            "similarity": self.similarity,
+            "exact": self.exact,
+        }
+        if self.nlist_opt is not None:
+            opts["nlist"] = self.nlist_opt
+        if self.nprobe_opt is not None:
+            opts["nprobe"] = self.nprobe_opt
+        return opts
+
+    def describe_options(self) -> Dict[str, Any]:
+        """Creation options plus live training state, for ``db.indexes``."""
+        opts = self.options
+        opts["nlist"] = self.nlist if self.trained else self.nlist_opt
+        opts["nprobe"] = self.nprobe
+        opts["trained"] = self.trained
+        opts["retrains"] = self._retrains
+        return opts
 
     def _coerce(self, value: Any) -> Optional[np.ndarray]:
         if not isinstance(value, (list, tuple)) or not value:
@@ -781,6 +977,8 @@ class VectorIndex:
             self.merge()
 
     def merge(self) -> None:
+        """Fold the pending tail into the flat matrix (and, when trained,
+        into the centroid buckets), then re-evaluate the training policy."""
         if not self.adds and not self.dels:
             return
         mat, ids = self._mat, self._ids
@@ -788,24 +986,148 @@ class VectorIndex:
             dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
             keep = ~np.isin(ids, dead)
             mat, ids = mat[keep], ids[keep]
+            if self._centroids is not None:
+                self._drop_from_buckets(dead)
         if self.adds:
             amat = np.vstack([v for _n, v in self.adds])
             aids = np.asarray([n for n, _v in self.adds], dtype=_I64)
             mat = np.vstack([mat, amat]) if len(ids) else amat
             ids = np.concatenate([ids, aids])
+            if self._centroids is not None:
+                self._append_to_buckets(aids, amat)
         self._mat, self._ids = mat, ids
         self.adds, self.dels = [], set()
+        self._maybe_train()
+
+    # -- IVF layout ----------------------------------------------------
+
+    def _maybe_train(self) -> None:
+        """The write-side training policy.  First training waits for
+        ``train_min`` rows; once trained, drift — the flat set doubling
+        since the last train, or one bucket outgrowing the mean by
+        :data:`_IMBALANCE_FACTOR` — triggers an incremental re-cluster
+        (the same cheap-counter pattern the statistics epoch uses to
+        refresh derived read state)."""
+        if self.exact:
+            return
+        n = len(self._ids)
+        if self._centroids is None:
+            if n >= self._train_min:
+                self._train()
+            return
+        if n >= 2 * max(1, self._trained_size):
+            self._train(warm=True)
+            return
+        sizes = [len(b) for b in self._bucket_ids]
+        if sizes and n >= self._train_min:
+            mean = max(1.0, n / len(sizes))
+            if max(sizes) > _IMBALANCE_FACTOR * mean:
+                self._train(warm=True)
+
+    def _train(self, warm: bool = False) -> None:
+        """(Re)build the coarse quantizer and bucket layout.
+
+        Deterministic by construction — the RNG seed is a function of the
+        index identity and the flat size, and every draw depends only on
+        the flat matrix — so WAL replay re-derives the identical layout.
+        The new centroids and buckets are computed on the side and swapped
+        in atomically (single attribute assignments under the write lock);
+        a concurrent reader sees either the old layout or the new one.
+        ``warm=True`` seeds Lloyd's from the current centroids instead of
+        k-means++ — the incremental re-clustering path."""
+        mat, ids = self._mat, self._ids
+        n = len(ids)
+        if n == 0:
+            self._centroids = None
+            self._bucket_ids, self._bucket_mats = [], []
+            self._trained_size = 0
+            return
+        nlist = self.nlist_opt if self.nlist_opt is not None else max(1, int(round(math.sqrt(n))))
+        nlist = min(nlist, n)
+        seed = ((self.label_id + 1) * 2654435761 + (self.attr_id + 1) * 40503 + n) & 0xFFFFFFFF
+        rng = np.random.default_rng(seed)
+        sample_n = min(n, max(256, nlist * _TRAIN_SAMPLE_PER_LIST))
+        pts = mat[rng.choice(n, size=sample_n, replace=False)] if sample_n < n else mat
+        was_trained = self._centroids is not None
+        if warm and was_trained and len(self._centroids) == nlist:
+            centroids = self._centroids.copy()
+        else:
+            centroids = _kmeanspp_seed(pts, nlist, rng)
+        for _ in range(_LLOYD_ITERATIONS):
+            assign = _nearest_centroid(pts, centroids)
+            sums = np.zeros_like(centroids)
+            np.add.at(sums, assign, pts)
+            counts = np.bincount(assign, minlength=nlist)
+            norms = np.linalg.norm(sums, axis=1)
+            ok = (counts > 0) & (norms > 0.0)
+            centroids[ok] = sums[ok] / norms[ok, None]
+            empty = np.flatnonzero(counts == 0)
+            if len(empty):
+                # re-seed empty clusters from the worst-covered points
+                coverage = np.max(pts @ centroids.T, axis=1)
+                worst = np.argsort(coverage, kind="stable")[: len(empty)]
+                centroids[empty] = pts[worst]
+        self.install_centroids(centroids)
+        if was_trained:
+            self._retrains += 1
+
+    def install_centroids(self, centroids: np.ndarray) -> None:
+        """Adopt ``centroids`` and rebuild the buckets by nearest-centroid
+        assignment of the flat matrix — a pure function of (vectors,
+        centroids), which is how snapshot restore reproduces the layout
+        without re-running Lloyd's."""
+        centroids = np.ascontiguousarray(centroids, dtype=np.float64)
+        assign = _nearest_centroid(self._mat, centroids)
+        order = np.argsort(assign, kind="stable")
+        sorted_assign = assign[order]
+        bounds = np.searchsorted(sorted_assign, np.arange(len(centroids) + 1))
+        bucket_ids: List[np.ndarray] = []
+        bucket_mats: List[np.ndarray] = []
+        for c in range(len(centroids)):
+            sl = order[bounds[c] : bounds[c + 1]]
+            bucket_ids.append(self._ids[sl].copy())
+            bucket_mats.append(np.ascontiguousarray(self._mat[sl]))
+        self._centroids = centroids
+        self._bucket_ids = bucket_ids
+        self._bucket_mats = bucket_mats
+        self._trained_size = len(self._ids)
+
+    def _append_to_buckets(self, aids: np.ndarray, amat: np.ndarray) -> None:
+        assign = _nearest_centroid(amat, self._centroids)
+        for c in np.unique(assign):
+            mask = assign == c
+            c = int(c)
+            self._bucket_ids[c] = np.concatenate([self._bucket_ids[c], aids[mask]])
+            self._bucket_mats[c] = np.vstack([self._bucket_mats[c], amat[mask]])
+
+    def _drop_from_buckets(self, dead: np.ndarray) -> None:
+        for c in range(len(self._bucket_ids)):
+            bids = self._bucket_ids[c]
+            if not len(bids):
+                continue
+            keep = ~np.isin(bids, dead)
+            if not np.all(keep):
+                self._bucket_ids[c] = bids[keep]
+                self._bucket_mats[c] = self._bucket_mats[c][keep]
 
     # -- read side ---------------------------------------------------
 
-    def query(self, vector: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    def query(
+        self, vector: Any, k: int, nprobe: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` (node_ids, cosine_scores), score-descending with
-        node-id tie-break.  Raises ValueError on a malformed query
-        vector."""
+        node-id tie-break.  ``nprobe`` overrides the index default probe
+        width; untrained and ``exact`` indexes ignore it and answer with
+        the flat brute-force path.  Raises ValueError on a malformed
+        query vector."""
         if self.dim is None:
             return _EMPTY_IDS, np.empty(0, dtype=np.float64)
-        if not isinstance(vector, (list, tuple)) or len(vector) != self.dim:
+        if not isinstance(vector, (list, tuple)):
             raise ValueError(f"query vector must be a list of {self.dim} numbers")
+        if len(vector) != self.dim:
+            raise ValueError(
+                f"query vector has dimension {len(vector)}, index expects {self.dim}"
+            )
         for v in vector:
             if isinstance(v, bool) or not isinstance(v, (int, float)):
                 raise ValueError("query vector must contain only numbers")
@@ -815,6 +1137,13 @@ class VectorIndex:
         norm = float(np.linalg.norm(q))
         if norm > 0.0:
             q = q / norm
+        if self._centroids is None:
+            return self._query_flat(q, k)
+        return self._query_ivf(q, k, nprobe)
+
+    def _query_flat(self, q: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The brute-force path — PR 9's exact scan, preserved verbatim as
+        the differential-testing oracle."""
         mat, ids = self._mat, self._ids
         if self.dels and len(ids):
             dead = np.fromiter(self.dels, dtype=_I64, count=len(self.dels))
@@ -831,6 +1160,46 @@ class VectorIndex:
         order = np.lexsort((ids, -scores))[: int(k)]
         return ids[order].astype(_I64), scores[order]
 
+    def _query_ivf(
+        self, q: np.ndarray, k: int, nprobe: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe the ``nprobe`` best buckets exactly, plus the pending
+        tail; the candidate pool keeps the flat path's global ordering
+        (score descending, node-id tie-break)."""
+        if k <= 0:
+            return _EMPTY_IDS, np.empty(0, dtype=np.float64)
+        centroids = self._centroids
+        width = nprobe if nprobe is not None else self.nprobe
+        width = max(1, min(int(width), len(centroids)))
+        cscores = centroids @ q
+        if width < len(cscores):
+            probe = np.argpartition(-cscores, width - 1)[:width]
+        else:
+            probe = np.arange(len(cscores))
+        id_parts: List[np.ndarray] = []
+        score_parts: List[np.ndarray] = []
+        for c in probe:
+            bids = self._bucket_ids[int(c)]
+            if len(bids):
+                id_parts.append(bids)
+                score_parts.append(self._bucket_mats[int(c)] @ q)
+        ids = np.concatenate(id_parts) if id_parts else _EMPTY_IDS
+        scores = np.concatenate(score_parts) if score_parts else np.empty(0, dtype=np.float64)
+        if self.dels and len(ids):
+            keep = ~np.isin(ids, np.fromiter(self.dels, dtype=_I64, count=len(self.dels)))
+            ids, scores = ids[keep], scores[keep]
+        if self.adds:
+            # the unmerged tail is always scanned exactly — fresh writes
+            # are visible at full recall before any fold
+            amat = np.vstack([v for _n, v in self.adds])
+            aids = np.asarray([n for n, _v in self.adds], dtype=_I64)
+            ids = np.concatenate([ids, aids])
+            scores = np.concatenate([scores, amat @ q])
+        if not len(ids):
+            return _EMPTY_IDS, np.empty(0, dtype=np.float64)
+        order = np.lexsort((ids, -scores))[: int(k)]
+        return ids[order].astype(_I64), scores[order]
+
     # -- introspection -----------------------------------------------
 
     def __len__(self) -> int:
@@ -840,4 +1209,8 @@ class VectorIndex:
         return len(self)
 
     def __repr__(self) -> str:
-        return f"<VectorIndex label={self.label_id} attr={self.attr_id} entries={len(self)}>"
+        layout = f"ivf[{self.nlist}]" if self.trained else ("exact" if self.exact else "flat")
+        return (
+            f"<VectorIndex label={self.label_id} attr={self.attr_id} "
+            f"entries={len(self)} layout={layout}>"
+        )

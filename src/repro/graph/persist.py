@@ -113,6 +113,7 @@ class GraphSnapshot:
         "adj_view",
         "rel_views",
         "label_views",
+        "vec_centroids",
     )
 
     def write(self, target: Union[str, Path, BinaryIO]) -> None:
@@ -137,6 +138,9 @@ class GraphSnapshot:
             _put_csr(arrays, f"rel{rid}", view)
         for lid, view in enumerate(self.label_views):
             _put_csr(arrays, f"lab{lid}", view)
+        for i, centroids in enumerate(self.vec_centroids):
+            if centroids is not None:
+                arrays[f"vecidx{i}_centroids"] = centroids
         np.savez(target, **arrays)
 
 
@@ -153,6 +157,16 @@ def capture_snapshot(graph: Graph, *, lock: bool = True) -> GraphSnapshot:
             return capture_snapshot(graph, lock=False)
 
     snap = GraphSnapshot()
+    # vector indexes: options carry the creation-time knobs (including the
+    # always-present "exact" marker that distinguishes this format from
+    # pre-IVF records); a trained index also ships its centroid matrix so
+    # the restored IVF layout matches without retraining
+    vec_specs: List[List[Any]] = []
+    vec_centroids: List[Optional[np.ndarray]] = []
+    for (lid, aid), index in graph._vector_indices.items():
+        vec_specs.append([lid, aid, index.options])
+        vec_centroids.append(index._centroids.copy() if index.trained else None)
+    snap.vec_centroids = vec_centroids
     snap.meta = {
         "version": FORMAT_VERSION,
         "name": graph.name,
@@ -165,10 +179,7 @@ def capture_snapshot(graph: Graph, *, lock: bool = True) -> GraphSnapshot:
         "composite_indices": [
             [lid, list(aids)] for (lid, aids) in graph._composite_indices
         ],
-        "vector_indices": [
-            [lid, aid, index.options]
-            for (lid, aid), index in graph._vector_indices.items()
-        ],
+        "vector_indices": vec_specs,
         "node_slots": graph._nodes.capacity,
         "edge_slots": graph._edges.capacity,
     }
@@ -349,10 +360,21 @@ def _load_v2(data, meta: Dict[str, Any]) -> Graph:
             graph.schema.label_name(int(lid)),
             [graph.attrs.name_of(int(a)) for a in aids],
         )
-    for lid, aid, options in meta.get("vector_indices", ()):
-        graph.create_vector_index(
-            graph.schema.label_name(int(lid)), graph.attrs.name_of(int(aid)), options
+    for i, (lid, aid, options) in enumerate(meta.get("vector_indices", ())):
+        opts = dict(options or {})
+        if "exact" not in opts:
+            # pre-IVF snapshot: those indexes were brute-force scans, so
+            # restoring them as exact preserves their query results exactly
+            opts["exact"] = True
+        index = graph.create_vector_index(
+            graph.schema.label_name(int(lid)), graph.attrs.name_of(int(aid)), opts
         )
+        key = f"vecidx{i}_centroids"
+        if not opts["exact"] and key in data.files:
+            # reinstall the saved coarse quantizer instead of retraining:
+            # bucket assignment is a pure function of (flat matrix,
+            # centroids), so the restored IVF layout matches the saved one
+            index.install_centroids(np.asarray(data[key], dtype=np.float64))
 
     # statistics: one vectorized rebuild; WAL replay (which runs through
     # the normal write paths) keeps them maintained from here on
@@ -652,8 +674,11 @@ def _load_v1(data, meta: Dict[str, Any]) -> Graph:
             graph.schema.label_name(lid), [graph.attrs.name_of(a) for a in aids]
         )
     for lid, aid, options in meta.get("vector_indices", ()):
+        opts = dict(options or {})
+        if "exact" not in opts:
+            opts["exact"] = True  # pre-IVF record: keep brute-force semantics
         graph.create_vector_index(
-            graph.schema.label_name(lid), graph.attrs.name_of(aid), options
+            graph.schema.label_name(lid), graph.attrs.name_of(aid), opts
         )
     graph.stats.rebuild()
     return graph

@@ -360,11 +360,18 @@ class StatisticsStore:
                 index.kind,
             )
             sample = index.numeric_sample() if index.kind == "range" else None
-            index_details[key] = {
+            detail = {
                 "size": len(index),
                 "ndv": index.ndv(),
                 "sample": sample,
             }
+            if index.kind == "vector":
+                # IVF shape for top-k seek pricing: candidates scanned per
+                # query ≈ nprobe · size / nlist (size when untrained)
+                detail["nlist"] = index.nlist
+                detail["nprobe"] = index.nprobe
+                detail["trained"] = index.trained
+            index_details[key] = detail
         return GraphStatistics(
             epoch=self.epoch,
             schema_version=graph.schema_version,

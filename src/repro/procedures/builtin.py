@@ -39,15 +39,26 @@ def _indexes(graph) -> Sequence[Sequence[Any]]:
         [r["kind"] for r in rows],
         [r["size"] for r in rows],
         [r["ndv"] for r in rows],
+        [r.get("options") for r in rows],
     ]
 
 
-def _vector_query(graph, label: str, attribute: str, query, k: int) -> Sequence[Sequence[Any]]:
+def _vector_query(
+    graph, label: str, attribute: str, query, k: int, nprobe: Any = None
+) -> Sequence[Sequence[Any]]:
     index = graph.get_vector_index(label, attribute)
     if index is None:
         raise CypherTypeError(f"no vector index on :{label}({attribute})")
+    if k <= 0:
+        raise CypherTypeError(
+            f"db.idx.vector.query: k must be a positive integer (got {k})"
+        )
+    if nprobe is not None and nprobe <= 0:
+        raise CypherTypeError(
+            f"db.idx.vector.query: nprobe must be a positive integer (got {nprobe})"
+        )
     try:
-        ids, scores = index.query(query, k)
+        ids, scores = index.query(query, k, nprobe=nprobe)
     except ValueError as exc:
         raise CypherTypeError(f"db.idx.vector.query: {exc}") from None
     return [ids, scores]
@@ -102,12 +113,15 @@ def register_builtin_procedures() -> None:
                 ProcCol("type", "string"),
                 ProcCol("size", "integer"),
                 ProcCol("ndv", "integer"),
+                ProcCol("options", "any"),
             ),
             fn=_indexes,
             cardinality=4.0,
             description=(
-                "Every secondary index as (label, property, type, size, ndv); "
-                "type is the index kind (range, composite, vector)."
+                "Every secondary index as (label, property, type, size, ndv, "
+                "options); type is the index kind (range, composite, vector) "
+                "and options carries a vector index's creation options plus "
+                "its IVF training state (nlist, nprobe, trained, retrains)."
             ),
         )
     )
@@ -119,13 +133,16 @@ def register_builtin_procedures() -> None:
                 ProcArg("attribute", "string"),
                 ProcArg("query", "any"),
                 ProcArg("k", "integer"),
+                ProcArg("nprobe", "integer", default=None),
             ),
             yields=(ProcCol("node", "node"), ProcCol("score", "float")),
             fn=_vector_query,
             cardinality=16.0,
             description=(
-                "Brute-force top-k cosine similarity over a vector index, "
-                "streamed as (node, score) rows with score descending."
+                "Top-k cosine similarity over a vector index, streamed as "
+                "(node, score) rows with score descending.  Trained IVF "
+                "indexes probe nprobe buckets (defaulting per index/config); "
+                "untrained or exact indexes scan brute-force."
             ),
         )
     )

@@ -275,8 +275,13 @@ class DurabilityManager:
                 itype = record.get("itype", "range")
                 try:
                     if itype == "vector":
+                        opts = dict(record.get("options") or {})
+                        if "exact" not in opts:
+                            # pre-IVF record: those indexes were brute-force
+                            # scans, so replay keeps brute-force semantics
+                            opts["exact"] = True
                         db.graph.create_vector_index(
-                            record["label"], record["attribute"], record.get("options")
+                            record["label"], record["attribute"], opts
                         )
                     elif itype == "composite":
                         db.graph.create_composite_index(record["label"], record["attrs"])

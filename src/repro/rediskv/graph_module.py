@@ -214,13 +214,13 @@ class GraphModule:
         compiled, cached = db.engine.get_plan(text)
         on_commit = None
         if compiled.writes and self.durability is not None:
-            on_commit = self._log_hook(key, compiled, text, params)
+            on_commit = self._log_hook(key, db, compiled, text, params)
         result = db.engine.execute(compiled, params, cached=cached, on_commit=on_commit)
         if on_commit is not None:
             self._maybe_auto_snapshot(key, db)
         return self._result_reply(result)
 
-    def _log_hook(self, key: str, compiled: CompiledQuery, text: str, params: Dict[str, Any]):
+    def _log_hook(self, key: str, db: GraphDB, compiled: CompiledQuery, text: str, params: Dict[str, Any]):
         """The durability append for one write query, to run inside the
         graph's write lock after a successful execution.  Index create/
         drop statements get first-class record kinds (replayed against
@@ -237,6 +237,15 @@ class GraphModule:
 
             def log_index() -> None:
                 for action, op in index_ops:
+                    options = getattr(op, "_options", None)
+                    if action == "create" and op._kind == "vector":
+                        # log the live index's resolved options, not the
+                        # statement's: they carry the always-present
+                        # "exact" marker that tells replay this record is
+                        # IVF-era (its absence means brute-force semantics)
+                        live = db.graph.get_vector_index(op._label, op._attribute)
+                        if live is not None:
+                            options = live.options
                     self.durability.log_index(
                         key,
                         action,
@@ -244,7 +253,7 @@ class GraphModule:
                         op._attribute,
                         itype=op._kind,
                         attributes=list(op._attributes),
-                        options=getattr(op, "_options", None),
+                        options=options,
                     )
 
             return log_index
@@ -296,7 +305,7 @@ class GraphModule:
         if self.durability is not None:
             compiled, _ = db.engine.get_plan(text)
             if compiled.writes:
-                on_commit = self._log_hook(key, compiled, text, params)
+                on_commit = self._log_hook(key, db, compiled, text, params)
         result = db.engine.profile(text, params, on_commit=on_commit)
         if on_commit is not None:
             self._maybe_auto_snapshot(key, db)

@@ -51,7 +51,7 @@ class TestIntrospection:
 
     def test_db_indexes(self, db):
         rows = db.query("CALL db.indexes()").rows
-        assert ("Person", "name", "range", 4, 4) in rows
+        assert ("Person", "name", "range", 4, 4, None) in rows
 
     def test_dbms_procedures_lists_whole_catalog(self, db):
         names = [r[0] for r in db.query("CALL dbms.procedures() YIELD name RETURN name").rows]

@@ -402,3 +402,81 @@ class TestIndexKindsReplay:
             rows = c2.graph_query("g", self.CATALOG).rows
             assert [(l, p, t) for l, p, t, _s in rows] == [("A", "v", "range")]
         srv2.stop()
+
+
+class TestIVFReplay:
+    """A *trained* IVF index must survive kill-and-restart: pure WAL
+    replay retrains deterministically (same seed, same row order → same
+    centroids and bucket layout), snapshot restore reinstalls the saved
+    centroids without retraining, and pre-IVF log records (no "exact"
+    marker in options) replay as brute-force indexes."""
+
+    IVF_KW = dict(vector_train_min=32, index_merge_threshold=8)
+    DDL = "CREATE VECTOR INDEX ON :P(emb) OPTIONS {dimension: 4, nlist: 4}"
+    VQ = (
+        "CALL db.idx.vector.query('P', 'emb', $q, 10) "
+        "YIELD node, score RETURN id(node), score"
+    )
+    OPTS = "CALL db.indexes() YIELD type, options WHERE type = 'vector' RETURN options"
+
+    def seed(self, c: RedisClient, n=80, seed=23):
+        rng = random.Random(seed)
+        c.graph_query("g", self.DDL)
+        for _ in range(n):
+            c.graph_query(
+                "g",
+                "CREATE (:P {emb: $v})",
+                {"v": [rng.gauss(0, 1) for _ in range(4)]},
+            )
+
+    def options(self, c: RedisClient):
+        # RESP flattens maps to [key, value] pairs and booleans to 0/1
+        return dict(map(tuple, c.graph_query("g", self.OPTS).rows[0][0]))
+
+    def queries(self, c: RedisClient, seed=29):
+        rng = random.Random(seed)
+        return [
+            c.graph_query("g", self.VQ, {"q": [rng.gauss(0, 1) for _ in range(4)]}).rows
+            for _ in range(5)
+        ]
+
+    @pytest.mark.parametrize("save_midway", [False, True], ids=["log-only", "snapshot+tail"])
+    def test_trained_index_survives_crash(self, tmp_path, save_midway):
+        srv = start_server(tmp_path, **self.IVF_KW)
+        with RedisClient(port=srv.port) as c:
+            self.seed(c)
+            if save_midway:
+                assert c.graph_save("g") == "OK"
+                c.graph_query("g", "CREATE (:P {emb: [0.1, 0.2, 0.3, 0.4]})")
+            options = self.options(c)
+            assert options["trained"] == 1 and options["nlist"] == 4
+            expected = self.queries(c)
+        srv.stop()  # crash: tail (or everything) lives only in the log
+
+        srv2 = start_server(tmp_path, **self.IVF_KW)
+        with RedisClient(port=srv2.port) as c2:
+            options = self.options(c2)
+            assert options["trained"] == 1 and options["nlist"] == 4
+            assert self.queries(c2) == expected  # ids AND scores, in order
+            # the restored index keeps indexing fresh writes
+            c2.graph_query("g", "CREATE (:P {emb: [9.0, 0.0, 0.0, 0.0]})")
+            top = c2.graph_query(
+                "g", self.VQ, {"q": [1.0, 0.0, 0.0, 0.0]}
+            ).rows
+            assert float(top[0][1]) == pytest.approx(1.0)  # RESP floats are strings
+        srv2.stop()
+
+    def test_pre_ivf_log_record_replays_as_exact(self, tmp_path):
+        srv = start_server(tmp_path, **self.IVF_KW)
+        with RedisClient(port=srv.port) as c:
+            c.graph_query("g", "CREATE (:P {emb: [1.0, 0.0]})")
+        # a record written by the pre-IVF build: options carry no "exact"
+        srv.durability.log_index(
+            "g", "create", "P", "emb",
+            itype="vector", attributes=["emb"], options={"dimension": 2},
+        )
+        srv.stop()
+        srv2 = start_server(tmp_path, **self.IVF_KW)
+        with RedisClient(port=srv2.port) as c2:
+            assert self.options(c2)["exact"] == 1  # brute-force semantics kept
+        srv2.stop()
